@@ -1,0 +1,24 @@
+//! E1 bench: regenerates the long-tail tables, then times query serving
+//! (the paper's ">1000 qps" headline is a serving-throughput claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e01_longtail;
+use deepweb_core::{quick_config, DeepWebSystem};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e01_longtail::run(BENCH_SCALE);
+    print_tables(&tables);
+    let sys = DeepWebSystem::build(&quick_config(8));
+    c.bench_function("e01_serve_query", |b| {
+        b.iter(|| black_box(sys.search(black_box("used honda civic springfield"), 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

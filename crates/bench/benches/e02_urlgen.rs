@@ -1,0 +1,47 @@
+//! E2 bench: regenerates the URLs-vs-DB-size table, then times URL
+//! generation over prebuilt templates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e02_urlgen;
+use deepweb_common::Url;
+use deepweb_surfacer::{
+    analyze_page, generate_urls, search_templates, select_templates, IndexabilityConfig,
+    Prober, Slot, TemplateConfig,
+};
+use deepweb_webworld::{generate, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e02_urlgen::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig { num_sites: 1, post_fraction: 0.0, ..WebConfig::default() });
+    let host = w.truth.sites[0].host.clone();
+    let url = Url::new(host, "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let slots: Vec<Slot> = form
+        .fillable_inputs()
+        .iter()
+        .filter(|i| !i.options().is_empty())
+        .map(|i| Slot::Single {
+            input: i.name.clone(),
+            values: i.options().iter().map(|s| s.to_string()).collect(),
+        })
+        .collect();
+    let prober = Prober::new(&w.server);
+    let evals = search_templates(&prober, &form, &slots, &TemplateConfig::default());
+    let sel = select_templates(&evals, &IndexabilityConfig::default());
+    c.bench_function("e02_generate_urls", |b| {
+        b.iter(|| {
+            black_box(generate_urls(&prober, &form, &slots, &evals, &sel.chosen, 500))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

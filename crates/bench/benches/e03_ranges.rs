@@ -1,0 +1,40 @@
+//! E3 bench: regenerates the range tables, then times range-pair mining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::Url;
+use deepweb_core::experiments::e03_ranges;
+use deepweb_surfacer::analyze_page;
+use deepweb_surfacer::correlate::candidate_range_pairs;
+use deepweb_webworld::{generate, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e03_ranges::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig { num_sites: 10, post_fraction: 0.0, ..WebConfig::default() });
+    let forms: Vec<_> = w
+        .truth
+        .sites
+        .iter()
+        .filter_map(|t| {
+            let url = Url::new(t.host.clone(), "/search");
+            let html = w.server.fetch(&url).ok()?.html;
+            Some(analyze_page(&url, &html).remove(0))
+        })
+        .collect();
+    c.bench_function("e03_mine_range_pairs", |b| {
+        b.iter(|| {
+            for f in &forms {
+                black_box(candidate_range_pairs(f));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4 bench: regenerates the typed-input tables, then times one typed
+//! classification probe sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::Url;
+use deepweb_core::experiments::e04_typed;
+use deepweb_surfacer::{analyze_page, classify_typed, Prober, TypedValueLibrary};
+use deepweb_webworld::{generate, DomainKind, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e04_typed::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig {
+        num_sites: 6,
+        post_fraction: 0.0,
+        domain_weights: vec![(DomainKind::StoreLocator, 1.0)],
+        ..WebConfig::default()
+    });
+    let t = &w.truth.sites[0];
+    let url = Url::new(t.host.clone(), "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let input = form.fillable_inputs().into_iter().find(|i| i.is_text()).unwrap().clone();
+    let lib = TypedValueLibrary::standard(deepweb_common::DEFAULT_SEED);
+    c.bench_function("e04_classify_typed", |b| {
+        b.iter(|| {
+            let prober = Prober::new(&w.server);
+            black_box(classify_typed(&prober, &form, &input, &lib, 8))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E5 bench: regenerates the keyword-selection table, then times one
+//! iterative probing run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::text::DfTable;
+use deepweb_common::Url;
+use deepweb_core::experiments::e05_probing;
+use deepweb_html::Document;
+use deepweb_surfacer::{analyze_page, iterative_probing, KeywordConfig, Prober};
+use deepweb_webworld::{generate, DomainKind, Fetcher, InputTruth, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e05_probing::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig {
+        num_sites: 8,
+        post_fraction: 0.0,
+        domain_weights: vec![(DomainKind::Government, 1.0)],
+        ..WebConfig::default()
+    });
+    let t = &w.truth.sites[0];
+    let input = t
+        .inputs
+        .iter()
+        .find(|(_, tr)| matches!(tr, InputTruth::Search))
+        .map(|(n, _)| n.clone())
+        .unwrap();
+    let url = Url::new(t.host.clone(), "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let home = w.server.fetch(&Url::new(t.host.clone(), "/")).unwrap().html;
+    let site_text = Document::parse(&home).text();
+    let mut background = DfTable::new();
+    background.add_document(&site_text);
+    let cfg = KeywordConfig { probe_budget: 30, iterations: 1, ..Default::default() };
+    c.bench_function("e05_iterative_probing", |b| {
+        b.iter(|| {
+            let prober = Prober::new(&w.server);
+            black_box(iterative_probing(
+                &prober, &form, &input, &[], &site_text, &background, &cfg,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

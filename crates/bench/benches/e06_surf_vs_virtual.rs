@@ -1,0 +1,33 @@
+//! E6 bench: regenerates the comparison table, then times one query through
+//! each engine (surfacing serve vs virtual-integration live answer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e06_surf_vs_virtual;
+use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_vertical::{register_sources, VerticalEngine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e06_surf_vs_virtual::run(BENCH_SCALE);
+    print_tables(&tables);
+    let mut cfg = quick_config(10);
+    cfg.web.post_fraction = 0.0;
+    let sys = DeepWebSystem::build(&cfg);
+    let hosts: Vec<String> = sys.world.truth.sites.iter().map(|t| t.host.clone()).collect();
+    let registry = register_sources(&sys.world.server, &hosts);
+    let engine = VerticalEngine::new(&sys.world.server, registry);
+    c.bench_function("e06_surfacing_serve", |b| {
+        b.iter(|| black_box(sys.search("used honda civic", 10)))
+    });
+    c.bench_function("e06_vertical_answer", |b| {
+        b.iter(|| black_box(engine.answer("used honda civic", 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

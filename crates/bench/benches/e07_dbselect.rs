@@ -1,0 +1,43 @@
+//! E7 bench: regenerates the database-selection table, then times detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::Url;
+use deepweb_core::experiments::e07_dbselect;
+use deepweb_surfacer::correlate::detect_database_selection;
+use deepweb_surfacer::{analyze_page, Prober};
+use deepweb_webworld::{generate, DomainKind, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e07_dbselect::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig {
+        num_sites: 4,
+        post_fraction: 0.0,
+        min_records: 200,
+        domain_weights: vec![(DomainKind::MediaSearch, 1.0)],
+        ..WebConfig::default()
+    });
+    let t = &w.truth.sites[0];
+    let url = Url::new(t.host.clone(), "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let words: Vec<String> = ["noir", "western", "compiler", "firewall", "arcade", "sonata"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    c.bench_function("e07_detect_dbselection", |b| {
+        b.iter(|| {
+            let prober = Prober::new(&w.server);
+            black_box(detect_database_selection(&prober, &form, "category", "q", &words, 4))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

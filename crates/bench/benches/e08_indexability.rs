@@ -1,0 +1,45 @@
+//! E8 bench: regenerates the indexability table, then times template
+//! selection over prebuilt evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::Url;
+use deepweb_core::experiments::e08_indexability;
+use deepweb_surfacer::{
+    analyze_page, search_templates, select_templates, IndexabilityConfig, Prober, Slot,
+    TemplateConfig,
+};
+use deepweb_webworld::{generate, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e08_indexability::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig { num_sites: 1, post_fraction: 0.0, ..WebConfig::default() });
+    let t = &w.truth.sites[0];
+    let url = Url::new(t.host.clone(), "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let slots: Vec<Slot> = form
+        .fillable_inputs()
+        .iter()
+        .filter(|i| !i.options().is_empty())
+        .map(|i| Slot::Single {
+            input: i.name.clone(),
+            values: i.options().iter().map(|s| s.to_string()).collect(),
+        })
+        .collect();
+    let prober = Prober::new(&w.server);
+    let evals = search_templates(&prober, &form, &slots, &TemplateConfig::default());
+    let cfg = IndexabilityConfig::default();
+    c.bench_function("e08_select_templates", |b| {
+        b.iter(|| black_box(select_templates(&evals, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E9 bench: regenerates the coverage-estimation table, then times one
+//! capture/recapture estimation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::{derive_rng, Url};
+use deepweb_core::experiments::e09_coverage;
+use deepweb_coverage::estimate_size;
+use deepweb_surfacer::{analyze_page, Prober, Slot};
+use deepweb_webworld::{generate, Fetcher, WebConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e09_coverage::run(BENCH_SCALE);
+    print_tables(&tables);
+    let w = generate(&WebConfig { num_sites: 4, post_fraction: 0.0, ..WebConfig::default() });
+    let t = &w.truth.sites[0];
+    let url = Url::new(t.host.clone(), "/search");
+    let html = w.server.fetch(&url).unwrap().html;
+    let form = analyze_page(&url, &html).remove(0);
+    let slots: Vec<Slot> = form
+        .fillable_inputs()
+        .iter()
+        .filter(|i| !i.options().is_empty())
+        .map(|i| Slot::Single {
+            input: i.name.clone(),
+            values: i.options().iter().map(|s| s.to_string()).collect(),
+        })
+        .collect();
+    c.bench_function("e09_estimate_size", |b| {
+        b.iter(|| {
+            let prober = Prober::new(&w.server);
+            let mut rng = derive_rng(9, "bench-e09");
+            black_box(estimate_size(&prober, &form, &slots, 15, &mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E11 bench: regenerates the annotation table, then times annotation-aware
+//! vs plain scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e11_annotations;
+use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_index::SearchOptions;
+use deepweb_webworld::DomainKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e11_annotations::run(BENCH_SCALE);
+    print_tables(&tables);
+    let mut cfg = quick_config(8);
+    cfg.web.post_fraction = 0.0;
+    cfg.web.domain_weights = vec![(DomainKind::UsedCars, 1.0)];
+    let sys = DeepWebSystem::build(&cfg);
+    let plain = SearchOptions { use_annotations: false, ..Default::default() };
+    let ann = SearchOptions { use_annotations: true, ..Default::default() };
+    c.bench_function("e11_plain_bm25", |b| {
+        b.iter(|| black_box(sys.search_with("used ford focus 1993", 10, plain)))
+    });
+    c.bench_function("e11_annotation_aware", |b| {
+        b.iter(|| black_box(sys.search_with("used ford focus 1993", 10, ann)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

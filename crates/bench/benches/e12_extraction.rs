@@ -1,0 +1,40 @@
+//! E12 bench: regenerates the extraction table, then times form-aware and
+//! generic extraction over the same surfaced pages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e12_extraction;
+use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_extract::{extract_form_aware, extract_generic};
+use deepweb_surfacer::DocOrigin;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e12_extraction::run(BENCH_SCALE);
+    print_tables(&tables);
+    let mut cfg = quick_config(6);
+    cfg.web.post_fraction = 0.0;
+    let sys = DeepWebSystem::build(&cfg);
+    let pages: Vec<(String, Vec<(String, String)>)> = sys
+        .outcome
+        .docs_of(DocOrigin::Surfaced)
+        .map(|d| (d.html.clone(), d.annotations.clone()))
+        .collect();
+    c.bench_function("e12_form_aware", |b| b.iter(|| black_box(extract_form_aware(&pages))));
+    c.bench_function("e12_generic", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for (html, _) in &pages {
+                out.extend(extract_generic(html));
+            }
+            black_box(out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E13 bench: regenerates the scenario tables, then times the fortuitous
+//! query end-to-end through the index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_core::experiments::e13_scenarios;
+use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_webworld::DomainKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (tables, _) = e13_scenarios::run(BENCH_SCALE);
+    print_tables(&tables);
+    let mut cfg = quick_config(10);
+    cfg.web.domain_weights.push((DomainKind::Faculty, 3.0));
+    let sys = DeepWebSystem::build(&cfg);
+    c.bench_function("e13_fortuitous_query", |b| {
+        b.iter(|| black_box(sys.search("sigmod innovations award mit professor", 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

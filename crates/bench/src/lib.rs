@@ -1,0 +1,20 @@
+//! # deepweb-bench
+//!
+//! Criterion benches (one per experiment, `benches/eNN_*.rs`) and the
+//! `report` binary that regenerates every experiment table at paper scale.
+//! Each bench first prints its experiment's table (regenerating the paper's
+//! series at smoke scale), then times the experiment's hot kernel.
+
+#![warn(missing_docs)]
+
+use deepweb_core::experiments::Scale;
+
+/// The scale benches run their table-regeneration pass at.
+pub const BENCH_SCALE: Scale = Scale::Smoke;
+
+/// Print experiment tables to stdout (shared by all benches).
+pub fn print_tables(tables: &[deepweb_core::TextTable]) {
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

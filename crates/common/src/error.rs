@@ -1,0 +1,56 @@
+//! Workspace error type.
+//!
+//! The simulator is in-process, so most "errors" are domain outcomes
+//! (HTTP 404, malformed form) rather than I/O failures; they are still typed
+//! so that pipelines can distinguish "site said no" from "caller bug".
+
+use std::fmt;
+
+/// Errors shared across the workspace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// A URL failed to parse or referenced an unknown host/path.
+    BadUrl(String),
+    /// The simulated server returned an error status for a request.
+    Http {
+        /// HTTP-like status code (404, 500, ...).
+        status: u16,
+        /// The requested URL.
+        url: String,
+    },
+    /// A form submission was invalid (unknown input, bad value).
+    BadSubmission(String),
+    /// A schema/type mismatch inside the store.
+    Schema(String),
+    /// A component was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadUrl(u) => write!(f, "bad url: {u}"),
+            Error::Http { status, url } => write!(f, "http {status} for {url}"),
+            Error::BadSubmission(m) => write!(f, "bad form submission: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = Error::Http { status: 404, url: "http://x.sim/p".into() };
+        assert!(e.to_string().contains("404"));
+        assert!(Error::BadUrl("x".into()).to_string().contains("bad url"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # deepweb-common
+//!
+//! Shared substrate for the `deepweb` workspace: fast hashing, deterministic
+//! RNG streams, Zipf sampling, tokenisation, string interning, typed ids,
+//! experiment statistics and URL encoding.
+//!
+//! Everything here is dependency-light and allocation-conscious; see
+//! `DESIGN.md` §3 for where each module is consumed.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod intern;
+pub mod rng;
+pub mod stats;
+pub mod text;
+pub mod urlcodec;
+pub mod zipf;
+
+pub use error::{Error, Result};
+pub use fxhash::{fxhash64, FxHashMap, FxHashSet};
+pub use ids::{DocId, FormId, QueryId, RecordId, SiteId};
+pub use intern::{Interner, Sym};
+pub use rng::{derive_rng, derive_rng_n, rng_from_seed, DEFAULT_SEED};
+pub use urlcodec::Url;
+pub use zipf::Zipf;

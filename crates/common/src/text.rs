@@ -1,0 +1,206 @@
+//! Tokenisation and lightweight text analysis shared by the site renderer,
+//! the search index and the surfacer's probing logic.
+//!
+//! The tokenizer is deliberately simple — lowercase alphanumeric runs — since
+//! the synthetic web emits ASCII tokens tagged with language codes (see
+//! DESIGN.md §7). What matters is that *both* sides of the pipeline (page
+//! rendering and page analysis) agree on token boundaries.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+
+/// English-ish stopwords that the keyword selectors must not propose as form
+/// probes and that the index down-weights.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in",
+    "is", "it", "its", "of", "on", "or", "that", "the", "to", "was", "were",
+    "will", "with", "you", "your", "all", "any", "per", "page", "results",
+    "result", "search", "next", "prev", "home",
+];
+
+/// Returns true if `t` is a stopword.
+pub fn is_stopword(t: &str) -> bool {
+    STOPWORDS.contains(&t)
+}
+
+/// Iterate over lowercase alphanumeric tokens of `text`.
+///
+/// Hyphens and underscores split tokens; digits are kept (prices, years and
+/// zip codes are first-class tokens in deep-web pages).
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_ascii_lowercase())
+}
+
+/// Tokenize into a vector (convenience for tests and small strings).
+pub fn tokens(text: &str) -> Vec<String> {
+    tokenize(text).collect()
+}
+
+/// Term frequency map of `text`.
+pub fn term_frequencies(text: &str) -> FxHashMap<String, u32> {
+    let mut tf = FxHashMap::default();
+    for t in tokenize(text) {
+        *tf.entry(t).or_insert(0) += 1;
+    }
+    tf
+}
+
+/// Distinct non-stopword terms of `text`.
+pub fn distinct_terms(text: &str) -> FxHashSet<String> {
+    tokenize(text).filter(|t| !is_stopword(t)).collect()
+}
+
+/// Incrementally built document-frequency table over a corpus.
+///
+/// Used for two things: (1) the index's IDF weights, (2) the surfacer's
+/// "most characteristic terms of a site" seed selection, which scores a
+/// site's terms by TF·IDF against the web-wide background.
+#[derive(Default, Clone, Debug)]
+pub struct DfTable {
+    docs: u64,
+    df: FxHashMap<String, u32>,
+}
+
+impl DfTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document's distinct terms.
+    pub fn add_document(&mut self, text: &str) {
+        self.docs += 1;
+        for t in distinct_terms(text) {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents added.
+    pub fn num_docs(&self) -> u64 {
+        self.docs
+    }
+
+    /// Document frequency of `term`.
+    pub fn df(&self, term: &str) -> u32 {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency of `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.docs as f64;
+        let df = self.df(term) as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Top-`k` terms of `text` ranked by TF·IDF against this background.
+    pub fn characteristic_terms(&self, text: &str, k: usize) -> Vec<String> {
+        let tf = term_frequencies(text);
+        let mut scored: Vec<(f64, String)> = tf
+            .into_iter()
+            .filter(|(t, _)| !is_stopword(t) && t.len() > 1)
+            .map(|(t, f)| ((f as f64).ln_1p() * self.idf(&t), t))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, t)| t).collect()
+    }
+}
+
+/// Jaccard similarity of two term sets.
+pub fn jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Edit distance (Levenshtein) — used by schema matching for near-identical
+/// attribute names ("zip_code" vs "zipcode").
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokens("Used Ford-Focus 1993!"), vec!["used", "ford", "focus", "1993"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_digits() {
+        assert_eq!(tokens("zip 94043, price $1,500"), vec!["zip", "94043", "price", "1", "500"]);
+    }
+
+    #[test]
+    fn empty_text_no_tokens() {
+        assert!(tokens(" .,!").is_empty());
+    }
+
+    #[test]
+    fn tf_counts() {
+        let tf = term_frequencies("honda civic honda");
+        assert_eq!(tf["honda"], 2);
+        assert_eq!(tf["civic"], 1);
+    }
+
+    #[test]
+    fn df_idf_orders_rare_terms_higher() {
+        let mut df = DfTable::new();
+        df.add_document("the cars are red");
+        df.add_document("the cars are blue");
+        df.add_document("a rare sigmod award");
+        assert!(df.idf("sigmod") > df.idf("cars"));
+        assert_eq!(df.num_docs(), 3);
+    }
+
+    #[test]
+    fn characteristic_terms_prefers_site_specific() {
+        let mut df = DfTable::new();
+        for _ in 0..50 {
+            df.add_document("generic page about the weather and news");
+        }
+        df.add_document("biographies of csail professors stonebraker");
+        let top = df.characteristic_terms("biographies of csail professors stonebraker", 3);
+        assert!(top.contains(&"csail".to_string()) || top.contains(&"stonebraker".to_string()));
+        assert!(!top.contains(&"the".to_string()));
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let a: FxHashSet<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let b: FxHashSet<String> = ["y", "z"].iter().map(|s| s.to_string()).collect();
+        let j = jaccard(&a, &b);
+        assert!(j > 0.32 && j < 0.34);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("zipcode", "zip_code"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! URL parsing, building and query-string encoding.
+//!
+//! Surfacing is literally "pre-compute URLs", so URLs are a core data type:
+//! the surfacer builds them from form submissions, the simulated server parses
+//! them back, and the index uses them as document keys. Encoding must
+//! round-trip exactly or coverage accounting breaks.
+
+use std::fmt;
+
+/// Percent-encode a query component (RFC 3986 unreserved kept literal,
+/// space as `+` per form-urlencoding).
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => {
+                out.push('%');
+                out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
+                out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+            }
+        }
+    }
+    out
+}
+
+/// Decode a form-urlencoded component. Invalid escapes are passed through
+/// literally (crawler robustness beats strictness).
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() - 1 + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A parsed simulator URL: `http://<host><path>?<k=v&...>`.
+///
+/// Ordered key/value pairs — order matters for URL identity, matching how a
+/// real crawler deduplicates by URL string.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Url {
+    /// Host name, e.g. `usedcars-042.sim`.
+    pub host: String,
+    /// Path beginning with `/`.
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+}
+
+impl Url {
+    /// Build a URL from parts.
+    pub fn new(host: impl Into<String>, path: impl Into<String>) -> Self {
+        let mut path = path.into();
+        if !path.starts_with('/') {
+            path.insert(0, '/');
+        }
+        Url { host: host.into(), path, params: Vec::new() }
+    }
+
+    /// Append a query parameter.
+    pub fn with_param(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.params.push((k.into(), v.into()));
+        self
+    }
+
+    /// Value of the first parameter named `k`.
+    pub fn param(&self, k: &str) -> Option<&str> {
+        self.params.iter().find(|(pk, _)| pk == k).map(|(_, v)| v.as_str())
+    }
+
+    /// Parse from string form. Returns `None` for anything that is not an
+    /// `http://host/path[?query]` URL.
+    pub fn parse(s: &str) -> Option<Url> {
+        let rest = s.strip_prefix("http://")?;
+        let (host_path, query) = match rest.split_once('?') {
+            Some((hp, q)) => (hp, Some(q)),
+            None => (rest, None),
+        };
+        let (host, path) = match host_path.split_once('/') {
+            Some((h, p)) => (h, format!("/{p}")),
+            None => (host_path, "/".to_string()),
+        };
+        if host.is_empty() {
+            return None;
+        }
+        let mut params = Vec::new();
+        if let Some(q) = query {
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                params.push((decode_component(k), decode_component(v)));
+            }
+        }
+        Some(Url { host: host.to_string(), path, params })
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http://{}{}", self.host, self.path)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            write!(
+                f,
+                "{}{}={}",
+                if i == 0 { '?' } else { '&' },
+                encode_component(k),
+                encode_component(v)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_basic() {
+        for s in ["honda civic", "a&b=c", "100%", "zip 94043", "~tilde._-"] {
+            assert_eq!(decode_component(&encode_component(s)), s);
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_bad_escapes() {
+        assert_eq!(decode_component("100%zz"), "100%zz");
+        assert_eq!(decode_component("%"), "%");
+        assert_eq!(decode_component("%4"), "%4");
+    }
+
+    #[test]
+    fn url_display_and_parse_roundtrip() {
+        let u = Url::new("cars-01.sim", "/search")
+            .with_param("make", "ford")
+            .with_param("min price", "1000");
+        let s = u.to_string();
+        assert_eq!(s, "http://cars-01.sim/search?make=ford&min+price=1000");
+        let back = Url::parse(&s).unwrap();
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn parse_without_query_or_path() {
+        let u = Url::parse("http://x.sim").unwrap();
+        assert_eq!(u.path, "/");
+        assert!(u.params.is_empty());
+        assert!(Url::parse("ftp://x").is_none());
+        assert!(Url::parse("http://").is_none());
+    }
+
+    #[test]
+    fn param_lookup_first_wins() {
+        let u = Url::parse("http://h.sim/p?a=1&a=2&b=3").unwrap();
+        assert_eq!(u.param("a"), Some("1"));
+        assert_eq!(u.param("b"), Some("3"));
+        assert_eq!(u.param("c"), None);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn component_roundtrip(s in "\\PC{0,40}") {
+            prop_assert_eq!(decode_component(&encode_component(&s)), s);
+        }
+
+        #[test]
+        fn url_roundtrip(
+            host in "[a-z]{1,10}\\.sim",
+            path in "/[a-z0-9/]{0,15}",
+            params in prop::collection::vec(("[a-z_]{1,8}", "[ -~]{0,12}"), 0..5),
+        ) {
+            let mut u = Url::new(host, path);
+            for (k, v) in params {
+                u = u.with_param(k, v);
+            }
+            let parsed = Url::parse(&u.to_string());
+            prop_assert_eq!(parsed, Some(u));
+        }
+
+        #[test]
+        fn parse_never_panics(s in "\\PC{0,60}") {
+            let _ = Url::parse(&s);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! E4 — typed text inputs (paper §4.1): ~6.7% of forms carry common-typed
+//! inputs (zip/city/price/date); they can be recognised with high accuracy;
+//! and typed values beat generic keywords on coverage for such inputs.
+
+use super::Scale;
+use crate::report::{pct, TextTable};
+use deepweb_common::stats::PrecisionRecall;
+use deepweb_common::{FxHashSet, Url};
+use deepweb_store::ValueType;
+use deepweb_surfacer::{analyze_page, classify_typed, Prober, TypeClass, TypedValueLibrary};
+use deepweb_webworld::{generate, Fetcher, InputTruth, WebConfig};
+
+fn truth_class(name: &str, ty: ValueType) -> Option<TypeClass> {
+    match ty {
+        ValueType::Zip => Some(TypeClass::Zip),
+        ValueType::Money => Some(TypeClass::Price),
+        ValueType::Date => Some(TypeClass::DateT),
+        ValueType::Int => Some(TypeClass::Year),
+        ValueType::Text => {
+            matches!(name, "city" | "town" | "location").then_some(TypeClass::City)
+        }
+    }
+}
+
+/// Key numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct TypedResult {
+    /// Classifier precision over typed text inputs.
+    pub precision: f64,
+    /// Classifier recall.
+    pub recall: f64,
+    /// Fraction of forms with a common-typed text input (paper: 6.7%).
+    pub typed_form_fraction: f64,
+    /// Zip coverage with typed values on the probed locator site.
+    pub typed_coverage: f64,
+    /// Zip coverage with generic keywords on the same site.
+    pub keyword_coverage: f64,
+}
+
+/// Run E4. The web uses the default domain mix; the measured typed-form
+/// fraction is reported next to the paper's 6.7% (shape: a small minority).
+pub fn run(scale: Scale) -> (Vec<TextTable>, TypedResult) {
+    let w = generate(&WebConfig {
+        num_sites: scale.pick(30, 120),
+        post_fraction: 0.0,
+        // Weight the mix toward keyword-only domains so common-typed forms
+        // are a small minority, matching the paper's web-wide statistic.
+        domain_weights: vec![
+            (deepweb_webworld::DomainKind::Government, 4.0),
+            (deepweb_webworld::DomainKind::Library, 3.0),
+            (deepweb_webworld::DomainKind::MediaSearch, 2.0),
+            (deepweb_webworld::DomainKind::Faculty, 2.0),
+            (deepweb_webworld::DomainKind::UsedCars, 0.6),
+            (deepweb_webworld::DomainKind::RealEstate, 0.5),
+            (deepweb_webworld::DomainKind::Restaurants, 0.4),
+            (deepweb_webworld::DomainKind::StoreLocator, 0.5),
+            (deepweb_webworld::DomainKind::Jobs, 0.5),
+        ],
+        ..WebConfig::default()
+    });
+    let lib = TypedValueLibrary::standard(deepweb_common::DEFAULT_SEED);
+
+    let mut pr = PrecisionRecall::default();
+    let mut per_class: Vec<(TypeClass, usize, usize)> = TypeClass::all()
+        .iter()
+        .map(|&c| (c, 0usize, 0usize)) // (class, correct, total truth)
+        .collect();
+    let mut typed_forms = 0usize;
+    let mut forms = 0usize;
+    let mut locator: Option<(String, String)> = None;
+    for t in &w.truth.sites {
+        forms += 1;
+        if t.has_common_typed_input() {
+            typed_forms += 1;
+        }
+        let url = Url::new(t.host.clone(), "/search");
+        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let form = analyze_page(&url, &resp.html).remove(0);
+        let prober = Prober::new(&w.server);
+        for (name, truth) in &t.inputs {
+            let InputTruth::Typed(ty) = truth else { continue };
+            let Some(expected) = truth_class(name, *ty) else { continue };
+            let Some(input) = form.input(name) else { continue };
+            if locator.is_none() && expected == TypeClass::Zip {
+                locator = Some((t.host.clone(), name.clone()));
+            }
+            for e in per_class.iter_mut() {
+                if e.0 == expected {
+                    e.2 += 1;
+                }
+            }
+            match classify_typed(&prober, &form, input, &lib, 25) {
+                Some(v) if v.class == expected => {
+                    pr.tp += 1;
+                    for e in per_class.iter_mut() {
+                        if e.0 == expected {
+                            e.1 += 1;
+                        }
+                    }
+                }
+                Some(_) => pr.fp += 1,
+                None => pr.fn_ += 1,
+            }
+        }
+    }
+
+    // Coverage comparison on a zip input: typed values vs generic keywords.
+    let (mut typed_cov, mut kw_cov) = (0.0, 0.0);
+    if let Some((host, input_name)) = locator {
+        let records = w.truth.sites.iter().find(|t| t.host == host).map(|t| t.records).unwrap_or(1);
+        let url = Url::new(host, "/search");
+        let html = w.server.fetch(&url).expect("search page").html;
+        let form = analyze_page(&url, &html).remove(0);
+        let prober = Prober::new(&w.server);
+        let mut covered: FxHashSet<u32> = FxHashSet::default();
+        for z in lib.sample(TypeClass::Zip, 60) {
+            let out = prober.submit(&form, &[(input_name.clone(), z)]);
+            covered.extend(out.record_ids.iter().copied());
+        }
+        typed_cov = covered.len() as f64 / records as f64;
+        let mut covered_kw: FxHashSet<u32> = FxHashSet::default();
+        for kw in ["store", "street", "main", "city", "open", "hours"] {
+            let out = prober.submit(&form, &[(input_name.clone(), kw.to_string())]);
+            covered_kw.extend(out.record_ids.iter().copied());
+        }
+        kw_cov = covered_kw.len() as f64 / records as f64;
+    }
+
+    let mut t1 = TextTable::new(
+        "E4a: typed-input recognition (paper: high accuracy; 6.7% of forms have common types)",
+        &["metric", "value"],
+    );
+    t1.row(&["forms".into(), forms.to_string()]);
+    t1.row(&[
+        "forms with common-typed text input".into(),
+        format!("{} ({})", typed_forms, pct(typed_forms as f64 / forms.max(1) as f64)),
+    ]);
+    t1.row(&["classifier precision".into(), pct(pr.precision())]);
+    t1.row(&["classifier recall".into(), pct(pr.recall())]);
+
+    let mut t2 = TextTable::new("E4b: recognition by type class", &["class", "correct", "truth total"]);
+    for (c, correct, total) in &per_class {
+        if *total > 0 {
+            t2.row(&[c.name().to_string(), correct.to_string(), total.to_string()]);
+        }
+    }
+
+    let mut t3 = TextTable::new(
+        "E4c: coverage of a zip-typed input (paper: typed values unlock content keywords cannot)",
+        &["value source", "coverage of site records"],
+    );
+    t3.row(&["typed zip dictionary".into(), pct(typed_cov)]);
+    t3.row(&["generic keywords".into(), pct(kw_cov)]);
+
+    let result = TypedResult {
+        precision: pr.precision(),
+        recall: pr.recall(),
+        typed_form_fraction: typed_forms as f64 / forms.max(1) as f64,
+        typed_coverage: typed_cov,
+        keyword_coverage: kw_cov,
+    };
+    (vec![t1, t2, t3], result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognition_accurate_and_typed_values_win() {
+        let (_, r) = run(Scale::Smoke);
+        assert!(r.precision > 0.85, "precision {}", r.precision);
+        assert!(r.recall > 0.7, "recall {}", r.recall);
+        // Small minority of forms (paper: 6.7%); we accept a loose band.
+        assert!(r.typed_form_fraction < 0.45, "fraction {}", r.typed_form_fraction);
+        // Typed values must beat generic keywords on a zip input.
+        assert!(r.typed_coverage > r.keyword_coverage);
+        assert!(r.typed_coverage > 0.1, "typed coverage {}", r.typed_coverage);
+    }
+}

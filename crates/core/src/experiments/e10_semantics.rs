@@ -1,0 +1,161 @@
+//! E10 — semantic services over aggregate structured data (paper §6):
+//! synonyms, attribute values, entity properties and schema auto-complete,
+//! scored against the generator's planted synonym pools and schema
+//! templates.
+
+use super::Scale;
+use crate::report::{pct, TextTable};
+use deepweb_tables::SemanticServer;
+use deepweb_webworld::surface::attribute_synonym_pools;
+use deepweb_webworld::{generate, WebConfig};
+
+/// Key numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct SemanticsResult {
+    /// Synonym service precision@3.
+    pub synonym_precision: f64,
+    /// Synonym service recall (planted synonyms recovered in top-3).
+    pub synonym_recall: f64,
+    /// Auto-complete hit rate (held-out template attribute suggested top-5).
+    pub autocomplete_hit_rate: f64,
+    /// Values service accuracy (are returned make-values real makes).
+    pub values_accuracy: f64,
+    /// Entity service: fraction of probed entities with ≥1 sensible property.
+    pub entity_hit_rate: f64,
+}
+
+/// Run E10.
+pub fn run(scale: Scale) -> (Vec<TextTable>, SemanticsResult) {
+    let w = generate(&WebConfig {
+        num_sites: scale.pick(20, 60),
+        table_hosts: scale.pick(12, 40),
+        ..WebConfig::default()
+    });
+    let mut srv = SemanticServer::new();
+    let mut hosts = w.truth.table_hosts.clone();
+    hosts.extend(w.truth.sites.iter().map(|t| t.host.clone()));
+    srv.harvest(&w.server, &hosts);
+
+    // Synonyms: for each pool with ≥2 variants present in the ACSDb, ask for
+    // synonyms of the first variant; count planted variants found.
+    let pools = attribute_synonym_pools();
+    let mut syn_tp = 0usize;
+    let mut syn_fp = 0usize;
+    let mut syn_fn = 0usize;
+    for pool in &pools {
+        let present: Vec<&str> = pool
+            .iter()
+            .copied()
+            .filter(|a| srv.db().attr_count(a) > 0)
+            .collect();
+        if present.len() < 2 {
+            continue;
+        }
+        let probe = present[0];
+        let expected: Vec<&str> = present[1..].to_vec();
+        let got = srv.synonyms(probe, 3);
+        for (g, _) in &got {
+            if expected.contains(&g.as_str()) {
+                syn_tp += 1;
+            } else {
+                // Penalise only when the answer is a *different pool's*
+                // attribute (cross-pool confusion); unknown attrs from forms
+                // are noise, not errors.
+                if pools.iter().any(|p| p.contains(&g.as_str())) {
+                    syn_fp += 1;
+                }
+            }
+        }
+        syn_fn += expected
+            .iter()
+            .filter(|e| !got.iter().any(|(g, _)| g == *e))
+            .count();
+    }
+    let syn_precision =
+        if syn_tp + syn_fp == 0 { 1.0 } else { syn_tp as f64 / (syn_tp + syn_fp) as f64 };
+    let syn_recall =
+        if syn_tp + syn_fn == 0 { 1.0 } else { syn_tp as f64 / (syn_tp + syn_fn) as f64 };
+
+    // Auto-complete: seed with "make", expect car attrs in top-5; seed with
+    // "title", expect book/job attrs; etc.
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("make", vec!["model", "car model", "price", "cost", "asking price", "year", "model year", "mileage", "miles", "odometer"]),
+        ("title", vec!["author", "writer", "genre", "category", "salary", "pay", "compensation", "cuisine", "food type", "city", "town", "location", "name"]),
+        ("city", vec!["zip", "zipcode", "postal code", "price", "cost", "asking price", "title", "name", "bedrooms", "beds"]),
+    ];
+    let mut ac_hits = 0usize;
+    let mut ac_total = 0usize;
+    for (seed, expected) in &cases {
+        if srv.db().attr_count(seed) == 0 {
+            continue;
+        }
+        ac_total += 1;
+        let sugg = srv.autocomplete(&[seed], 5);
+        if sugg.iter().any(|(a, _)| expected.contains(&a.as_str())) {
+            ac_hits += 1;
+        }
+    }
+    let ac_rate = if ac_total == 0 { 0.0 } else { ac_hits as f64 / ac_total as f64 };
+
+    // Values: returned make values should be real makes.
+    let real_makes: Vec<String> = deepweb_webworld::vocab::car_makes()
+        .into_iter()
+        .map(|(m, _)| m.to_string())
+        .collect();
+    let vals = srv.values_for("make", 10);
+    let values_accuracy = if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().filter(|v| real_makes.contains(v)).count() as f64 / vals.len() as f64
+    };
+
+    // Entity properties: probing a few makes should surface car attributes.
+    let mut ent_hits = 0usize;
+    let probes = ["honda", "ford", "toyota"];
+    for e in probes {
+        let props = srv.properties_of(e, 6);
+        if props.iter().any(|p| {
+            ["model", "car model", "price", "cost", "year", "model year", "mileage", "miles", "odometer", "make", "manufacturer", "brand", "asking price"]
+                .contains(&p.as_str())
+        }) {
+            ent_hits += 1;
+        }
+    }
+    let entity_hit_rate = ent_hits as f64 / probes.len() as f64;
+
+    let mut t = TextTable::new(
+        "E10: semantic services over harvested schemas (paper §6)",
+        &["service", "metric", "value"],
+    );
+    t.row(&["synonyms".into(), "precision@3 (cross-pool)".into(), pct(syn_precision)]);
+    t.row(&["synonyms".into(), "recall of planted synonyms".into(), pct(syn_recall)]);
+    t.row(&["schema auto-complete".into(), "seed→expected in top-5".into(), pct(ac_rate)]);
+    t.row(&["attribute values".into(), "make values that are real makes".into(), pct(values_accuracy)]);
+    t.row(&["entity properties".into(), "entities with sensible property".into(), pct(entity_hit_rate)]);
+    t.row(&["(harvest)".into(), "schemas in ACSDb".into(), srv.db().total_schemas().to_string()]);
+    t.row(&["(harvest)".into(), "distinct attributes".into(), srv.db().num_attributes().to_string()]);
+
+    let result = SemanticsResult {
+        synonym_precision: syn_precision,
+        synonym_recall: syn_recall,
+        autocomplete_hit_rate: ac_rate,
+        values_accuracy,
+        entity_hit_rate,
+    };
+    (vec![t], result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn services_work_on_harvested_corpus() {
+        let (_, r) = run(Scale::Smoke);
+        assert!(r.synonym_precision > 0.6, "syn precision {}", r.synonym_precision);
+        assert!(r.synonym_recall > 0.3, "syn recall {}", r.synonym_recall);
+        assert!(r.autocomplete_hit_rate > 0.5, "autocomplete {}", r.autocomplete_hit_rate);
+        assert!(r.values_accuracy > 0.7, "values {}", r.values_accuracy);
+        assert!(r.entity_hit_rate > 0.5, "entity {}", r.entity_hit_rate);
+    }
+}

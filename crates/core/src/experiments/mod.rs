@@ -1,0 +1,37 @@
+//! Experiment drivers, one per paper claim (DESIGN.md §5). Each returns
+//! [`crate::report::TextTable`]s so the `report` binary, the benches and the
+//! integration tests share one implementation.
+
+pub mod e01_longtail;
+pub mod e02_urlgen;
+pub mod e03_ranges;
+pub mod e04_typed;
+pub mod e05_probing;
+pub mod e06_surf_vs_virtual;
+pub mod e07_dbselect;
+pub mod e08_indexability;
+pub mod e09_coverage;
+pub mod e10_semantics;
+pub mod e11_annotations;
+pub mod e12_extraction;
+pub mod e13_scenarios;
+
+/// Experiment scale: `Smoke` for unit/integration tests, `Paper` for the
+/// report binary and benches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Seconds-fast, tiny web.
+    Smoke,
+    /// The real run (still laptop-scale).
+    Paper,
+}
+
+impl Scale {
+    /// Scale a count: smoke gets the small value, paper the large one.
+    pub fn pick(self, smoke: usize, paper: usize) -> usize {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Paper => paper,
+        }
+    }
+}

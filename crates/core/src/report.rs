@@ -1,0 +1,116 @@
+//! Plain-text tables for experiment output (EXPERIMENTS.md source material).
+
+use std::fmt::Write as _;
+
+/// A padded text table with a title.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    /// Title shown above the table.
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable values.
+    pub fn rowd<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell access for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(Vec::len).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", c, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 1), "22");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

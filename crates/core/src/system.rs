@@ -1,0 +1,157 @@
+//! The end-to-end system: generate a web, surface it, index everything, and
+//! serve keyword queries — the full loop the paper's production system runs.
+
+use deepweb_common::{Url, DEFAULT_SEED};
+use deepweb_index::{search, Annotation, DocKind, Hit, SearchIndex, SearchOptions};
+use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
+use deepweb_webworld::{generate, WebConfig, World};
+
+/// Configuration of a full system build.
+#[derive(Clone, Debug, Default)]
+pub struct SystemConfig {
+    /// Web generation parameters.
+    pub web: WebConfig,
+    /// Surfacing parameters.
+    pub surfacer: SurfacerConfig,
+    /// Serve with annotation-aware scoring (paper §5.1).
+    pub use_annotations: bool,
+}
+
+/// A quick, test-sized configuration (small web, tight probe budgets).
+pub fn quick_config(num_sites: usize) -> SystemConfig {
+    SystemConfig {
+        web: WebConfig { num_sites, ..WebConfig::default() },
+        surfacer: SurfacerConfig {
+            keywords: deepweb_surfacer::KeywordConfig {
+                seeds: 6,
+                iterations: 1,
+                candidates_per_round: 6,
+                max_keywords: 8,
+                probe_budget: 40,
+            },
+            templates: deepweb_surfacer::TemplateConfig {
+                test_sample: 4,
+                probe_budget: 120,
+                ..Default::default()
+            },
+            indexability: deepweb_surfacer::IndexabilityConfig {
+                max_urls: 80,
+                ..Default::default()
+            },
+            max_values_per_input: 6,
+            samples_per_class: 5,
+            follow_pagination: 1,
+            follow_details: 5,
+            ..Default::default()
+        },
+        use_annotations: false,
+    }
+}
+
+/// The built system.
+pub struct DeepWebSystem {
+    /// The simulated web (server + ground truth).
+    pub world: World,
+    /// The search index with surfaced content inserted.
+    pub index: SearchIndex,
+    /// The surfacing outcome (docs + per-site reports).
+    pub outcome: SurfacingOutcome,
+    /// Total requests the offline phase issued (crawl + analysis +
+    /// surfacing) — the paper's "light load" accounting.
+    pub offline_requests: u64,
+    /// Scoring options used at serve time.
+    pub options: SearchOptions,
+}
+
+impl DeepWebSystem {
+    /// Build: generate → crawl+surface → index.
+    pub fn build(cfg: &SystemConfig) -> Self {
+        let world = generate(&cfg.web);
+        world.server.reset_counts();
+        let outcome =
+            crawl_and_surface(&world.server, &[Url::new("dir.sim", "/")], &cfg.surfacer);
+        let offline_requests = world.server.total_requests();
+        world.server.reset_counts();
+        let mut index = SearchIndex::new();
+        for doc in &outcome.docs {
+            let kind = match doc.origin {
+                DocOrigin::Surface => DocKind::Surface,
+                DocOrigin::Surfaced => DocKind::Surfaced,
+                DocOrigin::Discovered => DocKind::Discovered,
+            };
+            let site = world.server.site_by_host(&doc.host).map(|s| s.id);
+            let annotations = doc
+                .annotations
+                .iter()
+                .map(|(k, v)| Annotation {
+                    key: k.clone(),
+                    value: v.to_ascii_lowercase(),
+                })
+                .collect();
+            index.add(doc.url.clone(), doc.title.clone(), doc.text.clone(), kind, site, annotations);
+        }
+        // Form vocabulary observed by the crawler extends the facet value
+        // sets, so annotation conflicts are detectable even for values with
+        // no surfaced page of their own (paper §5.1).
+        for report in &outcome.reports {
+            for (key, values) in &report.facet_values {
+                index.add_facet_values(key, values.iter().cloned());
+            }
+        }
+        let options = SearchOptions {
+            use_annotations: cfg.use_annotations,
+            ..Default::default()
+        };
+        DeepWebSystem { world, index, outcome, offline_requests, options }
+    }
+
+    /// Serve a keyword query.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        search(&self.index, query, k, self.options)
+    }
+
+    /// Serve with explicit options (annotation ablations).
+    pub fn search_with(&self, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
+        search(&self.index, query, k, opts)
+    }
+}
+
+/// Default seed re-export for examples.
+pub const SEED: u64 = DEFAULT_SEED;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepweb_index::DocKind;
+
+    #[test]
+    fn build_and_serve() {
+        let sys = DeepWebSystem::build(&quick_config(8));
+        assert!(sys.index.len() > 10);
+        assert!(sys.offline_requests > 0);
+        // Deep-web docs are present.
+        let surfaced = sys
+            .index
+            .docs()
+            .iter()
+            .filter(|d| d.kind == DocKind::Surfaced)
+            .count();
+        assert!(surfaced > 0);
+        // A query over site content returns hits.
+        let site = &sys.world.server.sites()[0];
+        let toks = site.table.table().row_tokens(deepweb_common::RecordId(0));
+        if toks.len() >= 2 {
+            let q = format!("{} {}", toks[0], toks[1]);
+            let _ = sys.search(&q, 5);
+        }
+    }
+
+    #[test]
+    fn serve_time_site_load_is_zero() {
+        let sys = DeepWebSystem::build(&quick_config(6));
+        sys.world.server.reset_counts();
+        let _ = sys.search("honda civic", 10);
+        // Surfacing means queries never touch the sites.
+        assert_eq!(sys.world.server.total_requests(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Capture–recapture estimators for deep-web database size (paper §5.2):
+//! the "what portion of the site has been surfaced?" open problem, attacked
+//! with the standard ecology estimators over record samples drawn by
+//! independent probe batches.
+
+/// Lincoln–Petersen estimate of population size from two independent
+/// samples: `n1` marks, `n2` recaptures, `m` marked recaptures.
+/// Uses the Chapman bias-corrected form; returns `None` when `m == 0` and
+/// the samples do not overlap at all (estimate unbounded).
+pub fn lincoln_petersen(n1: usize, n2: usize, m: usize) -> Option<f64> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    // Chapman estimator is defined even for m = 0 but is then a weak lower
+    // bound; callers treat None as "need more probes".
+    if m == 0 {
+        return None;
+    }
+    let est = ((n1 + 1) as f64 * (n2 + 1) as f64) / (m + 1) as f64 - 1.0;
+    Some(est)
+}
+
+/// Chao1 richness estimate from abundance data: `observed` distinct records,
+/// `f1` seen exactly once, `f2` seen exactly twice.
+pub fn chao1(observed: usize, f1: usize, f2: usize) -> f64 {
+    if f1 == 0 {
+        return observed as f64;
+    }
+    if f2 == 0 {
+        // Bias-corrected form for f2 = 0.
+        return observed as f64 + (f1 * (f1 - 1)) as f64 / 2.0;
+    }
+    observed as f64 + (f1 * f1) as f64 / (2 * f2) as f64
+}
+
+/// A coverage statement in the paper's "with probability M%, more than N% of
+/// the site's content has been exposed" form, via a conservative normal
+/// approximation on the Chapman estimator's variance.
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageStatement {
+    /// Point estimate of coverage (surfaced / estimated total).
+    pub coverage: f64,
+    /// Lower confidence bound on coverage.
+    pub lower_bound: f64,
+    /// Confidence level used for the bound.
+    pub confidence: f64,
+}
+
+/// Build a coverage statement from two probe samples plus the surfaced count.
+pub fn coverage_statement(
+    surfaced: usize,
+    n1: usize,
+    n2: usize,
+    m: usize,
+    confidence: f64,
+) -> Option<CoverageStatement> {
+    let est = lincoln_petersen(n1, n2, m)?;
+    // Chapman variance.
+    let var = ((n1 + 1) as f64 * (n2 + 1) as f64 * (n1 - m) as f64 * (n2 - m) as f64)
+        / (((m + 1) as f64).powi(2) * (m + 2) as f64);
+    let sd = var.sqrt();
+    // One-sided z for the requested confidence (rough table; enough for
+    // reporting).
+    let z = match confidence {
+        c if c >= 0.99 => 2.326,
+        c if c >= 0.95 => 1.645,
+        c if c >= 0.90 => 1.282,
+        _ => 1.0,
+    };
+    let upper_total = est + z * sd;
+    let coverage = (surfaced as f64 / est).min(1.0);
+    let lower_bound = (surfaced as f64 / upper_total).min(1.0);
+    Some(CoverageStatement { coverage, lower_bound, confidence })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lincoln_petersen_textbook() {
+        // 100 marked, 100 recaptured, 20 overlap → ~505 (Chapman ≈ 509).
+        let est = lincoln_petersen(100, 100, 20).unwrap();
+        assert!((est - 485.6).abs() < 5.0, "est={est}");
+    }
+
+    #[test]
+    fn lp_edge_cases() {
+        assert!(lincoln_petersen(0, 10, 0).is_none());
+        assert!(lincoln_petersen(10, 10, 0).is_none());
+        // Full overlap → estimate ≈ sample size.
+        let est = lincoln_petersen(50, 50, 50).unwrap();
+        assert!(est < 51.0 && est > 49.0);
+    }
+
+    #[test]
+    fn chao1_forms() {
+        assert_eq!(chao1(10, 0, 0), 10.0);
+        assert_eq!(chao1(10, 4, 2), 14.0);
+        assert_eq!(chao1(10, 4, 0), 16.0);
+    }
+
+    #[test]
+    fn coverage_statement_bounds() {
+        let s = coverage_statement(400, 100, 100, 20, 0.95).unwrap();
+        assert!(s.coverage > 0.5 && s.coverage <= 1.0);
+        assert!(s.lower_bound <= s.coverage);
+        assert_eq!(s.confidence, 0.95);
+    }
+}

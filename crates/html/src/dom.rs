@@ -1,0 +1,295 @@
+//! DOM-lite tree built from the token stream.
+//!
+//! Recovery rules: void elements never take children; an unmatched close tag
+//! pops up to its nearest matching ancestor if one exists, else it is ignored;
+//! everything left open at end-of-input is closed implicitly.
+
+use crate::tokenizer::{tokenize, Token};
+
+/// Elements that cannot have children.
+const VOID_ELEMENTS: &[&str] =
+    &["br", "hr", "img", "input", "meta", "link", "area", "base", "col", "embed", "source", "wbr"];
+
+/// A DOM node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// An element with attributes and children.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<Node>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl Node {
+    /// Attribute value, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+            }
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Tag name (`None` for text nodes).
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            Node::Element { tag, .. } => Some(tag),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Children (empty slice for text nodes).
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// Concatenated text of this subtree, whitespace-normalised.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        normalize_ws(&out)
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => {
+                out.push_str(t);
+                out.push(' ');
+            }
+            Node::Element { tag, children, .. } => {
+                if tag == "script" || tag == "style" {
+                    return;
+                }
+                for c in children {
+                    c.collect_text(out);
+                }
+            }
+        }
+    }
+
+    /// Depth-first pre-order iterator over this subtree (including self).
+    pub fn walk(&self) -> Walk<'_> {
+        Walk { stack: vec![self] }
+    }
+
+    /// First descendant (or self) with tag `tag`.
+    pub fn find(&self, tag: &str) -> Option<&Node> {
+        self.walk().find(|n| n.tag() == Some(tag))
+    }
+
+    /// All descendants (or self) with tag `tag`, in document order.
+    pub fn find_all(&self, tag: &str) -> Vec<&Node> {
+        self.walk().filter(|n| n.tag() == Some(tag)).collect()
+    }
+}
+
+/// Pre-order DOM iterator.
+pub struct Walk<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = &'a Node;
+
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        if let Node::Element { children, .. } = node {
+            for c in children.iter().rev() {
+                self.stack.push(c);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// Collapse whitespace runs to single spaces and trim.
+pub fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A parsed document: a forest of top-level nodes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Document {
+    /// Top-level nodes in document order.
+    pub roots: Vec<Node>,
+}
+
+impl Document {
+    /// Parse HTML into a document. Never fails; bad markup degrades.
+    pub fn parse(html: &str) -> Document {
+        let tokens = tokenize(html);
+        let mut stack: Vec<Node> = vec![Node::Element {
+            tag: "#root".to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }];
+
+        fn push_child(stack: &mut [Node], child: Node) {
+            if let Some(Node::Element { children, .. }) = stack.last_mut() {
+                children.push(child);
+            }
+        }
+
+        for tok in tokens {
+            match tok {
+                Token::Text(t) => {
+                    if !t.trim().is_empty() {
+                        push_child(&mut stack, Node::Text(t));
+                    }
+                }
+                Token::Comment(_) => {}
+                Token::Open { tag, attrs, self_closing } => {
+                    let void = self_closing || VOID_ELEMENTS.contains(&tag.as_str());
+                    let node = Node::Element { tag, attrs, children: Vec::new() };
+                    if void {
+                        push_child(&mut stack, node);
+                    } else {
+                        stack.push(node);
+                    }
+                }
+                Token::Close { tag } => {
+                    // Find matching open element on the stack (skip #root at 0).
+                    if let Some(pos) =
+                        stack.iter().rposition(|n| n.tag() == Some(tag.as_str()))
+                    {
+                        if pos == 0 {
+                            continue; // close of "#root" impossible; ignore
+                        }
+                        // Implicitly close everything above `pos`.
+                        while stack.len() > pos {
+                            let done = stack.pop().expect("stack non-empty");
+                            push_child(&mut stack, done);
+                        }
+                    }
+                    // No match: stray close tag, ignore.
+                }
+            }
+        }
+        // Close all remaining.
+        while stack.len() > 1 {
+            let done = stack.pop().expect("stack non-empty");
+            push_child(&mut stack, done);
+        }
+        match stack.pop() {
+            Some(Node::Element { children, .. }) => Document { roots: children },
+            _ => Document::default(),
+        }
+    }
+
+    /// Pre-order iterator over all nodes.
+    pub fn walk(&self) -> impl Iterator<Item = &Node> {
+        self.roots.iter().flat_map(|r| r.walk())
+    }
+
+    /// All nodes with tag `tag`, in document order.
+    pub fn find_all(&self, tag: &str) -> Vec<&Node> {
+        self.walk().filter(|n| n.tag() == Some(tag)).collect()
+    }
+
+    /// First node with tag `tag`.
+    pub fn find(&self, tag: &str) -> Option<&Node> {
+        self.walk().find(|n| n.tag() == Some(tag))
+    }
+
+    /// Visible text of the whole document.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            r.collect_text(&mut out);
+        }
+        normalize_ws(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting() {
+        let d = Document::parse("<div><p>a</p><p>b</p></div>");
+        assert_eq!(d.roots.len(), 1);
+        assert_eq!(d.roots[0].children().len(), 2);
+        assert_eq!(d.text(), "a b");
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let d = Document::parse("<p>a<br>b</p>");
+        let p = d.find("p").unwrap();
+        assert_eq!(p.children().len(), 3);
+        assert_eq!(p.children()[1].tag(), Some("br"));
+        assert!(p.children()[1].children().is_empty());
+    }
+
+    #[test]
+    fn unmatched_close_ignored() {
+        let d = Document::parse("<div>a</span>b</div>");
+        // Both text nodes survive (text nodes join with a space).
+        assert_eq!(d.text(), "a b");
+    }
+
+    #[test]
+    fn implicit_close_of_inner_tags() {
+        let d = Document::parse("<ul><li>one<li>two</ul>");
+        let ul = d.find("ul").unwrap();
+        // Second <li> nests under the first (we don't model optional end
+        // tags), but both texts survive and the ul closes correctly.
+        assert_eq!(ul.text_content(), "one two");
+    }
+
+    #[test]
+    fn unclosed_at_eof() {
+        let d = Document::parse("<div><b>bold");
+        assert_eq!(d.text(), "bold");
+        assert!(d.find("b").is_some());
+    }
+
+    #[test]
+    fn find_all_document_order() {
+        let d = Document::parse("<a id=1></a><div><a id=2></a></div><a id=3></a>");
+        let ids: Vec<_> = d.find_all("a").iter().map(|n| n.attr("id").unwrap()).collect();
+        assert_eq!(ids, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn text_skips_script_style() {
+        let d = Document::parse("<p>x</p><script>var a=1;</script><style>p{}</style>");
+        assert_eq!(d.text(), "x");
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let d = Document::parse(r#"<form action="/search" method="get"></form>"#);
+        let f = d.find("form").unwrap();
+        assert_eq!(f.attr("action"), Some("/search"));
+        assert_eq!(f.attr("method"), Some("get"));
+        assert_eq!(f.attr("missing"), None);
+    }
+}

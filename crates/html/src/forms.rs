@@ -1,0 +1,264 @@
+//! HTML form extraction: the crawler-side view of a form.
+//!
+//! This is the raw material the surfacer's `formmodel` works from — names,
+//! widget kinds, select options, default values, method and action. Nothing
+//! here is semantic; semantics (search box vs typed, ranges, correlations)
+//! are inferred downstream, exactly as in the paper.
+
+use crate::dom::{Document, Node};
+
+/// HTTP method of a form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// Submissions encode inputs in the URL — surfaceable.
+    Get,
+    /// Submissions carry a body — the paper excludes these from surfacing.
+    Post,
+}
+
+/// The widget kind of one form input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WidgetKind {
+    /// `<input type="text">` (free text).
+    TextBox,
+    /// `<select>` with its option values (first option is the default).
+    SelectMenu {
+        /// Option values in document order.
+        options: Vec<String>,
+    },
+    /// `<input type="hidden">` with a fixed value.
+    Hidden {
+        /// The fixed value submitted with the form.
+        value: String,
+    },
+    /// `<input type="checkbox">` with its on-value.
+    Checkbox {
+        /// Value submitted when checked.
+        value: String,
+    },
+}
+
+/// One named input of a form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractedInput {
+    /// The `name` attribute (submission key).
+    pub name: String,
+    /// Widget kind.
+    pub kind: WidgetKind,
+    /// Human label: nearest preceding visible text, lowercased (often the
+    /// strongest signal for typed-input recognition).
+    pub label: String,
+}
+
+/// A form as extracted from a page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractedForm {
+    /// Value of the `action` attribute (may be relative).
+    pub action: String,
+    /// HTTP method (defaults to GET like browsers do).
+    pub method: Method,
+    /// Inputs in document order (submit buttons excluded).
+    pub inputs: Vec<ExtractedInput>,
+}
+
+impl ExtractedForm {
+    /// Input by name.
+    pub fn input(&self, name: &str) -> Option<&ExtractedInput> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// Names of text-box inputs.
+    pub fn text_inputs(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .filter(|i| matches!(i.kind, WidgetKind::TextBox))
+            .map(|i| i.name.as_str())
+            .collect()
+    }
+
+    /// Names of select-menu inputs.
+    pub fn select_inputs(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .filter(|i| matches!(i.kind, WidgetKind::SelectMenu { .. }))
+            .map(|i| i.name.as_str())
+            .collect()
+    }
+}
+
+/// Extract all forms in `doc`.
+pub fn extract_forms(doc: &Document) -> Vec<ExtractedForm> {
+    doc.find_all("form").into_iter().map(extract_one).collect()
+}
+
+fn extract_one(form: &Node) -> ExtractedForm {
+    let action = form.attr("action").unwrap_or("").to_string();
+    let method = match form.attr("method").map(str::to_ascii_lowercase).as_deref() {
+        Some("post") => Method::Post,
+        _ => Method::Get,
+    };
+    let mut inputs = Vec::new();
+    // Walk the form subtree tracking the last visible text seen before each
+    // widget — that text is its label.
+    let mut last_text = String::new();
+    collect_inputs(form, &mut last_text, &mut inputs);
+    ExtractedForm { action, method, inputs }
+}
+
+fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedInput>) {
+    match node {
+        Node::Text(t) => {
+            let t = t.trim();
+            if !t.is_empty() {
+                *last_text = t.to_ascii_lowercase();
+            }
+        }
+        Node::Element { tag, children, .. } => {
+            match tag.as_str() {
+                "input" => {
+                    let ty = node.attr("type").unwrap_or("text").to_ascii_lowercase();
+                    let name = node.attr("name").unwrap_or("").to_string();
+                    if name.is_empty() {
+                        return;
+                    }
+                    let kind = match ty.as_str() {
+                        "text" | "search" => Some(WidgetKind::TextBox),
+                        "hidden" => Some(WidgetKind::Hidden {
+                            value: node.attr("value").unwrap_or("").to_string(),
+                        }),
+                        "checkbox" => Some(WidgetKind::Checkbox {
+                            value: node.attr("value").unwrap_or("on").to_string(),
+                        }),
+                        // submit / button / radio etc. are not surfacing inputs
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        out.push(ExtractedInput { name, kind, label: last_text.clone() });
+                    }
+                }
+                "select" => {
+                    let name = node.attr("name").unwrap_or("").to_string();
+                    if !name.is_empty() {
+                        let options = node
+                            .find_all("option")
+                            .iter()
+                            .map(|o| {
+                                o.attr("value")
+                                    .map(str::to_string)
+                                    .unwrap_or_else(|| o.text_content())
+                            })
+                            .collect();
+                        out.push(ExtractedInput {
+                            name,
+                            kind: WidgetKind::SelectMenu { options },
+                            label: last_text.clone(),
+                        });
+                    }
+                    return; // don't descend into options as labels
+                }
+                "textarea" => {
+                    let name = node.attr("name").unwrap_or("").to_string();
+                    if !name.is_empty() {
+                        out.push(ExtractedInput {
+                            name,
+                            kind: WidgetKind::TextBox,
+                            label: last_text.clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            for c in children {
+                collect_inputs(c, last_text, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAR_FORM: &str = r#"
+      <form action="/results" method="get">
+        Make: <select name="make"><option value="">any</option>
+              <option value="honda">Honda</option><option value="ford">Ford</option></select>
+        Min Price: <input type="text" name="min_price">
+        Max Price: <input type="text" name="max_price">
+        Keywords: <input type="search" name="q">
+        <input type="hidden" name="lang" value="en">
+        <input type="submit" value="Search">
+      </form>"#;
+
+    #[test]
+    fn extracts_inputs_in_order() {
+        let doc = Document::parse(CAR_FORM);
+        let forms = extract_forms(&doc);
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0];
+        assert_eq!(f.action, "/results");
+        assert_eq!(f.method, Method::Get);
+        let names: Vec<_> = f.inputs.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["make", "min_price", "max_price", "q", "lang"]);
+    }
+
+    #[test]
+    fn select_options_and_default() {
+        let doc = Document::parse(CAR_FORM);
+        let f = &extract_forms(&doc)[0];
+        match &f.input("make").unwrap().kind {
+            WidgetKind::SelectMenu { options } => {
+                assert_eq!(options, &vec!["".to_string(), "honda".into(), "ford".into()]);
+            }
+            k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_come_from_preceding_text() {
+        let doc = Document::parse(CAR_FORM);
+        let f = &extract_forms(&doc)[0];
+        assert_eq!(f.input("min_price").unwrap().label, "min price:");
+        assert_eq!(f.input("q").unwrap().label, "keywords:");
+    }
+
+    #[test]
+    fn submit_buttons_excluded_hidden_kept() {
+        let doc = Document::parse(CAR_FORM);
+        let f = &extract_forms(&doc)[0];
+        assert!(f.input("lang").is_some());
+        assert!(matches!(
+            f.input("lang").unwrap().kind,
+            WidgetKind::Hidden { ref value } if value == "en"
+        ));
+        assert_eq!(f.inputs.len(), 5);
+    }
+
+    #[test]
+    fn post_method_detected() {
+        let doc = Document::parse(r#"<form action="/buy" method="POST"><input type=text name=x></form>"#);
+        assert_eq!(extract_forms(&doc)[0].method, Method::Post);
+    }
+
+    #[test]
+    fn nameless_inputs_skipped() {
+        let doc = Document::parse(r#"<form action="/s"><input type="text"></form>"#);
+        assert!(extract_forms(&doc)[0].inputs.is_empty());
+    }
+
+    #[test]
+    fn textarea_is_textbox() {
+        let doc = Document::parse(r#"<form action="/s">Comments <textarea name="c"></textarea></form>"#);
+        let f = &extract_forms(&doc)[0];
+        assert!(matches!(f.input("c").unwrap().kind, WidgetKind::TextBox));
+        assert_eq!(f.input("c").unwrap().label, "comments");
+    }
+
+    #[test]
+    fn helpers_list_by_kind() {
+        let doc = Document::parse(CAR_FORM);
+        let f = &extract_forms(&doc)[0];
+        assert_eq!(f.text_inputs(), vec!["min_price", "max_price", "q"]);
+        assert_eq!(f.select_inputs(), vec!["make"]);
+    }
+}

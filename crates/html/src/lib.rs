@@ -1,0 +1,21 @@
+//! # deepweb-html
+//!
+//! HTML both ways: a crawler-grade tokenizer and DOM-lite parser with form,
+//! table and text extraction (the input side of surfacing), and an escaping
+//! page/form builder used by the simulated sites (the output side).
+//!
+//! The invariant the rest of the workspace relies on: pages produced by
+//! [`writer`] parse back losslessly through [`dom`], [`forms`] and [`tables`].
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod forms;
+pub mod tables;
+pub mod tokenizer;
+pub mod writer;
+
+pub use dom::{Document, Node};
+pub use forms::{extract_forms, ExtractedForm, ExtractedInput, Method, WidgetKind};
+pub use tables::{extract_tables, ExtractedTable};
+pub use writer::{FormBuilder, PageBuilder};

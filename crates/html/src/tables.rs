@@ -1,0 +1,110 @@
+//! HTML table extraction — the input of the WebTables pipeline (paper §2, §6).
+//!
+//! Returns raw grids; deciding which grids are *relational* (vs layout
+//! tables) is `deepweb-tables::quality`'s job, mirroring the WebTables
+//! split between extraction and classification.
+
+use crate::dom::{Document, Node};
+
+/// A raw extracted table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtractedTable {
+    /// Header cells if the first row used `<th>` (lowercased), else empty.
+    pub header: Vec<String>,
+    /// Body rows (header row excluded when detected).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExtractedTable {
+    /// Number of body rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (header width, or widest row).
+    pub fn num_cols(&self) -> usize {
+        self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0))
+    }
+
+    /// True if every body row has the same arity as the header.
+    pub fn is_rectangular(&self) -> bool {
+        let w = if self.header.is_empty() { self.num_cols() } else { self.header.len() };
+        self.rows.iter().all(|r| r.len() == w)
+    }
+}
+
+/// Extract every `<table>` in the document.
+pub fn extract_tables(doc: &Document) -> Vec<ExtractedTable> {
+    doc.find_all("table").into_iter().map(extract_one).collect()
+}
+
+fn extract_one(table: &Node) -> ExtractedTable {
+    let mut header = Vec::new();
+    let mut rows = Vec::new();
+    for tr in table.find_all("tr") {
+        let ths = tr.find_all("th");
+        if !ths.is_empty() && header.is_empty() && rows.is_empty() {
+            header = ths.iter().map(|c| c.text_content().to_ascii_lowercase()).collect();
+            continue;
+        }
+        let cells: Vec<String> = tr
+            .children()
+            .iter()
+            .filter(|c| matches!(c.tag(), Some("td") | Some("th")))
+            .map(|c| c.text_content())
+            .collect();
+        if !cells.is_empty() {
+            rows.push(cells);
+        }
+    }
+    ExtractedTable { header, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let html = "<table><tr><th>Make</th><th>Year</th></tr>\
+                    <tr><td>honda</td><td>1993</td></tr>\
+                    <tr><td>ford</td><td>1998</td></tr></table>";
+        let t = &extract_tables(&Document::parse(html))[0];
+        assert_eq!(t.header, vec!["make", "year"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0], vec!["honda", "1993"]);
+        assert!(t.is_rectangular());
+        assert_eq!(t.num_cols(), 2);
+    }
+
+    #[test]
+    fn headerless_table() {
+        let html = "<table><tr><td>a</td><td>b</td></tr></table>";
+        let t = &extract_tables(&Document::parse(html))[0];
+        assert!(t.header.is_empty());
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_detected() {
+        let html = "<table><tr><th>x</th><th>y</th></tr><tr><td>1</td></tr></table>";
+        let t = &extract_tables(&Document::parse(html))[0];
+        assert!(!t.is_rectangular());
+    }
+
+    #[test]
+    fn multiple_tables_in_order() {
+        let html = "<table><tr><td>1</td></tr></table><p>x</p><table><tr><td>2</td></tr></table>";
+        let ts = extract_tables(&Document::parse(html));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].rows[0][0], "1");
+        assert_eq!(ts[1].rows[0][0], "2");
+    }
+
+    #[test]
+    fn empty_table_ok() {
+        let ts = extract_tables(&Document::parse("<table></table>"));
+        assert_eq!(ts[0].num_rows(), 0);
+        assert_eq!(ts[0].num_cols(), 0);
+    }
+}

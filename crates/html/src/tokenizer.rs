@@ -1,0 +1,327 @@
+//! HTML tokenizer.
+//!
+//! Crawler-grade rather than spec-grade: it never panics, never loses text,
+//! and degrades gracefully on malformed markup (unterminated tags, stray `<`,
+//! unquoted attributes). `script`/`style` bodies are treated as raw text, and
+//! character references for the five XML-ish entities are decoded.
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `<tag attr="v" ...>`; `self_closing` for `<tag/>`.
+    Open {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attributes in document order (names lowercased).
+        attrs: Vec<(String, String)>,
+        /// True for `<tag ... />`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    Close {
+        /// Lowercased tag name.
+        tag: String,
+    },
+    /// Text between tags, entity-decoded.
+    Text(String),
+    /// `<!-- ... -->` (content kept for diagnostics).
+    Comment(String),
+}
+
+/// Decode `&amp; &lt; &gt; &quot; &#39;/&apos;` and numeric references.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|p| i + p) {
+                let entity = &s[i + 1..semi];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ => entity
+                        .strip_prefix('#')
+                        .and_then(|n| n.parse::<u32>().ok())
+                        .and_then(char::from_u32),
+                };
+                if let Some(c) = decoded {
+                    out.push(c);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+        }
+        // Not an entity: copy the byte (input is valid UTF-8; copy char-wise).
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Tokenize `html` into a token vector.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if html[i..].starts_with("<!--") {
+                let end = html[i + 4..].find("-->").map(|p| i + 4 + p);
+                match end {
+                    Some(e) => {
+                        tokens.push(Token::Comment(html[i + 4..e].to_string()));
+                        i = e + 3;
+                    }
+                    None => {
+                        // Unterminated comment swallows the rest.
+                        tokens.push(Token::Comment(html[i + 4..].to_string()));
+                        i = bytes.len();
+                    }
+                }
+            } else if html[i..].starts_with("<!") {
+                // Doctype or other declaration: skip to '>'.
+                match html[i..].find('>') {
+                    Some(p) => i += p + 1,
+                    None => i = bytes.len(),
+                }
+            } else if html[i..].starts_with("</") {
+                match html[i..].find('>') {
+                    Some(p) => {
+                        let name = html[i + 2..i + p].trim().to_ascii_lowercase();
+                        if !name.is_empty() {
+                            tokens.push(Token::Close { tag: name });
+                        }
+                        i += p + 1;
+                    }
+                    None => i = bytes.len(),
+                }
+            } else if i + 1 < bytes.len()
+                && (bytes[i + 1].is_ascii_alphabetic())
+            {
+                match parse_open_tag(&html[i..]) {
+                    Some((tag, attrs, self_closing, consumed)) => {
+                        let raw_text = matches!(tag.as_str(), "script" | "style");
+                        tokens.push(Token::Open { tag: tag.clone(), attrs, self_closing });
+                        i += consumed;
+                        if raw_text && !self_closing {
+                            // Raw text until the matching close tag.
+                            let close = format!("</{tag}");
+                            let lower = html[i..].to_ascii_lowercase();
+                            match lower.find(&close) {
+                                Some(p) => {
+                                    if p > 0 {
+                                        tokens.push(Token::Text(html[i..i + p].to_string()));
+                                    }
+                                    let after = i + p;
+                                    match html[after..].find('>') {
+                                        Some(q) => {
+                                            tokens.push(Token::Close { tag: tag.clone() });
+                                            i = after + q + 1;
+                                        }
+                                        None => i = bytes.len(),
+                                    }
+                                }
+                                None => {
+                                    tokens.push(Token::Text(html[i..].to_string()));
+                                    i = bytes.len();
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // '<' that does not start a tag: literal text.
+                        tokens.push(Token::Text("<".to_string()));
+                        i += 1;
+                    }
+                }
+            } else {
+                tokens.push(Token::Text("<".to_string()));
+                i += 1;
+            }
+        } else {
+            let next = html[i..].find('<').map_or(bytes.len(), |p| i + p);
+            let text = decode_entities(&html[i..next]);
+            if !text.is_empty() {
+                tokens.push(Token::Text(text));
+            }
+            i = next;
+        }
+    }
+    tokens
+}
+
+/// `(name, attrs, self_closing, bytes_consumed)` of a parsed open tag.
+type OpenTag = (String, Vec<(String, String)>, bool, usize);
+
+/// Parse `<name attrs...>`.
+fn parse_open_tag(s: &str) -> Option<OpenTag> {
+    debug_assert!(s.starts_with('<'));
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    let name_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        i += 1;
+    }
+    if i == name_start {
+        return None;
+    }
+    let tag = s[name_start..i].to_ascii_lowercase();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            // Unterminated tag: accept what we have.
+            return Some((tag, attrs, false, i));
+        }
+        match bytes[i] {
+            b'>' => {
+                i += 1;
+                break;
+            }
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // Attribute name.
+                let an_start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && bytes[i] != b'='
+                    && bytes[i] != b'>'
+                    && bytes[i] != b'/'
+                {
+                    i += 1;
+                }
+                let name = s[an_start..i].to_ascii_lowercase();
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                        let quote = bytes[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < bytes.len() && bytes[i] != quote {
+                            i += 1;
+                        }
+                        value = decode_entities(&s[v_start..i]);
+                        i = (i + 1).min(bytes.len());
+                    } else {
+                        let v_start = i;
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        value = decode_entities(&s[v_start..i]);
+                    }
+                }
+                if !name.is_empty() {
+                    attrs.push((name, value));
+                }
+            }
+        }
+    }
+    Some((tag, attrs, self_closing, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<p>Hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open { tag: "p".into(), attrs: vec![], self_closing: false },
+                Token::Text("Hello".into()),
+                Token::Close { tag: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<input type="text" name=q value='a b' disabled>"#);
+        match &toks[0] {
+            Token::Open { tag, attrs, .. } => {
+                assert_eq!(tag, "input");
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("type".to_string(), "text".to_string()),
+                        ("name".to_string(), "q".to_string()),
+                        ("value".to_string(), "a b".to_string()),
+                        ("disabled".to_string(), String::new()),
+                    ]
+                );
+            }
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="a &amp; b">x &lt; y &#169;</a>"#);
+        match &toks[0] {
+            Token::Open { attrs, .. } => assert_eq!(attrs[0].1, "a & b"),
+            t => panic!("unexpected {t:?}"),
+        }
+        assert_eq!(toks[1], Token::Text("x < y \u{a9}".into()));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hi --><b>x</b>");
+        assert_eq!(toks[0], Token::Comment(" hi ".into()));
+        assert!(matches!(&toks[1], Token::Open { tag, .. } if tag == "b"));
+    }
+
+    #[test]
+    fn script_is_raw_text() {
+        let toks = tokenize("<script>if (a<b) {}</script><p>t</p>");
+        assert_eq!(toks[1], Token::Text("if (a<b) {}".into()));
+        assert_eq!(toks[2], Token::Close { tag: "script".into() });
+    }
+
+    #[test]
+    fn malformed_never_panics() {
+        for s in ["<", "<>", "< p>", "<a href=", "<b", "</", "<!-- unterminated", "a < b"] {
+            let _ = tokenize(s);
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><img src=x />");
+        assert!(matches!(&toks[0], Token::Open { self_closing: true, .. }));
+        assert!(matches!(&toks[1], Token::Open { tag, self_closing: true, .. } if tag == "img"));
+    }
+}

@@ -1,0 +1,248 @@
+//! HTML generation for the simulated sites.
+//!
+//! Escaping discipline: every piece of dynamic text goes through
+//! [`escape_text`] / [`escape_attr`], so `Document::parse(render(x))`
+//! faithfully round-trips site data — which the extraction experiments rely
+//! on.
+
+use std::fmt::Write as _;
+
+/// Escape text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quote context).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// An append-only HTML page builder.
+#[derive(Default, Clone, Debug)]
+pub struct PageBuilder {
+    body: String,
+    title: String,
+}
+
+impl PageBuilder {
+    /// Start a page with a title.
+    pub fn new(title: &str) -> Self {
+        PageBuilder { body: String::new(), title: title.to_string() }
+    }
+
+    /// Add a heading.
+    pub fn h1(&mut self, text: &str) -> &mut Self {
+        let _ = write!(self.body, "<h1>{}</h1>", escape_text(text));
+        self
+    }
+
+    /// Add a paragraph.
+    pub fn p(&mut self, text: &str) -> &mut Self {
+        let _ = write!(self.body, "<p>{}</p>", escape_text(text));
+        self
+    }
+
+    /// Add an anchor.
+    pub fn link(&mut self, href: &str, text: &str) -> &mut Self {
+        let _ =
+            write!(self.body, "<a href=\"{}\">{}</a>", escape_attr(href), escape_text(text));
+        self
+    }
+
+    /// Add a list of anchors inside a `<ul>`.
+    pub fn link_list(&mut self, links: &[(String, String)]) -> &mut Self {
+        self.body.push_str("<ul>");
+        for (href, text) in links {
+            let _ = write!(
+                self.body,
+                "<li><a href=\"{}\">{}</a></li>",
+                escape_attr(href),
+                escape_text(text)
+            );
+        }
+        self.body.push_str("</ul>");
+        self
+    }
+
+    /// Add a data table with a `<th>` header row.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        self.body.push_str("<table>");
+        if !header.is_empty() {
+            self.body.push_str("<tr>");
+            for h in header {
+                let _ = write!(self.body, "<th>{}</th>", escape_text(h));
+            }
+            self.body.push_str("</tr>");
+        }
+        for row in rows {
+            self.body.push_str("<tr>");
+            for cell in row {
+                let _ = write!(self.body, "<td>{}</td>", escape_text(cell));
+            }
+            self.body.push_str("</tr>");
+        }
+        self.body.push_str("</table>");
+        self
+    }
+
+    /// Add raw pre-built HTML (caller guarantees well-formedness).
+    pub fn raw(&mut self, html: &str) -> &mut Self {
+        self.body.push_str(html);
+        self
+    }
+
+    /// Finish the page.
+    pub fn build(&self) -> String {
+        format!(
+            "<!DOCTYPE html><html><head><title>{}</title></head><body>{}</body></html>",
+            escape_text(&self.title),
+            self.body
+        )
+    }
+}
+
+/// Builder for a `<form>` element.
+#[derive(Clone, Debug)]
+pub struct FormBuilder {
+    action: String,
+    method: &'static str,
+    body: String,
+}
+
+impl FormBuilder {
+    /// Start a GET form posting to `action`.
+    pub fn get(action: &str) -> Self {
+        FormBuilder { action: action.to_string(), method: "get", body: String::new() }
+    }
+
+    /// Start a POST form posting to `action`.
+    pub fn post(action: &str) -> Self {
+        FormBuilder { action: action.to_string(), method: "post", body: String::new() }
+    }
+
+    /// Add a labelled text box.
+    pub fn text_box(mut self, label: &str, name: &str) -> Self {
+        let _ = write!(
+            self.body,
+            "{} <input type=\"text\" name=\"{}\"> ",
+            escape_text(label),
+            escape_attr(name)
+        );
+        self
+    }
+
+    /// Add a labelled select menu.
+    pub fn select(mut self, label: &str, name: &str, options: &[String]) -> Self {
+        let _ = write!(self.body, "{} <select name=\"{}\">", escape_text(label), escape_attr(name));
+        for o in options {
+            let _ = write!(
+                self.body,
+                "<option value=\"{}\">{}</option>",
+                escape_attr(o),
+                escape_text(if o.is_empty() { "any" } else { o })
+            );
+        }
+        self.body.push_str("</select> ");
+        self
+    }
+
+    /// Add a hidden input.
+    pub fn hidden(mut self, name: &str, value: &str) -> Self {
+        let _ = write!(
+            self.body,
+            "<input type=\"hidden\" name=\"{}\" value=\"{}\">",
+            escape_attr(name),
+            escape_attr(value)
+        );
+        self
+    }
+
+    /// Finish the form.
+    pub fn build(self) -> String {
+        format!(
+            "<form action=\"{}\" method=\"{}\">{}<input type=\"submit\" value=\"Search\"></form>",
+            escape_attr(&self.action),
+            self.method,
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::forms::{extract_forms, Method, WidgetKind};
+
+    #[test]
+    fn escape_roundtrips_through_parser() {
+        let nasty = "a & b <tag> \"quoted\"";
+        let mut pb = PageBuilder::new(nasty);
+        pb.p(nasty);
+        let doc = Document::parse(&pb.build());
+        assert!(doc.text().contains("a & b <tag> \"quoted\""));
+    }
+
+    #[test]
+    fn page_builder_structure() {
+        let mut pb = PageBuilder::new("T");
+        pb.h1("Head").p("Body").link("/x", "go");
+        let html = pb.build();
+        let doc = Document::parse(&html);
+        assert_eq!(doc.find("h1").unwrap().text_content(), "Head");
+        assert_eq!(doc.find("a").unwrap().attr("href"), Some("/x"));
+    }
+
+    #[test]
+    fn form_builder_roundtrips_through_extractor() {
+        let form = FormBuilder::get("/results")
+            .select("Make:", "make", &["".into(), "honda".into()])
+            .text_box("Min Price:", "min_price")
+            .hidden("lang", "en")
+            .build();
+        let doc = Document::parse(&form);
+        let f = &extract_forms(&doc)[0];
+        assert_eq!(f.method, Method::Get);
+        assert_eq!(f.action, "/results");
+        assert!(matches!(&f.input("make").unwrap().kind,
+            WidgetKind::SelectMenu { options } if options.len() == 2));
+        assert_eq!(f.input("min_price").unwrap().label, "min price:");
+    }
+
+    #[test]
+    fn table_roundtrips_through_extractor() {
+        let mut pb = PageBuilder::new("t");
+        pb.table(&["make", "year"], &[vec!["honda".into(), "1993".into()]]);
+        let doc = Document::parse(&pb.build());
+        let t = &crate::tables::extract_tables(&doc)[0];
+        assert_eq!(t.header, vec!["make", "year"]);
+        assert_eq!(t.rows[0], vec!["honda", "1993"]);
+    }
+
+    #[test]
+    fn link_list_renders_all() {
+        let mut pb = PageBuilder::new("t");
+        pb.link_list(&[("/a".into(), "A".into()), ("/b".into(), "B".into())]);
+        let doc = Document::parse(&pb.build());
+        assert_eq!(doc.find_all("a").len(), 2);
+    }
+}

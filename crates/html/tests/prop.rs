@@ -1,0 +1,76 @@
+//! Property tests: the parser never panics on arbitrary input, and
+//! writer-produced pages round-trip exactly.
+
+use deepweb_html::writer::{escape_attr, escape_text, PageBuilder};
+use deepweb_html::{extract_forms, extract_tables, Document, FormBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parser_never_panics(s in "\\PC*") {
+        let _ = Document::parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_taggy_soup(s in "[<>a-z \"'=/!-]{0,200}") {
+        let _ = Document::parse(&s);
+    }
+
+    #[test]
+    fn text_roundtrips_through_escape(s in "[a-zA-Z0-9 <>&\"']{0,80}") {
+        // Single text chunks with no leading/trailing whitespace collapse.
+        prop_assume!(s.trim() == s && !s.is_empty());
+        let mut pb = PageBuilder::new("t");
+        pb.p(&s);
+        let doc = Document::parse(&pb.build());
+        let expect: String = s.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(doc.find("body").unwrap().text_content(), expect);
+    }
+
+    #[test]
+    fn attr_roundtrips_through_escape(s in "[a-zA-Z0-9 <>&\"']{0,40}") {
+        let html = format!("<a href=\"{}\">x</a>", escape_attr(&s));
+        let doc = Document::parse(&html);
+        prop_assert_eq!(doc.find("a").unwrap().attr("href").unwrap(), s.as_str());
+    }
+
+    #[test]
+    fn form_option_values_roundtrip(opts in prop::collection::vec("[a-z0-9 &\"<>]{1,12}", 1..6)) {
+        let form = FormBuilder::get("/r").select("L:", "sel", &opts).build();
+        let doc = Document::parse(&form);
+        let f = &extract_forms(&doc)[0];
+        match &f.input("sel").unwrap().kind {
+            deepweb_html::WidgetKind::SelectMenu { options } => {
+                prop_assert_eq!(options, &opts);
+            }
+            k => prop_assert!(false, "unexpected kind {:?}", k),
+        }
+    }
+
+    #[test]
+    fn table_cells_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec("[a-z0-9&<> ]{1,10}", 2..4), 1..5)) {
+        // Normalise: extraction collapses whitespace.
+        let rows: Vec<Vec<String>> = rows.into_iter()
+            .map(|r| r.into_iter()
+                .map(|c| c.split_whitespace().collect::<Vec<_>>().join(" "))
+                .collect())
+            .collect();
+        prop_assume!(rows.iter().flatten().all(|c| !c.is_empty()));
+        let width = rows[0].len();
+        prop_assume!(rows.iter().all(|r| r.len() == width));
+        let mut pb = PageBuilder::new("t");
+        let header: Vec<&str> = (0..width).map(|_| "h").collect();
+        pb.table(&header, &rows);
+        let doc = Document::parse(&pb.build());
+        let t = &extract_tables(&doc)[0];
+        prop_assert_eq!(&t.rows, &rows);
+    }
+
+    #[test]
+    fn escape_text_idempotent_on_clean(s in "[a-z0-9 ]{0,40}") {
+        prop_assert_eq!(escape_text(&s), s);
+    }
+}

@@ -1,0 +1,33 @@
+//! Query/document analysis for the index: shared tokenisation plus term
+//! statistics containers.
+
+use deepweb_common::text::{is_stopword, tokenize};
+
+/// Analyse text into index terms (lowercased alphanumerics; stopwords kept —
+/// BM25's IDF already down-weights them, and dropping them would break
+/// phrase-ish queries like "the hague").
+pub fn analyze(text: &str) -> Vec<String> {
+    tokenize(text).collect()
+}
+
+/// Analyse a user query: stopwords removed (queries are short; stopwords only
+/// add noise there), order preserved, duplicates kept.
+pub fn analyze_query(text: &str) -> Vec<String> {
+    tokenize(text).filter(|t| !is_stopword(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_keeps_stopwords_query_drops_them() {
+        assert_eq!(analyze("the Honda Civic"), vec!["the", "honda", "civic"]);
+        assert_eq!(analyze_query("the Honda Civic"), vec!["honda", "civic"]);
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(analyze_query("ford focus 1993"), vec!["ford", "focus", "1993"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Stored documents: everything the serving layer needs to render a hit.
+
+use deepweb_common::ids::{DocId, SiteId};
+use deepweb_common::Url;
+
+/// How a document entered the index (the paper's key distinction: surfaced
+/// deep-web pages are served "like any other page" but we must attribute
+/// impact back to forms, §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DocKind {
+    /// An ordinary surface-web page.
+    Surface,
+    /// A page surfaced from a deep-web form submission.
+    Surfaced,
+    /// A detail page reached by following links from surfaced pages.
+    Discovered,
+}
+
+/// A structured annotation attached to a surfaced page (paper §5.1): the
+/// input values that generated the page, e.g. `("make", "honda")`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Annotation {
+    /// Facet name.
+    pub key: String,
+    /// Facet value (already lowercased).
+    pub value: String,
+}
+
+/// A stored document.
+#[derive(Clone, Debug)]
+pub struct StoredDoc {
+    /// Document id.
+    pub id: DocId,
+    /// Source URL (the dedup key).
+    pub url: Url,
+    /// Page title.
+    pub title: String,
+    /// Visible text (what was indexed).
+    pub text: String,
+    /// Provenance.
+    pub kind: DocKind,
+    /// Originating deep-web site, if any.
+    pub site: Option<SiteId>,
+    /// Structured annotations (empty for surface pages).
+    pub annotations: Vec<Annotation>,
+}
+
+/// Append-only document store.
+#[derive(Default, Clone, Debug)]
+pub struct DocStore {
+    docs: Vec<StoredDoc>,
+}
+
+impl DocStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a document, assigning its id.
+    pub fn push(
+        &mut self,
+        url: Url,
+        title: String,
+        text: String,
+        kind: DocKind,
+        site: Option<SiteId>,
+        annotations: Vec<Annotation>,
+    ) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(StoredDoc { id, url, title, text, kind, site, annotations });
+        id
+    }
+
+    /// Document by id.
+    pub fn get(&self, id: DocId) -> &StoredDoc {
+        &self.docs[id.as_usize()]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate all documents.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredDoc> {
+        self.docs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut ds = DocStore::new();
+        let id = ds.push(
+            Url::new("x.sim", "/"),
+            "t".into(),
+            "body".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        assert_eq!(id, DocId(0));
+        assert_eq!(ds.get(id).title, "t");
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn annotations_stored() {
+        let mut ds = DocStore::new();
+        let id = ds.push(
+            Url::new("x.sim", "/r"),
+            "t".into(),
+            "body".into(),
+            DocKind::Surfaced,
+            Some(SiteId(3)),
+            vec![Annotation { key: "make".into(), value: "honda".into() }],
+        );
+        assert_eq!(ds.get(id).annotations[0].value, "honda");
+        assert_eq!(ds.get(id).site, Some(SiteId(3)));
+    }
+}

@@ -1,0 +1,204 @@
+//! The search index: document store + postings + facet vocabulary, with URL
+//! deduplication (a crawler inserts the same URL only once — URL identity is
+//! the dedup key, as in real surfacing).
+
+use crate::analysis::analyze;
+use crate::docstore::{Annotation, DocKind, DocStore, StoredDoc};
+use crate::postings::Postings;
+use deepweb_common::ids::{DocId, SiteId};
+use deepweb_common::{FxHashMap, FxHashSet, Url};
+
+/// An in-memory search index.
+#[derive(Default, Clone, Debug)]
+pub struct SearchIndex {
+    docs: DocStore,
+    postings: Postings,
+    by_url: FxHashMap<String, DocId>,
+    facet_values: FxHashMap<String, FxHashSet<String>>,
+}
+
+impl SearchIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document. Returns the existing id if the URL was already
+    /// indexed (no re-indexing; crawlers naturally revisit URLs).
+    pub fn add(
+        &mut self,
+        url: Url,
+        title: String,
+        text: String,
+        kind: DocKind,
+        site: Option<SiteId>,
+        annotations: Vec<Annotation>,
+    ) -> DocId {
+        let key = url.to_string();
+        if let Some(&id) = self.by_url.get(&key) {
+            return id;
+        }
+        // Index title + body (title terms matter for ranking).
+        let mut terms = analyze(&title);
+        terms.extend(analyze(&text));
+        for ann in &annotations {
+            for tok in ann.value.split_whitespace() {
+                self.facet_values
+                    .entry(ann.key.clone())
+                    .or_default()
+                    .insert(tok.to_string());
+            }
+        }
+        let id = self.docs.push(url, title, text, kind, site, annotations);
+        self.postings.add_document(id, &terms);
+        self.by_url.insert(key, id);
+        id
+    }
+
+    /// Extend the facet vocabulary with externally observed values (e.g.
+    /// the select options and JS dependency maps the crawler saw on forms).
+    /// Conflict detection in annotation-aware scoring can then recognise a
+    /// facet value even when no surfaced page was annotated with it.
+    pub fn add_facet_values<I: IntoIterator<Item = String>>(&mut self, key: &str, values: I) {
+        let entry = self.facet_values.entry(key.to_string()).or_default();
+        for v in values {
+            for tok in v.to_ascii_lowercase().split_whitespace() {
+                entry.insert(tok.to_string());
+            }
+        }
+    }
+
+    /// True if the URL is already indexed.
+    pub fn contains_url(&self, url: &Url) -> bool {
+        self.by_url.contains_key(&url.to_string())
+    }
+
+    /// Document metadata store.
+    pub fn docs(&self) -> &DocStore {
+        &self.docs
+    }
+
+    /// Document by id.
+    pub fn doc(&self, id: DocId) -> &StoredDoc {
+        self.docs.get(id)
+    }
+
+    /// The postings lists.
+    pub fn postings(&self) -> &Postings {
+        &self.postings
+    }
+
+    /// Facet → set of known values (from annotations), used by
+    /// annotation-aware scoring.
+    pub fn facet_values(&self) -> &FxHashMap<String, FxHashSet<String>> {
+        &self.facet_values
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Index-wide statistics for reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexStats {
+    /// Total documents.
+    pub docs: usize,
+    /// Distinct terms.
+    pub terms: usize,
+    /// Total postings entries.
+    pub postings: usize,
+    /// Mean document length in tokens.
+    pub avg_doc_len: f64,
+}
+
+impl SearchIndex {
+    /// Compute summary statistics.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            docs: self.docs.len(),
+            terms: self.postings.num_terms(),
+            postings: self.postings.num_postings(),
+            avg_doc_len: self.postings.avg_doc_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_dedup() {
+        let mut idx = SearchIndex::new();
+        let u = Url::new("a.sim", "/p");
+        let id1 = idx.add(u.clone(), "t".into(), "x".into(), DocKind::Surface, None, vec![]);
+        let id2 =
+            idx.add(u.clone(), "other".into(), "y".into(), DocKind::Surface, None, vec![]);
+        assert_eq!(id1, id2);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.contains_url(&u));
+    }
+
+    #[test]
+    fn title_terms_indexed() {
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/p"),
+            "rare sigmod award".into(),
+            "body text".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        assert_eq!(idx.postings().df("sigmod"), 1);
+        assert_eq!(idx.postings().df("body"), 1);
+    }
+
+    #[test]
+    fn facet_vocabulary_accumulates() {
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "t".into(),
+            "x".into(),
+            DocKind::Surfaced,
+            Some(SiteId(0)),
+            vec![Annotation { key: "make".into(), value: "honda".into() }],
+        );
+        idx.add(
+            Url::new("a.sim", "/2"),
+            "t".into(),
+            "x".into(),
+            DocKind::Surfaced,
+            Some(SiteId(0)),
+            vec![Annotation { key: "make".into(), value: "ford".into() }],
+        );
+        let vals = &idx.facet_values()["make"];
+        assert!(vals.contains("honda") && vals.contains("ford"));
+    }
+
+    #[test]
+    fn stats_reflect_content() {
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "alpha".into(),
+            "beta gamma".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        let s = idx.stats();
+        assert_eq!(s.docs, 1);
+        assert_eq!(s.terms, 3);
+        assert_eq!(s.postings, 3);
+        assert!((s.avg_doc_len - 3.0).abs() < 1e-12);
+    }
+}

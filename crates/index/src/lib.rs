@@ -1,0 +1,24 @@
+//! # deepweb-index
+//!
+//! The search-engine substrate: an in-memory inverted index with BM25 top-k
+//! retrieval, snippets, URL deduplication and (optionally) annotation-aware
+//! scoring over the structured annotations attached to surfaced pages
+//! (paper §5.1).
+//!
+//! Surfaced deep-web pages are inserted "like any other page" (paper §3.2);
+//! the [`docstore::DocKind`] provenance tag exists only so experiments can
+//! attribute impact back to forms.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod docstore;
+pub mod index;
+pub mod postings;
+pub mod searcher;
+pub mod snippet;
+
+pub use docstore::{Annotation, DocKind, DocStore, StoredDoc};
+pub use index::{IndexStats, SearchIndex};
+pub use searcher::{search, Bm25Params, Hit, SearchOptions};
+pub use snippet::snippet;

@@ -1,0 +1,156 @@
+//! Inverted index: interned terms → postings (doc id, term frequency).
+//!
+//! Postings are kept sorted by doc id (documents are appended in id order, so
+//! this is free) and term frequencies are u32. No positions — snippets re-scan
+//! stored text, which is cheaper than positional postings at this scale.
+
+use deepweb_common::ids::DocId;
+use deepweb_common::Interner;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Posting {
+    /// Document id.
+    pub doc: DocId,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// The postings lists plus document lengths.
+#[derive(Default, Clone, Debug)]
+pub struct Postings {
+    terms: Interner,
+    lists: Vec<Vec<Posting>>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl Postings {
+    /// Create empty postings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document's term multiset. `doc` must be the next id in sequence
+    /// (enforced so postings stay sorted).
+    pub fn add_document(&mut self, doc: DocId, terms: &[String]) {
+        assert_eq!(
+            doc.as_usize(),
+            self.doc_len.len(),
+            "documents must be added in id order"
+        );
+        self.doc_len.push(terms.len() as u32);
+        self.total_len += terms.len() as u64;
+        // Aggregate tf within the document first.
+        let mut counts: deepweb_common::FxHashMap<&str, u32> =
+            deepweb_common::FxHashMap::default();
+        for t in terms {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        // Stable iteration: sort by term so interning order is deterministic.
+        let mut items: Vec<(&str, u32)> = counts.into_iter().collect();
+        items.sort_unstable();
+        for (term, tf) in items {
+            let sym = self.terms.intern(term);
+            if sym.0 as usize == self.lists.len() {
+                self.lists.push(Vec::new());
+            }
+            self.lists[sym.0 as usize].push(Posting { doc, tf });
+        }
+    }
+
+    /// Postings for a term (empty if unseen).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        match self.terms.get(term) {
+            Some(sym) => &self.lists[sym.0 as usize],
+            None => &[],
+        }
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Length (token count) of a document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_len[doc.as_usize()]
+    }
+
+    /// Mean document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Total number of postings entries (index size proxy).
+    pub fn num_postings(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// BM25 inverse document frequency of `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = self.df(term) as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Postings {
+        let mut p = Postings::new();
+        p.add_document(DocId(0), &["honda".into(), "civic".into(), "honda".into()]);
+        p.add_document(DocId(1), &["ford".into(), "focus".into()]);
+        p.add_document(DocId(2), &["honda".into(), "accord".into()]);
+        p
+    }
+
+    #[test]
+    fn postings_sorted_with_tf() {
+        let p = sample();
+        let honda = p.postings("honda");
+        assert_eq!(honda.len(), 2);
+        assert_eq!(honda[0], Posting { doc: DocId(0), tf: 2 });
+        assert_eq!(honda[1], Posting { doc: DocId(2), tf: 1 });
+        assert!(p.postings("tesla").is_empty());
+    }
+
+    #[test]
+    fn stats() {
+        let p = sample();
+        assert_eq!(p.num_docs(), 3);
+        assert_eq!(p.df("honda"), 2);
+        assert_eq!(p.doc_len(DocId(0)), 3);
+        assert!((p.avg_doc_len() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.num_postings(), 6);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let p = sample();
+        assert!(p.idf("focus") > p.idf("honda"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_docs_rejected() {
+        let mut p = Postings::new();
+        p.add_document(DocId(1), &["x".into()]);
+    }
+}

@@ -1,0 +1,240 @@
+//! BM25 top-k retrieval, optionally annotation-aware (paper §5.1).
+//!
+//! Annotation-aware mode models "the search engine were able to exploit such
+//! annotations": a hit whose structured facet values appear in the query gets
+//! boosted, and a hit whose facet value *conflicts* with a query token that
+//! is a known value of the same facet gets demoted. This is exactly what
+//! rescues the "used ford focus 1993" example from the Honda Civic page whose
+//! free text merely mentions the Ford Focus.
+
+use crate::analysis::analyze_query;
+use crate::index::SearchIndex;
+use deepweb_common::ids::DocId;
+use deepweb_common::FxHashMap;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// BM25 parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalisation.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Scoring options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchOptions {
+    /// BM25 parameters.
+    pub bm25: Bm25Params,
+    /// Enable annotation boosting/penalties.
+    pub use_annotations: bool,
+}
+
+/// One search hit.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Hit {
+    /// Document.
+    pub doc: DocId,
+    /// Final score.
+    pub score: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry(f64, u32);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on score (then max doc id) so the heap root is the worst
+        // kept hit.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Annotation score adjustments.
+const ANNOTATION_BOOST: f64 = 1.5;
+const ANNOTATION_CONFLICT_PENALTY: f64 = 8.0;
+
+/// Execute `query` over `index`, returning the top `k` hits (score desc,
+/// doc id asc for ties).
+pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
+    let terms = analyze_query(query);
+    if terms.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let postings = index.postings();
+    let avg_len = postings.avg_doc_len().max(1.0);
+    let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
+    let mut seen = std::collections::BTreeSet::new();
+    for term in &terms {
+        if !seen.insert(term.clone()) {
+            continue; // duplicate query term
+        }
+        let idf = postings.idf(term);
+        for p in postings.postings(term) {
+            let dl = postings.doc_len(p.doc) as f64;
+            let tf = p.tf as f64;
+            let denom = tf + opts.bm25.k1 * (1.0 - opts.bm25.b + opts.bm25.b * dl / avg_len);
+            *scores.entry(p.doc).or_insert(0.0) += idf * tf * (opts.bm25.k1 + 1.0) / denom;
+        }
+    }
+    if opts.use_annotations {
+        apply_annotations(index, &terms, &mut scores);
+    }
+    // Top-k via a bounded min-heap.
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (doc, score) in scores {
+        heap.push(HeapEntry(score, doc.0));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut hits: Vec<Hit> =
+        heap.into_iter().map(|HeapEntry(s, d)| Hit { doc: DocId(d), score: s }).collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.doc.0.cmp(&b.doc.0))
+    });
+    hits
+}
+
+fn apply_annotations(index: &SearchIndex, terms: &[String], scores: &mut FxHashMap<DocId, f64>) {
+    let docs = index.docs();
+    let facet_values = index.facet_values();
+    for (doc, score) in scores.iter_mut() {
+        let stored = docs.get(*doc);
+        if stored.annotations.is_empty() {
+            continue;
+        }
+        let mut boost = 0.0;
+        for ann in &stored.annotations {
+            let value_tokens: Vec<&str> = ann.value.split_whitespace().collect();
+            if value_tokens.is_empty() {
+                continue;
+            }
+            if value_tokens.iter().all(|vt| terms.iter().any(|t| t == vt)) {
+                // Query explicitly names this facet value: structured match.
+                boost += ANNOTATION_BOOST;
+            } else {
+                // Conflict: a query token is a *known value* of this same
+                // facet, but this page is annotated with a different value.
+                let conflicting = terms.iter().any(|t| {
+                    facet_values
+                        .get(&ann.key)
+                        .is_some_and(|vals| vals.contains(t) && !value_tokens.contains(&t.as_str()))
+                });
+                if conflicting {
+                    boost -= ANNOTATION_CONFLICT_PENALTY;
+                }
+            }
+        }
+        *score += boost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docstore::{Annotation, DocKind};
+    use crate::index::SearchIndex;
+    use deepweb_common::Url;
+
+    fn build() -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "honda civics for sale".into(),
+            "1993 honda civic has better mileage than the ford focus".into(),
+            DocKind::Surfaced,
+            None,
+            vec![
+                Annotation { key: "make".into(), value: "honda".into() },
+                Annotation { key: "model".into(), value: "civic".into() },
+            ],
+        );
+        idx.add(
+            Url::new("b.sim", "/2"),
+            "ford focus listings".into(),
+            "used ford focus 1993 low price".into(),
+            DocKind::Surfaced,
+            None,
+            vec![
+                Annotation { key: "make".into(), value: "ford".into() },
+                Annotation { key: "model".into(), value: "focus".into() },
+            ],
+        );
+        idx.add(
+            Url::new("c.sim", "/3"),
+            "cooking blog".into(),
+            "recipes and stories".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        idx
+    }
+
+    #[test]
+    fn bm25_ranks_relevant_first() {
+        let idx = build();
+        let hits = search(&idx, "ford focus", 10, SearchOptions::default());
+        assert_eq!(hits[0].doc, DocId(1));
+        assert!(hits.len() >= 2); // honda page also mentions ford focus
+    }
+
+    #[test]
+    fn top_k_bounds_results() {
+        let idx = build();
+        let hits = search(&idx, "ford focus honda civic", 1, SearchOptions::default());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn annotations_fix_false_positive() {
+        let idx = build();
+        // With annotations, the honda page is penalised for the make
+        // conflict and the ford page is boosted.
+        let opts = SearchOptions { use_annotations: true, ..Default::default() };
+        let hits = search(&idx, "used ford focus 1993", 10, opts);
+        assert_eq!(hits[0].doc, DocId(1));
+        let ford = hits.iter().find(|h| h.doc == DocId(1)).unwrap().score;
+        let honda = hits.iter().find(|h| h.doc == DocId(0)).map(|h| h.score);
+        if let Some(h) = honda {
+            assert!(ford > h + 1.0, "annotation gap should be decisive");
+        }
+    }
+
+    #[test]
+    fn empty_query_no_hits() {
+        let idx = build();
+        assert!(search(&idx, "", 10, SearchOptions::default()).is_empty());
+        assert!(search(&idx, "the of and", 10, SearchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_no_hits() {
+        let idx = build();
+        assert!(search(&idx, "zzzzz", 10, SearchOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Impact attribution: run a query stream against a search index and
+//! attribute deep-web results back to the forms that produced them — the
+//! machinery behind the paper's "top 10,000 forms account for only 50% of
+//! deep-web results" analysis (§3.2).
+
+use crate::workload::Workload;
+use deepweb_common::ids::{QueryId, SiteId};
+use deepweb_common::{stats, FxHashMap};
+use deepweb_index::{search, DocKind, SearchIndex, SearchOptions};
+use rand::rngs::StdRng;
+
+/// Impact accounting for one stream replay.
+#[derive(Clone, Debug, Default)]
+pub struct ImpactReport {
+    /// Queries replayed.
+    pub queries: usize,
+    /// Queries with ≥1 result in the top-k.
+    pub answered: usize,
+    /// Queries whose top-k contained a deep-web (surfaced/discovered) page.
+    pub with_deepweb_result: usize,
+    /// Tail queries with a deep-web result.
+    pub tail_with_deepweb: usize,
+    /// Tail queries replayed.
+    pub tail_queries: usize,
+    /// Head queries replayed.
+    pub head_queries: usize,
+    /// Head queries with a deep-web result.
+    pub head_with_deepweb: usize,
+    /// Deep-web results attributed per site (form).
+    pub per_site_impact: FxHashMap<SiteId, u64>,
+}
+
+impl ImpactReport {
+    /// Cumulative share curve over per-form impact (descending): entry `k`
+    /// answers "what fraction of deep-web results do the top-(k+1) forms
+    /// carry" — the paper's long-tail table.
+    pub fn cumulative_share(&self) -> Vec<f64> {
+        let weights: Vec<f64> =
+            self.per_site_impact.values().map(|&c| c as f64).collect();
+        stats::cumulative_share(&weights)
+    }
+
+    /// Number of forms needed to reach `share` of deep-web results.
+    pub fn forms_for_share(&self, share: f64) -> usize {
+        let weights: Vec<f64> =
+            self.per_site_impact.values().map(|&c| c as f64).collect();
+        stats::rank_reaching_share(&weights, share)
+    }
+
+    /// Fraction of deep-web impact landing on tail queries.
+    pub fn tail_share_of_deepweb(&self) -> f64 {
+        let total = self.with_deepweb_result;
+        if total == 0 {
+            0.0
+        } else {
+            self.tail_with_deepweb as f64 / total as f64
+        }
+    }
+}
+
+/// Replay `n` sampled queries against the index, attributing top-`k` hits.
+pub fn replay(
+    index: &SearchIndex,
+    workload: &Workload,
+    n: usize,
+    k: usize,
+    opts: SearchOptions,
+    rng: &mut StdRng,
+) -> ImpactReport {
+    let stream: Vec<QueryId> = workload.stream(n, rng);
+    let mut report = ImpactReport { queries: n, ..Default::default() };
+    for qid in stream {
+        let q = workload.query(qid);
+        if q.is_tail {
+            report.tail_queries += 1;
+        } else {
+            report.head_queries += 1;
+        }
+        let hits = search(index, &q.text, k, opts);
+        if hits.is_empty() {
+            continue;
+        }
+        report.answered += 1;
+        let mut saw_deepweb = false;
+        for h in &hits {
+            let doc = index.doc(h.doc);
+            if matches!(doc.kind, DocKind::Surfaced | DocKind::Discovered) {
+                saw_deepweb = true;
+                if let Some(site) = doc.site {
+                    *report.per_site_impact.entry(site).or_insert(0) += 1;
+                }
+            }
+        }
+        if saw_deepweb {
+            report.with_deepweb_result += 1;
+            if q.is_tail {
+                report.tail_with_deepweb += 1;
+            } else {
+                report.head_with_deepweb += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepweb_common::ids::DocId;
+
+    #[test]
+    fn cumulative_share_and_rank() {
+        let mut r = ImpactReport::default();
+        r.per_site_impact.insert(SiteId(0), 50);
+        r.per_site_impact.insert(SiteId(1), 30);
+        r.per_site_impact.insert(SiteId(2), 15);
+        r.per_site_impact.insert(SiteId(3), 5);
+        let curve = r.cumulative_share();
+        assert!((curve[0] - 0.5).abs() < 1e-12);
+        assert_eq!(r.forms_for_share(0.5), 1);
+        assert_eq!(r.forms_for_share(0.8), 2);
+        assert_eq!(r.forms_for_share(1.0), 4);
+    }
+
+    #[test]
+    fn tail_share() {
+        let r = ImpactReport {
+            with_deepweb_result: 10,
+            tail_with_deepweb: 8,
+            ..Default::default()
+        };
+        assert!((r.tail_share_of_deepweb() - 0.8).abs() < 1e-12);
+        assert_eq!(ImpactReport::default().tail_share_of_deepweb(), 0.0);
+    }
+
+    #[test]
+    fn replay_counts_on_tiny_index() {
+        use deepweb_common::Url;
+        use deepweb_index::Annotation;
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/r?x=1"),
+            "gov bulletin".into(),
+            "rare subject zz11 text".into(),
+            DocKind::Surfaced,
+            Some(SiteId(4)),
+            vec![Annotation { key: "t".into(), value: "v".into() }],
+        );
+        let _ = idx; // replay needs a workload over a world; covered in integration tests.
+        assert_eq!(idx.doc(DocId(0)).site, Some(SiteId(4)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Predicates: the query language a form submission compiles into.
+//!
+//! A deep-web form maps each filled input to one predicate — a select menu to
+//! an equality, a range input pair to a single [`Predicate::Range`] over one
+//! column, a search box to keyword containment over the row's text — and the
+//! site evaluates their conjunction (paper §3.2, §4.2).
+
+use crate::value::Value;
+
+/// A single-column predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Predicate {
+    /// Column equals value.
+    Eq {
+        /// Column index in the schema.
+        col: usize,
+        /// Value to match exactly.
+        value: Value,
+    },
+    /// Column within `[min, max]` (either bound optional, both inclusive).
+    Range {
+        /// Column index in the schema.
+        col: usize,
+        /// Inclusive lower bound.
+        min: Option<Value>,
+        /// Inclusive upper bound.
+        max: Option<Value>,
+    },
+    /// Every keyword appears as a token somewhere in the row (any column's
+    /// rendered text). This is the "search box" semantics.
+    KeywordsAll(Vec<String>),
+}
+
+impl Predicate {
+    /// True if `row_tokens`/`row` satisfies the predicate.
+    ///
+    /// `row` is the typed row; `row_tokens` is the pre-tokenised rendering of
+    /// the whole row (computed once per row by the table).
+    pub fn matches(&self, row: &[Value], row_tokens: &[String]) -> bool {
+        match self {
+            Predicate::Eq { col, value } => row.get(*col) == Some(value),
+            Predicate::Range { col, min, max } => {
+                let Some(v) = row.get(*col) else { return false };
+                if let Some(lo) = min {
+                    // Cross-type comparisons never match.
+                    if v.value_type() != lo.value_type() || v < lo {
+                        return false;
+                    }
+                }
+                if let Some(hi) = max {
+                    if v.value_type() != hi.value_type() || v > hi {
+                        return false;
+                    }
+                }
+                true
+            }
+            Predicate::KeywordsAll(kws) => {
+                kws.iter().all(|k| row_tokens.iter().any(|t| t == k))
+            }
+        }
+    }
+
+    /// An empty range (`min > max`) can never match; sites short-circuit it.
+    pub fn is_vacuous(&self) -> bool {
+        match self {
+            Predicate::Range { min: Some(lo), max: Some(hi), .. } => lo > hi,
+            Predicate::KeywordsAll(kws) => kws.is_empty(),
+            _ => false,
+        }
+    }
+}
+
+/// A conjunction of predicates.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Conjunction {
+    /// Conjuncts, all of which must hold.
+    pub preds: Vec<Predicate>,
+}
+
+impl Conjunction {
+    /// Conjunction of the given predicates.
+    pub fn new(preds: Vec<Predicate>) -> Self {
+        Conjunction { preds }
+    }
+
+    /// The always-true conjunction (a form submitted with no constraints).
+    pub fn all() -> Self {
+        Conjunction { preds: Vec::new() }
+    }
+
+    /// True if the row satisfies every conjunct.
+    pub fn matches(&self, row: &[Value], row_tokens: &[String]) -> bool {
+        self.preds.iter().all(|p| p.matches(row, row_tokens))
+    }
+
+    /// True if any conjunct can never match.
+    pub fn is_vacuous(&self) -> bool {
+        self.preds.iter().any(|p| p.is_vacuous())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Text("honda".into()), Value::Int(1993), Value::Money(450_000)]
+    }
+
+    fn toks() -> Vec<String> {
+        vec!["honda".into(), "1993".into(), "4500".into()]
+    }
+
+    #[test]
+    fn eq_matches_same_column_only() {
+        let p = Predicate::Eq { col: 0, value: Value::Text("honda".into()) };
+        assert!(p.matches(&row(), &toks()));
+        let p2 = Predicate::Eq { col: 1, value: Value::Text("honda".into()) };
+        assert!(!p2.matches(&row(), &toks()));
+    }
+
+    #[test]
+    fn range_inclusive_and_cross_type_safe() {
+        let p = Predicate::Range {
+            col: 1,
+            min: Some(Value::Int(1993)),
+            max: Some(Value::Int(1995)),
+        };
+        assert!(p.matches(&row(), &toks()));
+        let cross = Predicate::Range { col: 1, min: Some(Value::Money(0)), max: None };
+        assert!(!cross.matches(&row(), &toks()));
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        let lo = Predicate::Range { col: 2, min: Some(Value::Money(400_000)), max: None };
+        let hi = Predicate::Range { col: 2, min: None, max: Some(Value::Money(400_000)) };
+        assert!(lo.matches(&row(), &toks()));
+        assert!(!hi.matches(&row(), &toks()));
+    }
+
+    #[test]
+    fn keywords_all_requires_every_token() {
+        let p = Predicate::KeywordsAll(vec!["honda".into(), "1993".into()]);
+        assert!(p.matches(&row(), &toks()));
+        let p2 = Predicate::KeywordsAll(vec!["honda".into(), "ford".into()]);
+        assert!(!p2.matches(&row(), &toks()));
+    }
+
+    #[test]
+    fn vacuous_detection() {
+        let p = Predicate::Range {
+            col: 1,
+            min: Some(Value::Int(10)),
+            max: Some(Value::Int(5)),
+        };
+        assert!(p.is_vacuous());
+        assert!(Predicate::KeywordsAll(vec![]).is_vacuous());
+        assert!(Conjunction::new(vec![p]).is_vacuous());
+        assert!(!Conjunction::all().is_vacuous());
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let c = Conjunction::new(vec![
+            Predicate::Eq { col: 0, value: Value::Text("honda".into()) },
+            Predicate::Range { col: 1, min: Some(Value::Int(1990)), max: Some(Value::Int(2000)) },
+        ]);
+        assert!(c.matches(&row(), &toks()));
+        assert!(Conjunction::all().matches(&row(), &toks()));
+    }
+}

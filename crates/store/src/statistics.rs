@@ -1,0 +1,81 @@
+//! Column statistics.
+//!
+//! Used two ways: (1) the webworld generator reports ground-truth
+//! distributions, (2) the surfacer's experiments compare achieved coverage
+//! against the true value spread of the backing column.
+
+use crate::table::Table;
+use crate::value::Value;
+use deepweb_common::FxHashMap;
+
+/// Summary statistics for one column.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Most frequent values with counts, descending.
+    pub top: Vec<(Value, usize)>,
+    /// Min/max (None for empty tables).
+    pub min_max: Option<(Value, Value)>,
+}
+
+impl ColumnStats {
+    /// Compute stats for `table[col]`, keeping the `top_k` heaviest values.
+    pub fn compute(table: &Table, col: usize, top_k: usize) -> Self {
+        let mut counts: FxHashMap<Value, usize> = FxHashMap::default();
+        for (_, row) in table.iter() {
+            *counts.entry(row[col].clone()).or_insert(0) += 1;
+        }
+        let distinct = counts.len();
+        let mut top: Vec<(Value, usize)> = counts.into_iter().collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top.truncate(top_k);
+        ColumnStats { rows: table.len(), distinct, top, min_max: table.min_max(col) }
+    }
+
+    /// Fraction of rows carrying the single most frequent value.
+    pub fn top_share(&self) -> f64 {
+        match (self.rows, self.top.first()) {
+            (0, _) | (_, None) => 0.0,
+            (n, Some((_, c))) => *c as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    #[test]
+    fn compute_counts_and_minmax() {
+        let schema = Schema::new(vec![("make", ValueType::Text)]).unwrap();
+        let mut t = Table::new(schema);
+        for m in ["honda", "ford", "honda", "honda", "bmw"] {
+            t.insert(vec![Value::Text(m.into())]).unwrap();
+        }
+        let s = ColumnStats::compute(&t, 0, 2);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.top[0], (Value::Text("honda".into()), 3));
+        assert_eq!(s.top.len(), 2);
+        assert!((s.top_share() - 0.6).abs() < 1e-12);
+        assert_eq!(
+            s.min_max,
+            Some((Value::Text("bmw".into()), Value::Text("honda".into())))
+        );
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let schema = Schema::new(vec![("x", ValueType::Int)]).unwrap();
+        let t = Table::new(schema);
+        let s = ColumnStats::compute(&t, 0, 3);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.top_share(), 0.0);
+        assert!(s.min_max.is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! In-memory tables with pre-tokenised rows.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use deepweb_common::ids::RecordId;
+use deepweb_common::text::tokenize;
+use deepweb_common::{Error, Result};
+
+/// A table: schema + rows + per-row token cache.
+///
+/// The token cache exists because keyword predicates (search boxes) are the
+/// hottest operation in the simulator — every probe of every form evaluates
+/// them over the whole table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    row_tokens: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new(), row_tokens: Vec::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row, validating arity and types.
+    ///
+    /// # Errors
+    /// Fails if the row does not match the schema.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RecordId> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Schema(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            let expect = self.schema.column(i).ty;
+            if v.value_type() != expect {
+                return Err(Error::Schema(format!(
+                    "column {} expects {:?}, got {:?}",
+                    self.schema.column(i).name,
+                    expect,
+                    v.value_type()
+                )));
+            }
+        }
+        let mut toks: Vec<String> = Vec::new();
+        for v in &row {
+            toks.extend(tokenize(&v.render()));
+        }
+        toks.sort();
+        toks.dedup();
+        let id = RecordId(self.rows.len() as u32);
+        self.rows.push(row);
+        self.row_tokens.push(toks);
+        Ok(id)
+    }
+
+    /// Row by id.
+    pub fn row(&self, id: RecordId) -> &[Value] {
+        &self.rows[id.as_usize()]
+    }
+
+    /// Pre-tokenised rendering of the row (sorted, deduped).
+    pub fn row_tokens(&self, id: RecordId) -> &[String] {
+        &self.row_tokens[id.as_usize()]
+    }
+
+    /// Iterate `(RecordId, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[Value])> {
+        self.rows.iter().enumerate().map(|(i, r)| (RecordId(i as u32), r.as_slice()))
+    }
+
+    /// Distinct values of a column (sorted).
+    pub fn distinct_values(&self, col: usize) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.rows.iter().map(|r| r[col].clone()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Min and max of a column (`None` for an empty table).
+    pub fn min_max(&self, col: usize) -> Option<(Value, Value)> {
+        let mut it = self.rows.iter().map(|r| &r[col]);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo.clone(), hi.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn car_table() -> Table {
+        let schema =
+            Schema::new(vec![("make", ValueType::Text), ("year", ValueType::Int)]).unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Value::Text("honda civic".into()), Value::Int(1993)]).unwrap();
+        t.insert(vec![Value::Text("ford focus".into()), Value::Int(1998)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let t = car_table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(RecordId(0))[1], Value::Int(1993));
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = car_table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t.insert(vec![Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn tokens_cover_all_columns() {
+        let t = car_table();
+        let toks = t.row_tokens(RecordId(0));
+        assert!(toks.contains(&"honda".to_string()));
+        assert!(toks.contains(&"1993".to_string()));
+    }
+
+    #[test]
+    fn distinct_and_minmax() {
+        let t = car_table();
+        assert_eq!(t.distinct_values(1), vec![Value::Int(1993), Value::Int(1998)]);
+        assert_eq!(t.min_max(1), Some((Value::Int(1993), Value::Int(1998))));
+        let empty = Table::new(Schema::new(vec![("x", ValueType::Int)]).unwrap());
+        assert_eq!(empty.min_max(0), None);
+    }
+}

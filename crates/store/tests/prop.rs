@@ -1,0 +1,116 @@
+//! Property tests: the indexed access paths must agree with a full scan for
+//! every predicate shape, and pagination must tile the result exactly.
+
+use deepweb_store::{Conjunction, IndexedTable, Predicate, Schema, Table, Value, ValueType};
+use proptest::prelude::*;
+
+fn arb_value_int() -> impl Strategy<Value = i64> {
+    -50i64..50
+}
+
+fn build_table(rows: &[(String, i64, i64)]) -> IndexedTable {
+    let schema = Schema::new(vec![
+        ("name", ValueType::Text),
+        ("year", ValueType::Int),
+        ("price", ValueType::Money),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    for (name, year, price) in rows {
+        t.insert(vec![
+            Value::Text(name.clone()),
+            Value::Int(*year),
+            Value::Money(*price * 100),
+        ])
+        .unwrap();
+    }
+    IndexedTable::build(t)
+}
+
+fn scan(it: &IndexedTable, conj: &Conjunction) -> Vec<u32> {
+    it.table()
+        .iter()
+        .filter(|(id, row)| !conj.is_vacuous() && conj.matches(row, it.table().row_tokens(*id)))
+        .map(|(id, _)| id.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eq_index_equals_scan(
+        rows in prop::collection::vec(("[a-d]{1,3}", arb_value_int(), 0i64..100), 0..40),
+        probe in "[a-d]{1,3}",
+    ) {
+        let it = build_table(&rows);
+        let conj = Conjunction::new(vec![Predicate::Eq { col: 0, value: Value::Text(probe) }]);
+        let via_index: Vec<u32> = it.select(&conj).iter().map(|r| r.0).collect();
+        prop_assert_eq!(via_index, scan(&it, &conj));
+    }
+
+    #[test]
+    fn range_index_equals_scan(
+        rows in prop::collection::vec(("[a-d]{1,3}", arb_value_int(), 0i64..100), 0..40),
+        lo in arb_value_int(),
+        hi in arb_value_int(),
+    ) {
+        let it = build_table(&rows);
+        let conj = Conjunction::new(vec![Predicate::Range {
+            col: 1,
+            min: Some(Value::Int(lo)),
+            max: Some(Value::Int(hi)),
+        }]);
+        let via_index: Vec<u32> = it.select(&conj).iter().map(|r| r.0).collect();
+        prop_assert_eq!(via_index, scan(&it, &conj));
+    }
+
+    #[test]
+    fn conjunction_never_grows_results(
+        rows in prop::collection::vec(("[a-d]{1,3}", arb_value_int(), 0i64..100), 1..40),
+        probe in "[a-d]{1,3}",
+        lo in arb_value_int(),
+    ) {
+        let it = build_table(&rows);
+        let single = Conjunction::new(vec![Predicate::Eq { col: 0, value: Value::Text(probe.clone()) }]);
+        let double = Conjunction::new(vec![
+            Predicate::Eq { col: 0, value: Value::Text(probe) },
+            Predicate::Range { col: 1, min: Some(Value::Int(lo)), max: None },
+        ]);
+        prop_assert!(it.select(&double).len() <= it.select(&single).len());
+    }
+
+    #[test]
+    fn pagination_tiles_selection(
+        rows in prop::collection::vec(("[a-d]{1,3}", arb_value_int(), 0i64..100), 0..60),
+        page_size in 1usize..10,
+    ) {
+        let it = build_table(&rows);
+        let all = it.select(&Conjunction::all());
+        let mut collected = Vec::new();
+        let mut page = 0usize;
+        loop {
+            let p = it.select_page(&Conjunction::all(), page, page_size);
+            prop_assert_eq!(p.total, all.len());
+            if p.ids.is_empty() { break; }
+            collected.extend(p.ids.iter().copied());
+            page += 1;
+            prop_assert!(page <= all.len() + 1, "pagination loop");
+        }
+        prop_assert_eq!(collected, all);
+    }
+
+    #[test]
+    fn keyword_predicate_subset_of_all(
+        rows in prop::collection::vec(("[a-d]{1,3}", arb_value_int(), 0i64..100), 0..40),
+        kw in "[a-d]{1,3}",
+    ) {
+        let it = build_table(&rows);
+        let conj = Conjunction::new(vec![Predicate::KeywordsAll(vec![kw])]);
+        let hits = it.select(&conj);
+        let all = it.select(&Conjunction::all());
+        prop_assert!(hits.len() <= all.len());
+        // Every hit must genuinely contain the keyword.
+        prop_assert_eq!(hits.iter().map(|r| r.0).collect::<Vec<_>>(), scan(&it, &conj));
+    }
+}

@@ -1,0 +1,237 @@
+//! Crawler-side form model.
+//!
+//! This is what the surfacer knows about a form: only what can be read off
+//! the HTML — names, widget kinds, options, method, action — plus the
+//! dependent-options table recovered by the "JS emulator" (paper §4.2 notes
+//! that a JavaScript emulator exposes make→model style correlations; our
+//! emulator is a parser for the declarative `dependentOptions` blob sites
+//! embed).
+
+use deepweb_common::Url;
+use deepweb_html::{extract_forms, Document, Method, WidgetKind};
+
+/// A select's dependent-options table recovered from page JavaScript.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DependentMap {
+    /// Controlling input name.
+    pub controller: String,
+    /// Dependent input name.
+    pub dependent: String,
+    /// controller value → dependent values.
+    pub map: Vec<(String, Vec<String>)>,
+}
+
+/// Crawler view of one input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrawledInput {
+    /// Parameter name.
+    pub name: String,
+    /// Nearest preceding label text (lowercased).
+    pub label: String,
+    /// Widget kind as extracted.
+    pub kind: WidgetKind,
+}
+
+impl CrawledInput {
+    /// True for free-text widgets.
+    pub fn is_text(&self) -> bool {
+        matches!(self.kind, WidgetKind::TextBox)
+    }
+
+    /// Select options (empty for non-selects), with the empty default
+    /// filtered out.
+    pub fn options(&self) -> Vec<&str> {
+        match &self.kind {
+            WidgetKind::SelectMenu { options } => {
+                options.iter().map(String::as_str).filter(|o| !o.is_empty()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Crawler view of one form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrawledForm {
+    /// Host serving the form.
+    pub host: String,
+    /// URL of the page the form was found on.
+    pub source_url: Url,
+    /// Resolved submission URL (host + action path).
+    pub action_url: Url,
+    /// True for POST forms.
+    pub post: bool,
+    /// Inputs in document order.
+    pub inputs: Vec<CrawledInput>,
+    /// JS-dependent select pair, if the emulator found one.
+    pub dependents: Option<DependentMap>,
+}
+
+impl CrawledForm {
+    /// Input by name.
+    pub fn input(&self, name: &str) -> Option<&CrawledInput> {
+        self.inputs.iter().find(|i| i.name == name)
+    }
+
+    /// Hidden `(name, value)` pairs that must ride along on every submission.
+    pub fn hidden_params(&self) -> Vec<(String, String)> {
+        self.inputs
+            .iter()
+            .filter_map(|i| match &i.kind {
+                WidgetKind::Hidden { value } => Some((i.name.clone(), value.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of fillable (non-hidden) inputs.
+    pub fn fillable_inputs(&self) -> Vec<&CrawledInput> {
+        self.inputs
+            .iter()
+            .filter(|i| !matches!(i.kind, WidgetKind::Hidden { .. }))
+            .collect()
+    }
+}
+
+/// Extract every form on a page, resolving actions against `page_url`.
+pub fn analyze_page(page_url: &Url, html: &str) -> Vec<CrawledForm> {
+    let doc = Document::parse(html);
+    let dependents = parse_dependent_options(&doc);
+    extract_forms(&doc)
+        .into_iter()
+        .map(|f| {
+            let action_path = if f.action.is_empty() { page_url.path.clone() } else { f.action.clone() };
+            let action_url = if action_path.starts_with("http://") {
+                Url::parse(&action_path)
+                    .unwrap_or_else(|| Url::new(page_url.host.clone(), "/"))
+            } else {
+                Url::new(page_url.host.clone(), action_path)
+            };
+            CrawledForm {
+                host: page_url.host.clone(),
+                source_url: page_url.clone(),
+                action_url,
+                post: f.method == Method::Post,
+                inputs: f
+                    .inputs
+                    .into_iter()
+                    .map(|i| CrawledInput { name: i.name, label: i.label, kind: i.kind })
+                    .collect(),
+                dependents: dependents.clone(),
+            }
+        })
+        .collect()
+}
+
+/// The "JS emulator": recover a `dependentOptions` table from script text.
+///
+/// Grammar handled (exactly what the simulated sites emit, and a reasonable
+/// stand-in for what a real emulator would recover):
+/// `var dependentOptions = {"controller":"make","dependent":"model","map":{"honda":["civic",...],...}};`
+pub fn parse_dependent_options(doc: &Document) -> Option<DependentMap> {
+    let script = doc
+        .find_all("script")
+        .iter()
+        .map(|s| s.children().iter().filter_map(node_text).collect::<String>())
+        .find(|t| t.contains("dependentOptions"))?;
+    let controller = capture(&script, "\"controller\":\"", "\"")?;
+    let dependent = capture(&script, "\"dependent\":\"", "\"")?;
+    let map_body = capture(&script, "\"map\":{", "}}")?;
+    let mut map = Vec::new();
+    let mut rest = map_body;
+    while let Some(k_start) = rest.find('"') {
+        let after_key = &rest[k_start + 1..];
+        let k_end = after_key.find('"')?;
+        let key = after_key[..k_end].to_string();
+        let after = &after_key[k_end + 1..];
+        let open = after.find('[')?;
+        let close = after.find(']')?;
+        let vals: Vec<String> = after[open + 1..close]
+            .split(',')
+            .map(|v| v.trim().trim_matches('"').to_string())
+            .filter(|v| !v.is_empty())
+            .collect();
+        map.push((key, vals));
+        rest = after[close + 1..].to_string();
+    }
+    if map.is_empty() {
+        return None;
+    }
+    Some(DependentMap { controller, dependent, map })
+}
+
+fn node_text(n: &deepweb_html::Node) -> Option<String> {
+    match n {
+        deepweb_html::Node::Text(t) => Some(t.clone()),
+        _ => None,
+    }
+}
+
+fn capture(s: &str, start: &str, end: &str) -> Option<String> {
+    let i = s.find(start)? + start.len();
+    let j = s[i..].find(end)? + i;
+    Some(s[i..j].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"
+      <html><body>
+      <form action="/results" method="get">
+        Make: <select name="make"><option value="">any</option>
+          <option value="honda">honda</option></select>
+        Model: <select name="model"><option value=""></option></select>
+        Keywords: <input type="text" name="q">
+        <input type="hidden" name="lang" value="en">
+      </form>
+      <script>var dependentOptions = {"controller":"make","dependent":"model","map":{"honda":["civic","accord"],"ford":["focus"]}};</script>
+      </body></html>"#;
+
+    #[test]
+    fn analyze_resolves_action_and_inputs() {
+        let url = Url::new("cars.sim", "/search");
+        let forms = analyze_page(&url, PAGE);
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0];
+        assert_eq!(f.action_url, Url::new("cars.sim", "/results"));
+        assert!(!f.post);
+        assert_eq!(f.fillable_inputs().len(), 3);
+        assert_eq!(f.hidden_params(), vec![("lang".to_string(), "en".to_string())]);
+    }
+
+    #[test]
+    fn js_emulator_recovers_dependents() {
+        let url = Url::new("cars.sim", "/search");
+        let f = &analyze_page(&url, PAGE)[0];
+        let dep = f.dependents.as_ref().expect("dependents parsed");
+        assert_eq!(dep.controller, "make");
+        assert_eq!(dep.dependent, "model");
+        assert_eq!(dep.map.len(), 2);
+        assert_eq!(dep.map[0], ("honda".to_string(), vec!["civic".into(), "accord".into()]));
+    }
+
+    #[test]
+    fn options_filter_empty_default() {
+        let url = Url::new("cars.sim", "/search");
+        let f = &analyze_page(&url, PAGE)[0];
+        assert_eq!(f.input("make").unwrap().options(), vec!["honda"]);
+        assert!(f.input("model").unwrap().options().is_empty());
+    }
+
+    #[test]
+    fn page_without_script_has_no_dependents() {
+        let url = Url::new("x.sim", "/search");
+        let forms =
+            analyze_page(&url, r#"<form action="/r"><input type=text name=q></form>"#);
+        assert!(forms[0].dependents.is_none());
+    }
+
+    #[test]
+    fn empty_action_falls_back_to_page_path() {
+        let url = Url::new("x.sim", "/search");
+        let forms = analyze_page(&url, r#"<form><input type=text name=q></form>"#);
+        assert_eq!(forms[0].action_url, Url::new("x.sim", "/search"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Iterative probing: keyword selection for search boxes (paper §4.1).
+//!
+//! "We generate candidate seed keywords by selecting the words that are most
+//! characteristic of the already indexed web pages from the form site. We
+//! then use an iterative probing approach to identify more keywords before
+//! finally selecting the ones that ensure diversity of result pages."
+//!
+//! Implementation: seeds = TF·IDF-characteristic terms of the site's surface
+//! pages against a web-wide background; each productive probe's result text
+//! contributes new candidates; final selection is a greedy max-cover over the
+//! record sets the keywords retrieve (falling back to distinct signatures
+//! when pages expose no record links).
+
+use crate::formmodel::CrawledForm;
+use crate::probe::{Assignment, Prober};
+use deepweb_common::text::DfTable;
+use deepweb_common::FxHashSet;
+
+/// Tuning for iterative probing.
+#[derive(Clone, Copy, Debug)]
+pub struct KeywordConfig {
+    /// Seed candidates taken from site text.
+    pub seeds: usize,
+    /// Probing rounds after the seed round (0 = seed-only baseline).
+    pub iterations: usize,
+    /// New candidates extracted from result pages per round.
+    pub candidates_per_round: usize,
+    /// Keywords kept by the final diversity selection.
+    pub max_keywords: usize,
+    /// Hard cap on probe requests.
+    pub probe_budget: usize,
+}
+
+impl Default for KeywordConfig {
+    fn default() -> Self {
+        KeywordConfig {
+            seeds: 10,
+            iterations: 3,
+            candidates_per_round: 12,
+            max_keywords: 20,
+            probe_budget: 120,
+        }
+    }
+}
+
+/// Outcome of keyword selection for one input.
+#[derive(Clone, Debug, Default)]
+pub struct KeywordSelection {
+    /// Selected keywords, in greedy-cover order.
+    pub keywords: Vec<String>,
+    /// Distinct records covered by the selection (when observable).
+    pub covered_records: usize,
+    /// Candidates probed.
+    pub candidates_tried: usize,
+    /// Probe requests spent.
+    pub probes_used: u64,
+}
+
+/// Run iterative probing for `input_name` of `form`.
+///
+/// `site_text` is the text of the site's already-crawled surface pages;
+/// `background` the web-wide document-frequency table; `base` an assignment
+/// (e.g. a database-selection menu value) merged into every probe.
+pub fn iterative_probing(
+    prober: &Prober<'_>,
+    form: &CrawledForm,
+    input_name: &str,
+    base: &[(String, String)],
+    site_text: &str,
+    background: &DfTable,
+    cfg: &KeywordConfig,
+) -> KeywordSelection {
+    let start_requests = prober.requests();
+    let mut queue: Vec<String> = background.characteristic_terms(site_text, cfg.seeds);
+    let mut tried: FxHashSet<String> = FxHashSet::default();
+    // keyword -> (records, signature)
+    let mut productive: Vec<(String, FxHashSet<u32>, u64)> = Vec::new();
+    let mut rounds_left = cfg.iterations + 1; // seed round counts as one
+
+    while rounds_left > 0 && !queue.is_empty() {
+        rounds_left -= 1;
+        let batch: Vec<String> = std::mem::take(&mut queue);
+        let mut result_text = String::new();
+        for kw in batch {
+            if tried.len() >= cfg.probe_budget {
+                break;
+            }
+            if !tried.insert(kw.clone()) {
+                continue;
+            }
+            let mut assignment: Assignment = base.to_vec();
+            assignment.push((input_name.to_string(), kw.clone()));
+            let out = prober.submit(form, &assignment);
+            if out.ok && out.has_results() {
+                let records: FxHashSet<u32> = out.record_ids.iter().copied().collect();
+                productive.push((kw, records, out.signature));
+                result_text.push_str(&out.text);
+                result_text.push(' ');
+            }
+        }
+        if rounds_left > 0 && !result_text.is_empty() {
+            queue = background
+                .characteristic_terms(&result_text, cfg.candidates_per_round * 3)
+                .into_iter()
+                .filter(|t| !tried.contains(t))
+                .take(cfg.candidates_per_round)
+                .collect();
+        }
+    }
+
+    let keywords = greedy_diverse(&productive, cfg.max_keywords);
+    let mut covered: FxHashSet<u32> = FxHashSet::default();
+    for kw in &keywords {
+        if let Some((_, recs, _)) = productive.iter().find(|(k, _, _)| k == kw) {
+            covered.extend(recs.iter().copied());
+        }
+    }
+    KeywordSelection {
+        keywords,
+        covered_records: covered.len(),
+        candidates_tried: tried.len(),
+        probes_used: prober.requests() - start_requests,
+    }
+}
+
+/// Greedy max-cover selection: keep adding the keyword that covers the most
+/// yet-uncovered records; when record ids are unavailable, prefer new result
+/// signatures (diversity of result pages).
+fn greedy_diverse(
+    productive: &[(String, FxHashSet<u32>, u64)],
+    max_keywords: usize,
+) -> Vec<String> {
+    let mut chosen: Vec<String> = Vec::new();
+    let mut covered: FxHashSet<u32> = FxHashSet::default();
+    let mut seen_sigs: FxHashSet<u64> = FxHashSet::default();
+    let mut remaining: Vec<usize> = (0..productive.len()).collect();
+    while chosen.len() < max_keywords && !remaining.is_empty() {
+        let (best_pos, best_gain) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let (_, recs, sig) = &productive[i];
+                let rec_gain = recs.iter().filter(|r| !covered.contains(r)).count();
+                // Signature novelty breaks ties / substitutes when no records.
+                let sig_gain = usize::from(!seen_sigs.contains(sig));
+                (pos, rec_gain * 2 + sig_gain)
+            })
+            .max_by_key(|&(pos, gain)| (gain, std::cmp::Reverse(pos)))
+            .unwrap_or((0, 0));
+        if best_gain == 0 {
+            break;
+        }
+        let idx = remaining.remove(best_pos);
+        let (kw, recs, sig) = &productive[idx];
+        covered.extend(recs.iter().copied());
+        seen_sigs.insert(*sig);
+        chosen.push(kw.clone());
+    }
+    chosen
+}
+
+/// Probe a fixed keyword list and report the records covered — used by the
+/// E5 baselines (random dictionary words, frequency-ranked words).
+pub fn probe_keyword_coverage(
+    prober: &Prober<'_>,
+    form: &CrawledForm,
+    input_name: &str,
+    keywords: &[String],
+) -> FxHashSet<u32> {
+    let mut covered = FxHashSet::default();
+    for kw in keywords {
+        let out = prober.submit(form, &[(input_name.to_string(), kw.clone())]);
+        if out.ok {
+            covered.extend(out.record_ids.iter().copied());
+        }
+    }
+    covered
+}
+
+/// Frequency-only baseline: the `n` most frequent non-stopword terms of the
+/// site text (no probing feedback; Ntoulas-style greedy frequency).
+pub fn frequency_keywords(site_text: &str, n: usize) -> Vec<String> {
+    let tf = deepweb_common::text::term_frequencies(site_text);
+    let mut items: Vec<(String, u32)> = tf
+        .into_iter()
+        .filter(|(t, _)| !deepweb_common::text::is_stopword(t) && t.len() > 1)
+        .collect();
+    items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    items.into_iter().take(n).map(|(t, _)| t).collect()
+}
+
+/// Coverage accounting shared by experiments: `covered / total`.
+pub fn coverage_fraction(covered: usize, total: usize) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        covered as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formmodel::analyze_page;
+    use deepweb_common::Url;
+    use deepweb_webworld::{generate, Fetcher, WebConfig};
+
+    /// Find a site with a keyword search box and return (world, form, truth idx).
+    fn world_with_search_box() -> (deepweb_webworld::World, CrawledForm, usize) {
+        let w = generate(&WebConfig { num_sites: 30, ..WebConfig::default() });
+        for (i, t) in w.truth.sites.iter().enumerate() {
+            if t.post {
+                continue;
+            }
+            let has_search = t
+                .inputs
+                .iter()
+                .any(|(_, tr)| matches!(tr, deepweb_webworld::InputTruth::Search));
+            if !has_search {
+                continue;
+            }
+            let url = Url::new(t.host.clone(), "/search");
+            let html = w.server.fetch(&url).unwrap().html;
+            let forms = analyze_page(&url, &html);
+            if let Some(f) = forms.first() {
+                let form = f.clone();
+                return (w, form, i);
+            }
+        }
+        panic!("no search-box site in world");
+    }
+
+    fn search_input_name(w: &deepweb_webworld::World, i: usize) -> String {
+        w.truth.sites[i]
+            .inputs
+            .iter()
+            .find(|(_, t)| matches!(t, deepweb_webworld::InputTruth::Search))
+            .map(|(n, _)| n.clone())
+            .unwrap()
+    }
+
+    fn site_text_and_background(
+        w: &deepweb_webworld::World,
+        host: &str,
+    ) -> (String, DfTable) {
+        let home = w.server.fetch(&Url::new(host.to_string(), "/")).unwrap().html;
+        let text = deepweb_html::Document::parse(&home).text();
+        let mut bg = DfTable::new();
+        for t in &w.truth.sites {
+            let h = w.server.fetch(&Url::new(t.host.clone(), "/")).unwrap().html;
+            bg.add_document(&deepweb_html::Document::parse(&h).text());
+        }
+        (text, bg)
+    }
+
+    #[test]
+    fn probing_finds_productive_keywords() {
+        let (w, form, i) = world_with_search_box();
+        let input = search_input_name(&w, i);
+        let (text, bg) = site_text_and_background(&w, &form.host);
+        let prober = Prober::new(&w.server);
+        let sel = iterative_probing(
+            &prober,
+            &form,
+            &input,
+            &[],
+            &text,
+            &bg,
+            &KeywordConfig::default(),
+        );
+        assert!(!sel.keywords.is_empty(), "should find productive keywords");
+        assert!(sel.covered_records > 0);
+        assert!(sel.probes_used > 0);
+    }
+
+    #[test]
+    fn iteration_beats_seed_only() {
+        let (w, form, i) = world_with_search_box();
+        let input = search_input_name(&w, i);
+        let (text, bg) = site_text_and_background(&w, &form.host);
+        let seed_only = KeywordConfig { iterations: 0, ..KeywordConfig::default() };
+        let prober1 = Prober::new(&w.server);
+        let a = iterative_probing(&prober1, &form, &input, &[], &text, &bg, &seed_only);
+        let prober2 = Prober::new(&w.server);
+        let b = iterative_probing(
+            &prober2,
+            &form,
+            &input,
+            &[],
+            &text,
+            &bg,
+            &KeywordConfig::default(),
+        );
+        assert!(
+            b.covered_records >= a.covered_records,
+            "iterating should not lose coverage (seed={}, iter={})",
+            a.covered_records,
+            b.covered_records
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (w, form, i) = world_with_search_box();
+        let input = search_input_name(&w, i);
+        let (text, bg) = site_text_and_background(&w, &form.host);
+        let cfg = KeywordConfig { probe_budget: 5, ..KeywordConfig::default() };
+        let prober = Prober::new(&w.server);
+        let sel = iterative_probing(&prober, &form, &input, &[], &text, &bg, &cfg);
+        assert!(sel.candidates_tried <= 5);
+    }
+
+    #[test]
+    fn frequency_baseline_is_deterministic() {
+        let a = frequency_keywords("honda honda ford the of", 2);
+        assert_eq!(a, vec!["honda", "ford"]);
+    }
+
+    #[test]
+    fn greedy_prefers_coverage() {
+        let mk = |ids: &[u32]| ids.iter().copied().collect::<FxHashSet<u32>>();
+        let productive = vec![
+            ("a".to_string(), mk(&[1, 2]), 10),
+            ("b".to_string(), mk(&[1, 2, 3, 4]), 20),
+            ("c".to_string(), mk(&[5]), 30),
+        ];
+        let sel = greedy_diverse(&productive, 2);
+        assert_eq!(sel[0], "b");
+        assert_eq!(sel[1], "c");
+    }
+
+    #[test]
+    fn coverage_fraction_edges() {
+        assert_eq!(coverage_fraction(0, 0), 1.0);
+        assert_eq!(coverage_fraction(5, 10), 0.5);
+    }
+}

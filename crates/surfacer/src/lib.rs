@@ -1,0 +1,33 @@
+//! # deepweb-surfacer
+//!
+//! The paper's primary contribution: deep-web surfacing. Crawler-side form
+//! modelling (with a JS-dependency emulator), iterative-probing keyword
+//! selection for search boxes, typed-input recognition, correlated-input
+//! detection (ranges, database selection), query-template search with the
+//! informativeness test, indexability-aware template selection, and URL
+//! generation — composed into an end-to-end [`pipeline`].
+//!
+//! Everything operates through [`deepweb_webworld::Fetcher`]: one URL in,
+//! HTML out — structurally identical to crawling the real web.
+
+#![warn(missing_docs)]
+
+pub mod correlate;
+pub mod formmodel;
+pub mod indexability;
+pub mod keywords;
+pub mod pipeline;
+pub mod probe;
+pub mod template;
+pub mod typed;
+pub mod urlgen;
+
+pub use correlate::{DatabaseSelection, RangePair};
+pub use formmodel::{analyze_page, CrawledForm, CrawledInput, DependentMap};
+pub use indexability::{select_templates, IndexabilityConfig, SelectionOutcome};
+pub use keywords::{iterative_probing, KeywordConfig, KeywordSelection};
+pub use pipeline::{crawl_and_surface, DocOrigin, ProducedDoc, SiteReport, SurfacerConfig, SurfacingOutcome};
+pub use probe::{Assignment, ProbeOutcome, Prober};
+pub use template::{search_templates, Slot, Template, TemplateConfig, TemplateEval};
+pub use typed::{classify_typed, TypeClass, TypedValueLibrary, TypedVerdict};
+pub use urlgen::{generate_urls, GeneratedUrl};

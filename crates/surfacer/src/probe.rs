@@ -1,0 +1,308 @@
+//! The prober: submits form assignments, fetches pages, and reduces each
+//! response to the features the surfacing algorithms consume — most
+//! importantly the *content signature* used by the informativeness test.
+//!
+//! Signature discipline (following \[12\]): the submitted values are stripped
+//! from the visible text before hashing, so two submissions that produce the
+//! same result set (e.g. both empty) collapse to one signature even though
+//! the pages echo different queries.
+
+use crate::formmodel::CrawledForm;
+use deepweb_common::text::tokenize;
+use deepweb_common::{fxhash64, FxHashSet, Url};
+use deepweb_html::Document;
+use deepweb_webworld::Fetcher;
+use std::cell::Cell;
+
+/// One value assignment for a form submission: `(input name, value)`.
+pub type Assignment = Vec<(String, String)>;
+
+/// Everything the algorithms need to know about one fetched page.
+#[derive(Clone, Debug)]
+pub struct ProbeOutcome {
+    /// The fetched URL.
+    pub url: Url,
+    /// False when the server answered with an error status.
+    pub ok: bool,
+    /// Content signature (submitted values stripped).
+    pub signature: u64,
+    /// Declared result count, when the page announces one ("N results").
+    pub result_count: Option<usize>,
+    /// Record ids linked from the page (`/item?id=N` hrefs).
+    pub record_ids: Vec<u32>,
+    /// Visible page text (source of candidate probe keywords).
+    pub text: String,
+    /// "next page" link, if present.
+    pub next_page: Option<Url>,
+    /// Detail links on the page.
+    pub detail_urls: Vec<Url>,
+    /// The raw HTML (only kept for pages that will be indexed).
+    pub html: String,
+}
+
+impl ProbeOutcome {
+    /// True if the probe produced at least one visible result.
+    pub fn has_results(&self) -> bool {
+        self.result_count.unwrap_or(0) > 0 || !self.record_ids.is_empty()
+    }
+}
+
+/// Wraps a fetcher with request accounting and response analysis.
+pub struct Prober<'a> {
+    fetcher: &'a dyn Fetcher,
+    requests: Cell<u64>,
+}
+
+impl<'a> Prober<'a> {
+    /// Create a prober over `fetcher`.
+    pub fn new(fetcher: &'a dyn Fetcher) -> Self {
+        Prober { fetcher, requests: Cell::new(0) }
+    }
+
+    /// Requests issued so far (the per-site load the paper argues is light).
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Build the GET URL a submission would produce (hidden inputs ride
+    /// along; assignment order is the form's input order for URL stability).
+    pub fn submission_url(&self, form: &CrawledForm, assignment: &[(String, String)]) -> Url {
+        let mut url = form.action_url.clone();
+        for (k, v) in form.hidden_params() {
+            url = url.with_param(k, v);
+        }
+        // Emit in form-input order so the same assignment always yields the
+        // same URL string (URL identity = dedup key).
+        for input in &form.inputs {
+            if let Some((_, v)) = assignment.iter().find(|(k, _)| k == &input.name) {
+                if !v.is_empty() {
+                    url = url.with_param(input.name.clone(), v.clone());
+                }
+            }
+        }
+        url
+    }
+
+    /// Submit a form assignment and analyse the response.
+    pub fn submit(&self, form: &CrawledForm, assignment: &[(String, String)]) -> ProbeOutcome {
+        let url = self.submission_url(form, assignment);
+        let stripped: Vec<&str> = assignment.iter().map(|(_, v)| v.as_str()).collect();
+        self.fetch_analyzed(&url, &stripped)
+    }
+
+    /// Fetch an arbitrary URL (pagination, detail pages) and analyse it.
+    pub fn fetch(&self, url: &Url) -> ProbeOutcome {
+        self.fetch_analyzed(url, &[])
+    }
+
+    fn fetch_analyzed(&self, url: &Url, stripped_values: &[&str]) -> ProbeOutcome {
+        self.requests.set(self.requests.get() + 1);
+        match self.fetcher.fetch(url) {
+            Ok(resp) => analyze_response(url.clone(), resp.html, stripped_values),
+            Err(_) => ProbeOutcome {
+                url: url.clone(),
+                ok: false,
+                signature: 0,
+                result_count: None,
+                record_ids: Vec::new(),
+                text: String::new(),
+                next_page: None,
+                detail_urls: Vec::new(),
+                html: String::new(),
+            },
+        }
+    }
+}
+
+/// Analyse a fetched page into a [`ProbeOutcome`].
+pub fn analyze_response(url: Url, html: String, stripped_values: &[&str]) -> ProbeOutcome {
+    let doc = Document::parse(&html);
+    let text = doc.text();
+
+    // "N results" header (crawler-side heuristic).
+    let result_count = doc.find("h1").and_then(|h| {
+        let t = h.text_content();
+        let mut it = t.split_whitespace();
+        let n = it.next()?.parse::<usize>().ok()?;
+        (it.next()? == "results").then_some(n)
+    });
+
+    let mut record_ids = Vec::new();
+    let mut next_page = None;
+    let mut detail_urls = Vec::new();
+    for a in doc.find_all("a") {
+        let Some(href) = a.attr("href") else { continue };
+        if let Some(idstr) = href.strip_prefix("/item?id=") {
+            if let Ok(id) = idstr.parse::<u32>() {
+                record_ids.push(id);
+                if let Some(resolved) = resolve_href(&url, href) {
+                    detail_urls.push(resolved);
+                }
+            }
+        } else if a.text_content() == "next page" {
+            next_page = resolve_href(&url, href);
+        }
+    }
+    record_ids.sort_unstable();
+    record_ids.dedup();
+
+    // Content signature. A result page's identity is its result set: when
+    // the page links records, hash the (ids, total) pair — two submissions
+    // returning the same results collapse regardless of how the page echoes
+    // the query. Pages without result links (empty/error/surface pages) fall
+    // back to a text hash with the submitted values stripped, so "no results
+    // for X" and "no results for Y" also collapse.
+    let signature = if record_ids.is_empty() {
+        let mut strip: FxHashSet<String> = FxHashSet::default();
+        for v in stripped_values {
+            for t in tokenize(v) {
+                strip.insert(t);
+            }
+        }
+        let sig_tokens: Vec<String> =
+            tokenize(&text).filter(|t| !strip.contains(t)).collect();
+        fxhash64(&sig_tokens)
+    } else {
+        fxhash64(&(&record_ids, result_count))
+    };
+
+    ProbeOutcome {
+        url,
+        ok: true,
+        signature,
+        result_count,
+        record_ids,
+        text,
+        next_page,
+        detail_urls,
+        html,
+    }
+}
+
+/// Resolve a possibly-relative href against a base URL.
+pub fn resolve_href(base: &Url, href: &str) -> Option<Url> {
+    if href.starts_with("http://") {
+        Url::parse(href)
+    } else if href.starts_with('/') {
+        // Path may carry a query string.
+        let (path, query) = href.split_once('?').unwrap_or((href, ""));
+        let mut u = Url::new(base.host.clone(), path);
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            u = u.with_param(
+                deepweb_common::urlcodec::decode_component(k),
+                deepweb_common::urlcodec::decode_component(v),
+            );
+        }
+        Some(u)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepweb_webworld::{generate, WebConfig};
+
+    fn world() -> deepweb_webworld::World {
+        generate(&WebConfig { num_sites: 6, ..WebConfig::default() })
+    }
+
+    fn first_get_form(w: &deepweb_webworld::World) -> CrawledForm {
+        for t in &w.truth.sites {
+            if t.post {
+                continue;
+            }
+            let url = Url::new(t.host.clone(), "/search");
+            let html = w.server.fetch(&url).unwrap().html;
+            let forms = crate::formmodel::analyze_page(&url, &html);
+            if !forms.is_empty() {
+                return forms[0].clone();
+            }
+        }
+        panic!("no GET form found");
+    }
+
+    #[test]
+    fn empty_submission_returns_everything() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        let out = p.submit(&form, &[]);
+        assert!(out.ok);
+        assert!(out.has_results());
+        assert!(out.result_count.unwrap() > 0);
+        assert_eq!(p.requests(), 1);
+    }
+
+    #[test]
+    fn signatures_collapse_for_equal_result_sets() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        // Two nonsense keyword probes with different values both return the
+        // uniform empty page; signatures must match.
+        let text_input = form
+            .fillable_inputs()
+            .into_iter()
+            .find(|i| i.is_text())
+            .map(|i| i.name.clone());
+        if let Some(name) = text_input {
+            let a = p.submit(&form, &[(name.clone(), "qqqqzz".into())]);
+            let b = p.submit(&form, &[(name.clone(), "vvvvxx".into())]);
+            if !a.has_results() && !b.has_results() {
+                assert_eq!(a.signature, b.signature);
+            }
+        }
+    }
+
+    #[test]
+    fn record_ids_extracted_from_results() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        let out = p.submit(&form, &[]);
+        assert!(!out.record_ids.is_empty());
+        assert!(out.detail_urls.len() >= out.record_ids.len());
+    }
+
+    #[test]
+    fn pagination_followed_via_next_link() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        let out = p.submit(&form, &[]);
+        if let Some(next) = &out.next_page {
+            let page2 = p.fetch(next);
+            assert!(page2.ok);
+            assert_ne!(page2.record_ids, out.record_ids);
+        }
+    }
+
+    #[test]
+    fn error_pages_marked_not_ok() {
+        let w = world();
+        let p = Prober::new(&w.server);
+        let out = p.fetch(&Url::new("nonexistent.sim", "/"));
+        assert!(!out.ok);
+        assert!(!out.has_results());
+    }
+
+    #[test]
+    fn submission_url_is_deterministic() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        let inputs = form.fillable_inputs();
+        let name = inputs[0].name.clone();
+        // Assignment order must not matter.
+        let mut a1 = vec![(name.clone(), "x".to_string())];
+        if inputs.len() > 1 {
+            a1.push((inputs[1].name.clone(), "y".to_string()));
+        }
+        let mut a2 = a1.clone();
+        a2.reverse();
+        assert_eq!(p.submission_url(&form, &a1), p.submission_url(&form, &a2));
+    }
+}

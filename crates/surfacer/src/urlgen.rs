@@ -1,0 +1,163 @@
+//! URL generation: expand the selected templates into concrete form
+//! submission URLs, deduplicated and budget-capped.
+
+use crate::formmodel::CrawledForm;
+use crate::probe::{Assignment, Prober};
+use crate::template::{Slot, TemplateEval};
+use deepweb_common::{FxHashSet, Url};
+
+/// One generated surfacing URL.
+#[derive(Clone, Debug)]
+pub struct GeneratedUrl {
+    /// The URL to fetch and index.
+    pub url: Url,
+    /// The assignment that produced it (becomes the page's annotations).
+    pub assignment: Assignment,
+    /// Index of the template (into the eval list) that generated it.
+    pub template: usize,
+}
+
+/// Expand `chosen` templates into URLs, visiting templates round-robin so a
+/// tight budget still samples every chosen template.
+pub fn generate_urls(
+    prober: &Prober<'_>,
+    form: &CrawledForm,
+    slots: &[Slot],
+    evals: &[TemplateEval],
+    chosen: &[usize],
+    max_urls: usize,
+) -> Vec<GeneratedUrl> {
+    let mut seen: FxHashSet<String> = FxHashSet::default();
+    let mut per_template: Vec<Vec<GeneratedUrl>> = Vec::new();
+    for &ti in chosen {
+        let eval = &evals[ti];
+        let mut urls = Vec::new();
+        let card: Vec<usize> =
+            eval.template.slots.iter().map(|&si| slots[si].cardinality().max(1)).collect();
+        let total: usize = card.iter().product();
+        for flat in 0..total.min(max_urls * 2) {
+            // Odometer decode of `flat` into one index per slot.
+            let mut rem = flat;
+            let mut assignment = Assignment::new();
+            for (k, &si) in eval.template.slots.iter().enumerate() {
+                let idx = rem % card[k];
+                rem /= card[k];
+                assignment.extend(slots[si].assignment(idx));
+            }
+            let url = prober.submission_url(form, &assignment);
+            urls.push(GeneratedUrl { url, assignment, template: ti });
+        }
+        per_template.push(urls);
+    }
+    // Round-robin merge under the global budget.
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; per_template.len()];
+    loop {
+        let mut progressed = false;
+        for (t, urls) in per_template.iter().enumerate() {
+            if out.len() >= max_urls {
+                return out;
+            }
+            while cursors[t] < urls.len() {
+                let g = &urls[cursors[t]];
+                cursors[t] += 1;
+                if seen.insert(g.url.to_string()) {
+                    out.push(g.clone());
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use deepweb_common::FxHashSet;
+
+    fn fixture() -> (CrawledForm, Vec<Slot>, Vec<TemplateEval>) {
+        let form = CrawledForm {
+            host: "x.sim".into(),
+            source_url: Url::new("x.sim", "/search"),
+            action_url: Url::new("x.sim", "/results"),
+            post: false,
+            inputs: vec![
+                crate::formmodel::CrawledInput {
+                    name: "a".into(),
+                    label: String::new(),
+                    kind: deepweb_html::WidgetKind::TextBox,
+                },
+                crate::formmodel::CrawledInput {
+                    name: "b".into(),
+                    label: String::new(),
+                    kind: deepweb_html::WidgetKind::TextBox,
+                },
+            ],
+            dependents: None,
+        };
+        let slots = vec![
+            Slot::Single { input: "a".into(), values: vec!["1".into(), "2".into()] },
+            Slot::Single { input: "b".into(), values: vec!["x".into(), "y".into(), "z".into()] },
+        ];
+        let evals = vec![
+            TemplateEval {
+                template: Template { slots: vec![0] },
+                informative: true,
+                distinct_fraction: 1.0,
+                sampled: 2,
+                result_counts: vec![1, 1],
+                sample_records: FxHashSet::default(),
+                url_potential: 2,
+            },
+            TemplateEval {
+                template: Template { slots: vec![0, 1] },
+                informative: true,
+                distinct_fraction: 1.0,
+                sampled: 4,
+                result_counts: vec![1; 4],
+                sample_records: FxHashSet::default(),
+                url_potential: 6,
+            },
+        ];
+        (form, slots, evals)
+    }
+
+    #[test]
+    fn expands_cross_product_with_dedup() {
+        let (form, slots, evals) = fixture();
+        let server = deepweb_webworld::WebServer::new(vec![], vec![]);
+        let prober = Prober::new(&server);
+        let urls = generate_urls(&prober, &form, &slots, &evals, &[0, 1], 100);
+        // 2 singles + 6 pairs, all distinct.
+        assert_eq!(urls.len(), 8);
+        let unique: FxHashSet<String> =
+            urls.iter().map(|g| g.url.to_string()).collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn budget_caps_output_round_robin() {
+        let (form, slots, evals) = fixture();
+        let server = deepweb_webworld::WebServer::new(vec![], vec![]);
+        let prober = Prober::new(&server);
+        let urls = generate_urls(&prober, &form, &slots, &evals, &[0, 1], 3);
+        assert_eq!(urls.len(), 3);
+        // Round-robin means both templates contribute.
+        let templates: FxHashSet<usize> = urls.iter().map(|g| g.template).collect();
+        assert_eq!(templates.len(), 2);
+    }
+
+    #[test]
+    fn empty_choice_empty_output() {
+        let (form, slots, evals) = fixture();
+        let server = deepweb_webworld::WebServer::new(vec![], vec![]);
+        let prober = Prober::new(&server);
+        assert!(generate_urls(&prober, &form, &slots, &evals, &[], 10).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The semantic services of paper §6, built over the ACSDb:
+//!
+//! 1. attribute **synonyms** (a schema-matching component),
+//! 2. attribute → **values** (to auto-fill forms),
+//! 3. entity → **properties**,
+//! 4. schema **auto-complete**.
+
+use crate::acsdb::Acsdb;
+
+/// Synonym candidates for `attr`: attributes that share value space and
+/// co-occurrence context but (almost) never appear together — the classic
+/// synonym signature ("make" and "manufacturer" both co-occur with "model"
+/// and hold the same values, but no schema uses both).
+pub fn synonyms(db: &Acsdb, attr: &str, k: usize) -> Vec<(String, f64)> {
+    let ctx_a = db.context(attr);
+    let count_a = db.attr_count(attr);
+    if count_a == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(String, f64)> = Vec::new();
+    for (cand, count_b) in db.attributes() {
+        if cand == attr || count_b == 0 {
+            continue;
+        }
+        // (1) Almost never co-occur.
+        let together = db.pair_count(attr, cand) as f64;
+        let cooccur_penalty = together / count_a.min(count_b) as f64;
+        if cooccur_penalty > 0.1 {
+            continue;
+        }
+        // (2) Context similarity (cosine over shared co-occurring attrs).
+        let ctx_b = db.context(cand);
+        let mut dot = 0.0;
+        for (a, &ca) in &ctx_a {
+            if let Some(&cb) = ctx_b.get(a) {
+                dot += (ca as f64) * (cb as f64);
+            }
+        }
+        let norm_a: f64 = ctx_a.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let norm_b: f64 = ctx_b.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let context_sim =
+            if norm_a > 0.0 && norm_b > 0.0 { dot / (norm_a * norm_b) } else { 0.0 };
+        // (3) Value overlap.
+        let value_sim = db.value_overlap(attr, cand);
+        let score = 0.5 * context_sim + 0.5 * value_sim - cooccur_penalty;
+        if score > 0.3 {
+            scored.push((cand.to_string(), score));
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// Values for an attribute (service 2: "return a set of values for its
+/// column ... useful to automatically fill out forms").
+pub fn values_for(db: &Acsdb, attr: &str, k: usize) -> Vec<String> {
+    db.top_values(attr, k).into_iter().map(|(v, _)| v).collect()
+}
+
+/// Properties plausibly associated with an entity (service 3): attributes of
+/// columns in which the entity value was observed, ranked by frequency,
+/// plus the attributes those co-occur with.
+pub fn properties_of(db: &Acsdb, entity: &str, k: usize) -> Vec<String> {
+    let direct = db.attributes_with_value(entity);
+    let mut scored: Vec<(String, f64)> = Vec::new();
+    for a in &direct {
+        for (b, c) in db.context(a) {
+            scored.push((b.to_string(), c as f64));
+        }
+        scored.push(((*a).to_string(), db.attr_count(a) as f64 * 0.5));
+    }
+    scored.sort_by(|x, y| {
+        y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| x.0.cmp(&y.0))
+    });
+    let mut out: Vec<String> = Vec::new();
+    for (a, _) in scored {
+        if !out.contains(&a) {
+            out.push(a);
+        }
+        if out.len() >= k {
+            break;
+        }
+    }
+    out
+}
+
+/// Schema auto-complete (service 4): given attributes already chosen, return
+/// the attributes database designers most often add, by greedy maximum
+/// conditional probability against the given set.
+pub fn autocomplete(db: &Acsdb, given: &[&str], k: usize) -> Vec<(String, f64)> {
+    let mut chosen: Vec<String> = given.iter().map(|s| s.to_ascii_lowercase()).collect();
+    let mut out = Vec::new();
+    for _ in 0..k {
+        let mut best: Option<(String, f64)> = None;
+        for (cand, _) in db.attributes() {
+            if chosen.iter().any(|c| c == cand) {
+                continue;
+            }
+            // Score: min over the given set of P(cand | g) — the attribute
+            // must fit *all* of what is already there.
+            let score = chosen
+                .iter()
+                .map(|g| db.conditional(cand, g))
+                .fold(f64::INFINITY, f64::min);
+            if score > 0.0 && best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((cand.to_string(), score));
+            }
+        }
+        match best {
+            Some((a, s)) => {
+                chosen.push(a.clone());
+                out.push((a, s));
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    /// A corpus where "make" and "manufacturer" are synonyms.
+    fn db() -> Acsdb {
+        let mut db = Acsdb::new();
+        for _ in 0..5 {
+            db.add_schema(
+                &s(&["make", "model", "price"]),
+                Some(&[s(&["honda", "ford"]), s(&["civic", "focus"]), s(&["1", "2"])]),
+            );
+        }
+        for _ in 0..4 {
+            db.add_schema(
+                &s(&["manufacturer", "model", "year"]),
+                Some(&[s(&["honda", "bmw"]), s(&["civic", "x5"]), s(&["1999", "2001"])]),
+            );
+        }
+        for _ in 0..3 {
+            db.add_schema(&s(&["title", "author", "genre"]), None);
+        }
+        db
+    }
+
+    #[test]
+    fn synonyms_found_and_ranked() {
+        let db = db();
+        let syn = synonyms(&db, "make", 3);
+        assert!(!syn.is_empty(), "make should have synonyms");
+        assert_eq!(syn[0].0, "manufacturer");
+        // Attributes that co-occur with make (model) must NOT be synonyms.
+        assert!(syn.iter().all(|(a, _)| a != "model"));
+    }
+
+    #[test]
+    fn values_service() {
+        let db = db();
+        let vals = values_for(&db, "make", 5);
+        assert!(vals.contains(&"honda".to_string()));
+        assert!(values_for(&db, "unknown", 5).is_empty());
+    }
+
+    #[test]
+    fn entity_properties() {
+        let db = db();
+        let props = properties_of(&db, "honda", 5);
+        // honda appears under make and manufacturer; their contexts bring
+        // model/price/year.
+        assert!(props.contains(&"model".to_string()), "props: {props:?}");
+    }
+
+    #[test]
+    fn autocomplete_suggests_cooccurring() {
+        let db = db();
+        let sugg = autocomplete(&db, &["make"], 2);
+        assert_eq!(sugg[0].0, "model");
+        assert!(sugg[0].1 > 0.9);
+        let book = autocomplete(&db, &["title"], 2);
+        assert!(book.iter().any(|(a, _)| a == "author"));
+        // Unknown seed yields nothing.
+        assert!(autocomplete(&db, &["zzz"], 2).is_empty());
+    }
+}

@@ -1,0 +1,759 @@
+//! Per-domain data and form generation.
+//!
+//! Each builder returns a backing [`Table`] and the [`FormSpec`] of the
+//! site's search form. Input *names* and *labels* are drawn from realistic
+//! variant pools (`min_price` vs `price_from` vs `lowprice`...) so that the
+//! surfacer's pattern mining (paper §4.2: "large collections of forms can be
+//! mined to identify patterns") faces genuine variety.
+
+use crate::site::{Binding, DependentOptions, FormSpec, InputSpec};
+use crate::vocab;
+use deepweb_store::{Date, Schema, Table, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shared generation context for one site.
+pub struct GenCtx<'a> {
+    /// Site-specific RNG stream.
+    pub rng: &'a mut StdRng,
+    /// Language code.
+    pub lang: &'a str,
+    /// Filler lexicon for the language.
+    pub lexicon: &'a [String],
+    /// Zip pool shared across the web.
+    pub zips: &'a [String],
+    /// City pool shared across the web.
+    pub cities: &'a [String],
+    /// Number of records to generate.
+    pub n_records: usize,
+}
+
+impl GenCtx<'_> {
+    fn filler(&mut self, n: usize) -> String {
+        vocab::sentence(self.lexicon, n, self.rng)
+    }
+
+    fn zip(&mut self) -> String {
+        self.zips.choose(self.rng).cloned().unwrap_or_else(|| "00000".into())
+    }
+
+    fn city(&mut self) -> String {
+        self.cities.choose(self.rng).cloned().unwrap_or_else(|| "springfield".into())
+    }
+
+    fn date(&mut self) -> Date {
+        Date::new(
+            self.rng.gen_range(1995..=2008),
+            self.rng.gen_range(1..=12),
+            self.rng.gen_range(1..=28),
+        )
+        .expect("generated date valid")
+    }
+
+    fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+}
+
+/// Range-pair name variants: `(min_name, max_name, label_stem)`.
+fn range_names(rng: &mut StdRng, stem: &str) -> (String, String) {
+    let variants = [
+        (format!("min_{stem}"), format!("max_{stem}")),
+        (format!("{stem}_min"), format!("{stem}_max")),
+        (format!("min{stem}"), format!("max{stem}")),
+        (format!("{stem}_from"), format!("{stem}_to")),
+        (format!("low_{stem}"), format!("high_{stem}")),
+    ];
+    variants.choose(rng).cloned().expect("non-empty variants")
+}
+
+fn zip_name(rng: &mut StdRng) -> (String, String) {
+    let names = ["zip", "zipcode", "zip_code", "postalcode"];
+    let labels = ["zip code:", "zip:", "postal code:", "enter zip:"];
+    (
+        (*names.choose(rng).expect("nonempty")).to_string(),
+        (*labels.choose(rng).expect("nonempty")).to_string(),
+    )
+}
+
+fn city_name(rng: &mut StdRng) -> (String, String) {
+    let names = ["city", "town", "location"];
+    let labels = ["city:", "city name:", "location:"];
+    (
+        (*names.choose(rng).expect("nonempty")).to_string(),
+        (*labels.choose(rng).expect("nonempty")).to_string(),
+    )
+}
+
+fn keyword_name(rng: &mut StdRng) -> (String, String) {
+    let names = ["q", "query", "keywords", "search", "terms"];
+    let labels = ["keywords:", "search:", "find:", "search for:"];
+    (
+        (*names.choose(rng).expect("nonempty")).to_string(),
+        (*labels.choose(rng).expect("nonempty")).to_string(),
+    )
+}
+
+fn push_range(
+    inputs: &mut Vec<InputSpec>,
+    rng: &mut StdRng,
+    stem: &str,
+    col: usize,
+    ty: ValueType,
+) {
+    let (min_n, max_n) = range_names(rng, stem);
+    inputs.push(InputSpec {
+        name: min_n,
+        label: format!("min {stem}:"),
+        binding: Binding::RangeMin { col, ty },
+    });
+    inputs.push(InputSpec {
+        name: max_n,
+        label: format!("max {stem}:"),
+        binding: Binding::RangeMax { col, ty },
+    });
+}
+
+/// Used-car classifieds.
+pub fn used_cars(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("make", ValueType::Text),
+        ("model", ValueType::Text),
+        ("year", ValueType::Int),
+        ("price", ValueType::Money),
+        ("mileage", ValueType::Int),
+        ("city", ValueType::Text),
+        ("zip", ValueType::Zip),
+        ("description", ValueType::Text),
+    ])
+    .expect("schema");
+    let makes = vocab::car_makes();
+    // The last make never appears as an actual listing — only in cross-make
+    // remarks and surface review pages. This reproduces the scarcity that
+    // makes the paper's §5.1 false-positive scenario possible ("used ford
+    // focus 1993" finding a Honda page).
+    let listed_makes = &makes[..makes.len() - 1];
+    let mut t = Table::new(schema);
+    for _ in 0..ctx.n_records {
+        let (make, models) = listed_makes.choose(ctx.rng).expect("nonempty");
+        let model = models.choose(ctx.rng).expect("nonempty");
+        let year = ctx.rng.gen_range(1988..=2008);
+        let price = ctx.rng.gen_range(5..=500) * 100; // dollars
+        let mileage = ctx.rng.gen_range(10..=200) * 1000;
+        let city = ctx.city();
+        let zip = ctx.zip();
+        let filler = ctx.filler(6);
+        let mut desc = format!("used {make} {model} {year} in {city} {filler}");
+        // Occasionally mention a competitor — the paper's §5.1 confounder
+        // ("has better mileage than the Ford Focus" on a Honda page).
+        if ctx.flip(0.2) {
+            let (other_make, other_models) = makes.choose(ctx.rng).expect("nonempty");
+            let other_model = other_models.choose(ctx.rng).expect("nonempty");
+            if other_make != make {
+                desc.push_str(&format!(" better mileage than the {other_make} {other_model}"));
+            }
+        }
+        t.insert(vec![
+            Value::Text((*make).to_string()),
+            Value::Text((*model).to_string()),
+            Value::Int(year),
+            Value::Money(price * 100),
+            Value::Int(mileage),
+            Value::Text(city),
+            Value::Zip(zip),
+            Value::Text(desc),
+        ])
+        .expect("row matches schema");
+    }
+
+    let mut inputs = vec![InputSpec {
+        name: "make".into(),
+        label: "make:".into(),
+        binding: Binding::Select { col: 0 },
+    }];
+    let mut dependent = None;
+    if ctx.flip(0.4) {
+        inputs.push(InputSpec {
+            name: "model".into(),
+            label: "model:".into(),
+            binding: Binding::Select { col: 1 },
+        });
+        dependent = Some(DependentOptions {
+            controller: "make".into(),
+            dependent: "model".into(),
+            map: makes
+                .iter()
+                .map(|(m, ms)| {
+                    ((*m).to_string(), ms.iter().map(|s| (*s).to_string()).collect())
+                })
+                .collect(),
+        });
+    }
+    if ctx.flip(0.8) {
+        push_range(&mut inputs, ctx.rng, "price", 3, ValueType::Money);
+    }
+    if ctx.flip(0.4) {
+        push_range(&mut inputs, ctx.rng, "year", 2, ValueType::Int);
+    }
+    if ctx.flip(0.5) {
+        let (n, l) = zip_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 6, ty: ValueType::Zip },
+        });
+    }
+    if ctx.flip(0.3) {
+        let (n, l) = city_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 5, ty: ValueType::Text },
+        });
+    }
+    if ctx.flip(0.8) {
+        let (n, l) = keyword_name(ctx.rng);
+        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+    }
+    inputs.push(InputSpec {
+        name: "lang".into(),
+        label: String::new(),
+        binding: Binding::Hidden { value: ctx.lang.to_string() },
+    });
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent })
+}
+
+/// Real-estate listings.
+pub fn real_estate(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("type", ValueType::Text),
+        ("bedrooms", ValueType::Int),
+        ("price", ValueType::Money),
+        ("city", ValueType::Text),
+        ("zip", ValueType::Zip),
+        ("listed", ValueType::Date),
+        ("description", ValueType::Text),
+    ])
+    .expect("schema");
+    let types = ["house", "condo", "apartment", "studio", "loft", "townhouse"];
+    let mut t = Table::new(schema);
+    for _ in 0..ctx.n_records {
+        let ty = types.choose(ctx.rng).expect("nonempty");
+        let beds = ctx.rng.gen_range(1..=6);
+        let price = ctx.rng.gen_range(500..=20_000) * 100;
+        let city = ctx.city();
+        let zip = ctx.zip();
+        let listed = ctx.date();
+        let filler = ctx.filler(6);
+        let desc = format!("{beds} bedroom {ty} in {city} {filler}");
+        t.insert(vec![
+            Value::Text((*ty).to_string()),
+            Value::Int(beds),
+            Value::Money(price * 100),
+            Value::Text(city),
+            Value::Zip(zip),
+            Value::Date(listed),
+            Value::Text(desc),
+        ])
+        .expect("row matches schema");
+    }
+    let mut inputs = vec![InputSpec {
+        name: "type".into(),
+        label: "property type:".into(),
+        binding: Binding::Select { col: 0 },
+    }];
+    if ctx.flip(0.6) {
+        inputs.push(InputSpec {
+            name: "bedrooms".into(),
+            label: "bedrooms:".into(),
+            binding: Binding::Select { col: 1 },
+        });
+    }
+    if ctx.flip(0.8) {
+        push_range(&mut inputs, ctx.rng, "price", 2, ValueType::Money);
+    }
+    if ctx.flip(0.6) {
+        let (n, l) = zip_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 4, ty: ValueType::Zip },
+        });
+    }
+    if ctx.flip(0.4) {
+        let (n, l) = city_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 3, ty: ValueType::Text },
+        });
+    }
+    if ctx.flip(0.3) {
+        inputs.push(InputSpec {
+            name: "listed_after".into(),
+            label: "listed after (yyyy-mm-dd):".into(),
+            binding: Binding::RangeMin { col: 5, ty: ValueType::Date },
+        });
+    }
+    if ctx.flip(0.7) {
+        let (n, l) = keyword_name(ctx.rng);
+        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+    }
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Job listings.
+pub fn jobs(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("category", ValueType::Text),
+        ("title", ValueType::Text),
+        ("city", ValueType::Text),
+        ("salary", ValueType::Money),
+        ("posted", ValueType::Date),
+        ("description", ValueType::Text),
+    ])
+    .expect("schema");
+    let cats = vocab::job_titles();
+    let mut t = Table::new(schema);
+    for _ in 0..ctx.n_records {
+        let cat = cats.choose(ctx.rng).expect("nonempty");
+        let seniority = ["junior", "senior", "lead", "staff"].choose(ctx.rng).expect("nonempty");
+        let title = format!("{seniority} {cat}");
+        let city = ctx.city();
+        let salary = ctx.rng.gen_range(250..=1800) * 10_000; // cents
+        let posted = ctx.date();
+        let filler = ctx.filler(7);
+        let desc = format!("{title} position in {city} {filler}");
+        t.insert(vec![
+            Value::Text((*cat).to_string()),
+            Value::Text(title),
+            Value::Text(city),
+            Value::Money(salary),
+            Value::Date(posted),
+            Value::Text(desc),
+        ])
+        .expect("row matches schema");
+    }
+    let mut inputs = vec![InputSpec {
+        name: "category".into(),
+        label: "job category:".into(),
+        binding: Binding::Select { col: 0 },
+    }];
+    if ctx.flip(0.6) {
+        push_range(&mut inputs, ctx.rng, "salary", 3, ValueType::Money);
+    }
+    if ctx.flip(0.5) {
+        let (n, l) = city_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 2, ty: ValueType::Text },
+        });
+    }
+    let (n, l) = keyword_name(ctx.rng);
+    inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Restaurant guides.
+pub fn restaurants(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("name", ValueType::Text),
+        ("cuisine", ValueType::Text),
+        ("city", ValueType::Text),
+        ("zip", ValueType::Zip),
+        ("price_level", ValueType::Int),
+        ("description", ValueType::Text),
+    ])
+    .expect("schema");
+    let cuisines = vocab::cuisines();
+    let mut t = Table::new(schema);
+    for i in 0..ctx.n_records {
+        let cuisine = cuisines.choose(ctx.rng).expect("nonempty");
+        let name = format!("{} {}", ctx.filler(1), ["kitchen", "bistro", "cafe", "grill", "house"]
+            .choose(ctx.rng).expect("nonempty"));
+        let city = ctx.city();
+        let zip = ctx.zip();
+        let level = ctx.rng.gen_range(1..=4);
+        let filler = ctx.filler(5);
+        let desc = format!("{cuisine} restaurant number {i} in {city} {filler}");
+        t.insert(vec![
+            Value::Text(name),
+            Value::Text((*cuisine).to_string()),
+            Value::Text(city),
+            Value::Zip(zip),
+            Value::Int(level),
+            Value::Text(desc),
+        ])
+        .expect("row matches schema");
+    }
+    let mut inputs = vec![InputSpec {
+        name: "cuisine".into(),
+        label: "cuisine:".into(),
+        binding: Binding::Select { col: 1 },
+    }];
+    if ctx.flip(0.6) {
+        let (n, l) = zip_name(ctx.rng);
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::TypedText { col: 3, ty: ValueType::Zip },
+        });
+    }
+    if ctx.flip(0.5) {
+        inputs.push(InputSpec {
+            name: "price_level".into(),
+            label: "price level:".into(),
+            binding: Binding::Select { col: 4 },
+        });
+    }
+    if ctx.flip(0.8) {
+        let (n, l) = keyword_name(ctx.rng);
+        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+    }
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Store locators: the pure typed-input site (paper §4.1: "we do not need to
+/// know what the form is about ... all we need to know is that the text box
+/// accepts zip code values").
+pub fn store_locator(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("store", ValueType::Text),
+        ("street", ValueType::Text),
+        ("city", ValueType::Text),
+        ("zip", ValueType::Zip),
+        ("opened", ValueType::Date),
+    ])
+    .expect("schema");
+    let streets = vocab::streets();
+    let mut t = Table::new(schema);
+    for i in 0..ctx.n_records {
+        let street = streets.choose(ctx.rng).expect("nonempty");
+        let number = ctx.rng.gen_range(1..=999);
+        let city = ctx.city();
+        let zip = ctx.zip();
+        t.insert(vec![
+            Value::Text(format!("store {i}")),
+            Value::Text(format!("{number} {street} street")),
+            Value::Text(city),
+            Value::Zip(zip),
+            Value::Date(ctx.date()),
+        ])
+        .expect("row matches schema");
+    }
+    let (n, l) = zip_name(ctx.rng);
+    let mut inputs = vec![InputSpec {
+        name: n,
+        label: l,
+        binding: Binding::TypedText { col: 3, ty: ValueType::Zip },
+    }];
+    if ctx.flip(0.8) {
+        inputs.push(InputSpec {
+            name: "radius".into(),
+            label: "radius (miles):".into(),
+            binding: Binding::Ignored {
+                options: vec!["10".into(), "25".into(), "50".into()],
+            },
+        });
+    }
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Government / NGO portals: keyword-searchable document stores.
+pub fn government(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("doc_type", ValueType::Text),
+        ("year", ValueType::Int),
+        ("title", ValueType::Text),
+        ("body", ValueType::Text),
+    ])
+    .expect("schema");
+    let types = vocab::gov_doc_types();
+    let mut t = Table::new(schema);
+    for i in 0..ctx.n_records {
+        let ty = types.choose(ctx.rng).expect("nonempty");
+        let year = ctx.rng.gen_range(1990..=2008);
+        let subject = ctx.filler(2);
+        let title = format!("{ty} {i} concerning {subject}");
+        let body = format!("{} {}", subject, ctx.filler(12));
+        t.insert(vec![
+            Value::Text((*ty).to_string()),
+            Value::Int(year),
+            Value::Text(title),
+            Value::Text(body),
+        ])
+        .expect("row matches schema");
+    }
+    let (n, l) = keyword_name(ctx.rng);
+    let mut inputs = vec![InputSpec { name: n, label: l, binding: Binding::KeywordSearch }];
+    if ctx.flip(0.7) {
+        inputs.push(InputSpec {
+            name: "doc_type".into(),
+            label: "document type:".into(),
+            binding: Binding::Select { col: 0 },
+        });
+    }
+    if ctx.flip(0.5) {
+        inputs.push(InputSpec {
+            name: "year".into(),
+            label: "year:".into(),
+            binding: Binding::Select { col: 1 },
+        });
+    }
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Library catalogues: keyword box plus an exact-match author text box (an
+/// *untyped* large-domain input, paper §4.1: "people names, ISBN values").
+pub fn library(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("title", ValueType::Text),
+        ("author", ValueType::Text),
+        ("genre", ValueType::Text),
+        ("year", ValueType::Int),
+    ])
+    .expect("schema");
+    let genres = vocab::book_genres();
+    let authors = vocab::surnames();
+    let mut t = Table::new(schema);
+    for _ in 0..ctx.n_records {
+        let genre = genres.choose(ctx.rng).expect("nonempty");
+        let author = authors.choose(ctx.rng).expect("nonempty");
+        let subject = ctx.filler(3);
+        let title = format!("the {subject} {genre}");
+        t.insert(vec![
+            Value::Text(title),
+            Value::Text((*author).to_string()),
+            Value::Text((*genre).to_string()),
+            Value::Int(ctx.rng.gen_range(1950..=2008)),
+        ])
+        .expect("row matches schema");
+    }
+    let (n, l) = keyword_name(ctx.rng);
+    let mut inputs = vec![InputSpec { name: n, label: l, binding: Binding::KeywordSearch }];
+    if ctx.flip(0.8) {
+        inputs.push(InputSpec {
+            name: "genre".into(),
+            label: "genre:".into(),
+            binding: Binding::Select { col: 2 },
+        });
+    }
+    if ctx.flip(0.3) {
+        inputs.push(InputSpec {
+            name: "author".into(),
+            label: "author surname:".into(),
+            binding: Binding::TypedText { col: 1, ty: ValueType::Text },
+        });
+    }
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Media search: the database-selection correlation (paper §4.2) — one select
+/// menu chooses the underlying database, one text box takes keywords, and the
+/// productive keyword pools per category are disjoint.
+pub fn media_search(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("category", ValueType::Text),
+        ("title", ValueType::Text),
+        ("year", ValueType::Int),
+        ("description", ValueType::Text),
+    ])
+    .expect("schema");
+    let cats = vocab::media_categories();
+    let mut t = Table::new(schema);
+    for _ in 0..ctx.n_records {
+        let (cat, kws) = cats.choose(ctx.rng).expect("nonempty");
+        let k1 = kws.choose(ctx.rng).expect("nonempty");
+        let k2 = kws.choose(ctx.rng).expect("nonempty");
+        let filler = ctx.filler(3);
+        let title = format!("{k1} {filler}");
+        let desc = format!("a {cat} item featuring {k1} and {k2}");
+        t.insert(vec![
+            Value::Text((*cat).to_string()),
+            Value::Text(title),
+            Value::Int(ctx.rng.gen_range(1980..=2008)),
+            Value::Text(desc),
+        ])
+        .expect("row matches schema");
+    }
+    let (n, l) = keyword_name(ctx.rng);
+    let inputs = vec![
+        InputSpec {
+            name: "category".into(),
+            label: "search in:".into(),
+            binding: Binding::Select { col: 0 },
+        },
+        InputSpec { name: n, label: l, binding: Binding::KeywordSearch },
+    ];
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+/// Faculty directories: the fortuitous-query substrate (paper §3.2). Exactly
+/// one select input (department); one biography mentions the SIGMOD
+/// Innovations Award.
+pub fn faculty(ctx: &mut GenCtx<'_>, plant_award: bool) -> (Table, FormSpec) {
+    let schema = Schema::new(vec![
+        ("department", ValueType::Text),
+        ("name", ValueType::Text),
+        ("bio", ValueType::Text),
+    ])
+    .expect("schema");
+    let depts = vocab::departments();
+    let names = vocab::surnames();
+    let mut t = Table::new(schema);
+    if plant_award {
+        t.insert(vec![
+            Value::Text("csail".into()),
+            Value::Text("stonebraker".into()),
+            Value::Text(
+                "professor stonebraker is an mit professor in the csail department \
+                 and winner of the sigmod innovations award for database systems"
+                    .into(),
+            ),
+        ])
+        .expect("row matches schema");
+    }
+    for _ in 0..ctx.n_records {
+        let dept = depts.choose(ctx.rng).expect("nonempty");
+        let name = names.choose(ctx.rng).expect("nonempty");
+        let filler = ctx.filler(8);
+        let bio = format!("professor {name} of the {dept} department studies {filler}");
+        t.insert(vec![
+            Value::Text((*dept).to_string()),
+            Value::Text((*name).to_string()),
+            Value::Text(bio),
+        ])
+        .expect("row matches schema");
+    }
+    let inputs = vec![InputSpec {
+        name: "department".into(),
+        label: "department:".into(),
+        binding: Binding::Select { col: 0 },
+    }];
+    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Binding;
+    use deepweb_common::derive_rng;
+
+    fn ctx_fixture(rng: &mut StdRng) -> (Vec<String>, Vec<String>, Vec<String>) {
+        let lex = vocab::lexicon("en", 40, 1);
+        let zips = vocab::us_zipcodes(1, 50);
+        let cities = vocab::us_cities();
+        let _ = rng;
+        (lex, zips, cities)
+    }
+
+    fn make_ctx<'a>(
+        rng: &'a mut StdRng,
+        lex: &'a [String],
+        zips: &'a [String],
+        cities: &'a [String],
+        n: usize,
+    ) -> GenCtx<'a> {
+        GenCtx { rng, lang: "en", lexicon: lex, zips, cities, n_records: n }
+    }
+
+    #[test]
+    fn used_cars_builds_consistent_site() {
+        let mut rng = derive_rng(1, "dg-cars");
+        let (lex, zips, cities) = ctx_fixture(&mut rng);
+        let mut ctx = make_ctx(&mut rng, &lex, &zips, &cities, 30);
+        let (t, form) = used_cars(&mut ctx);
+        assert_eq!(t.len(), 30);
+        assert!(!form.post);
+        // Always has a make select.
+        assert!(form
+            .inputs
+            .iter()
+            .any(|i| i.name == "make" && matches!(i.binding, Binding::Select { col: 0 })));
+    }
+
+    #[test]
+    fn all_domains_generate_without_panic() {
+        let mut rng = derive_rng(2, "dg-all");
+        let (lex, zips, cities) = ctx_fixture(&mut rng);
+        for i in 0..8u64 {
+            let mut r = derive_rng(i, "dg-domain");
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = used_cars(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = real_estate(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = jobs(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = restaurants(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = store_locator(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = government(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = library(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = media_search(&mut ctx);
+            let mut ctx = make_ctx(&mut r, &lex, &zips, &cities, 20);
+            let _ = faculty(&mut ctx, false);
+        }
+    }
+
+    #[test]
+    fn faculty_plants_award_bio() {
+        let mut rng = derive_rng(3, "dg-fac");
+        let (lex, zips, cities) = ctx_fixture(&mut rng);
+        let mut ctx = make_ctx(&mut rng, &lex, &zips, &cities, 10);
+        let (t, form) = faculty(&mut ctx, true);
+        assert_eq!(t.len(), 11);
+        let bio = t.row(deepweb_common::RecordId(0))[2].render();
+        assert!(bio.contains("sigmod innovations award"));
+        assert_eq!(form.inputs.len(), 1);
+    }
+
+    #[test]
+    fn media_categories_are_separable() {
+        let mut rng = derive_rng(4, "dg-media");
+        let (lex, zips, cities) = ctx_fixture(&mut rng);
+        let mut ctx = make_ctx(&mut rng, &lex, &zips, &cities, 200);
+        let (t, _) = media_search(&mut ctx);
+        // Software rows should mention software keywords, not movie keywords.
+        let mut sw_rows = 0;
+        for (_, row) in t.iter() {
+            if row[0].render() == "software" {
+                sw_rows += 1;
+                let desc = row[3].render();
+                assert!(!desc.contains("noir") && !desc.contains("western"), "desc={desc}");
+            }
+        }
+        assert!(sw_rows > 10);
+    }
+
+    #[test]
+    fn store_locator_has_ignored_radius_sometimes() {
+        let mut hit = false;
+        for seed in 0..20u64 {
+            let mut rng = derive_rng(seed, "dg-store");
+            let (lex, zips, cities) = ctx_fixture(&mut rng);
+            let mut ctx = make_ctx(&mut rng, &lex, &zips, &cities, 10);
+            let (_, form) = store_locator(&mut ctx);
+            if form.inputs.iter().any(|i| matches!(i.binding, Binding::Ignored { .. })) {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "radius input should appear within 20 seeds");
+    }
+
+    #[test]
+    fn range_name_variants_pair_up() {
+        for seed in 0..10u64 {
+            let mut rng = derive_rng(seed, "dg-range");
+            let (a, b) = range_names(&mut rng, "price");
+            assert_ne!(a, b);
+            assert!(a.contains("price") && b.contains("price"));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The HTTP-like boundary between crawlers and the simulated web.
+//!
+//! Everything the surfacer, the vertical engine and the WebTables harvester
+//! know about the web comes through [`Fetcher::fetch`] — one URL in, HTML (or
+//! an error status) out — so the algorithms are structurally identical to
+//! their real-web counterparts.
+
+use deepweb_common::{Error, Result, Url};
+
+/// A successful HTTP-like response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// Status code (always 200 here; error statuses surface as `Error::Http`).
+    pub status: u16,
+    /// The page body.
+    pub html: String,
+}
+
+/// Anything that can serve URLs.
+pub trait Fetcher {
+    /// Fetch a URL. Error statuses (404, 405, 500) come back as
+    /// [`Error::Http`] so callers must handle failing sites.
+    fn fetch(&self, url: &Url) -> Result<Response>;
+}
+
+/// Helper for building an HTTP error.
+pub fn http_error(status: u16, url: &Url) -> Error {
+    Error::Http { status, url: url.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl Fetcher for Fixed {
+        fn fetch(&self, url: &Url) -> Result<Response> {
+            if url.host == "ok.sim" {
+                Ok(Response { status: 200, html: "<p>hi</p>".into() })
+            } else {
+                Err(http_error(404, url))
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let f: &dyn Fetcher = &Fixed;
+        assert!(f.fetch(&Url::new("ok.sim", "/")).is_ok());
+        let err = f.fetch(&Url::new("no.sim", "/")).unwrap_err();
+        assert!(matches!(err, Error::Http { status: 404, .. }));
+    }
+}

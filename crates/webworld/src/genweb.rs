@@ -1,0 +1,461 @@
+//! Whole-web generation: sites, surface pages, directory, ground truth.
+//!
+//! One [`WebConfig`] describes a web; [`generate`] deterministically expands
+//! it into a [`World`]. Benches scale `num_sites` up; unit tests keep it
+//! small. Ground truth captures everything the experiments need to score
+//! against (true record counts, true input semantics, true range pairs).
+
+use crate::datagen::{self, GenCtx};
+use crate::server::WebServer;
+use crate::site::{Binding, DomainKind, RenderStyle, Site};
+use crate::surface;
+use crate::vocab;
+use deepweb_common::ids::SiteId;
+use deepweb_common::{derive_rng, derive_rng_n, Zipf};
+use deepweb_store::{IndexedTable, ValueType};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration of a generated web.
+#[derive(Clone, Debug)]
+pub struct WebConfig {
+    /// Master seed; same seed ⇒ byte-identical web.
+    pub seed: u64,
+    /// Number of deep-web sites.
+    pub num_sites: usize,
+    /// Number of SEO'd popular-content surface hosts.
+    pub popular_hosts: usize,
+    /// Number of data-table surface hosts (WebTables input).
+    pub table_hosts: usize,
+    /// Smallest site size in records.
+    pub min_records: usize,
+    /// Largest site size in records.
+    pub max_records: usize,
+    /// Skew of the site-size distribution (`size ∝ 1/rank^skew`).
+    pub size_skew: f64,
+    /// Fraction of forms using POST (not surfaceable).
+    pub post_fraction: f64,
+    /// Fraction of sites exposing a `/browse` page.
+    pub browse_fraction: f64,
+    /// Fraction of sites in English (rest spread over 44 other languages).
+    pub english_fraction: f64,
+    /// Relative weights of content domains.
+    pub domain_weights: Vec<(DomainKind, f64)>,
+    /// Page sizes sites choose from.
+    pub page_sizes: Vec<usize>,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            seed: deepweb_common::DEFAULT_SEED,
+            num_sites: 40,
+            popular_hosts: 8,
+            table_hosts: 6,
+            min_records: 30,
+            max_records: 800,
+            size_skew: 0.7,
+            post_fraction: 0.08,
+            browse_fraction: 0.15,
+            english_fraction: 0.75,
+            domain_weights: vec![
+                (DomainKind::UsedCars, 2.0),
+                (DomainKind::RealEstate, 1.5),
+                (DomainKind::Jobs, 1.5),
+                (DomainKind::Restaurants, 1.2),
+                (DomainKind::StoreLocator, 1.0),
+                (DomainKind::Government, 2.0),
+                (DomainKind::Library, 1.5),
+                (DomainKind::MediaSearch, 1.0),
+                (DomainKind::Faculty, 0.8),
+            ],
+            page_sizes: vec![5, 10, 10, 20],
+        }
+    }
+}
+
+/// Ground truth about one input (what the surfacer should discover).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InputTruth {
+    /// A free-keyword search box.
+    Search,
+    /// A typed text box.
+    Typed(ValueType),
+    /// A select menu bound to a column.
+    Select,
+    /// Lower bound of a range; the payload is the partner (max) input name.
+    RangeMin(String),
+    /// Upper bound of a range; the payload is the partner (min) input name.
+    RangeMax(String),
+    /// Hidden constant.
+    Hidden,
+    /// Backend ignores it.
+    Ignored,
+}
+
+/// Ground truth for a whole site.
+#[derive(Clone, Debug)]
+pub struct SiteTruth {
+    /// Site id.
+    pub id: SiteId,
+    /// Host name.
+    pub host: String,
+    /// Content domain.
+    pub domain: DomainKind,
+    /// Language code.
+    pub language: String,
+    /// True record count.
+    pub records: usize,
+    /// True POST-ness.
+    pub post: bool,
+    /// Results per page.
+    pub page_size: usize,
+    /// Per-input truth, in form order: `(name, truth)`.
+    pub inputs: Vec<(String, InputTruth)>,
+    /// True (min,max) range pairs.
+    pub range_pairs: Vec<(String, String)>,
+    /// Whether the form has a JS-dependent select pair.
+    pub has_dependent: bool,
+    /// Number of surface-reachable records via `/browse`.
+    pub browse_links: usize,
+}
+
+impl SiteTruth {
+    /// Names of truly-typed text inputs with their types.
+    pub fn typed_inputs(&self) -> Vec<(&str, ValueType)> {
+        self.inputs
+            .iter()
+            .filter_map(|(n, t)| match t {
+                InputTruth::Typed(ty) => Some((n.as_str(), *ty)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if the form has any "common typed" input (zip/city/price/date in
+    /// a *text box* — the paper's 6.7% statistic, §4.1). Text-typed boxes
+    /// count only for the city concept (author boxes are the paper's example
+    /// of an *untyped* large-domain input).
+    pub fn has_common_typed_input(&self) -> bool {
+        self.inputs.iter().any(|(name, t)| match t {
+            InputTruth::Typed(ValueType::Zip)
+            | InputTruth::Typed(ValueType::Date)
+            | InputTruth::Typed(ValueType::Money) => true,
+            InputTruth::Typed(ValueType::Text) => {
+                matches!(name.as_str(), "city" | "town" | "location")
+            }
+            _ => false,
+        })
+    }
+}
+
+/// Ground truth for the generated web.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Per-site truths, indexed by `SiteId`.
+    pub sites: Vec<SiteTruth>,
+    /// Popular surface hosts.
+    pub popular_hosts: Vec<String>,
+    /// Data-table surface hosts.
+    pub table_hosts: Vec<String>,
+}
+
+impl GroundTruth {
+    /// Total records across all sites.
+    pub fn total_records(&self) -> usize {
+        self.sites.iter().map(|s| s.records).sum()
+    }
+
+    /// Fraction of forms with a true range pair.
+    pub fn range_pair_fraction(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 0.0;
+        }
+        self.sites.iter().filter(|s| !s.range_pairs.is_empty()).count() as f64
+            / self.sites.len() as f64
+    }
+
+    /// Distinct languages present.
+    pub fn languages(&self) -> Vec<String> {
+        let mut langs: Vec<String> = self.sites.iter().map(|s| s.language.clone()).collect();
+        langs.sort();
+        langs.dedup();
+        langs
+    }
+}
+
+/// A generated world: the server plus ground truth.
+pub struct World {
+    /// The servable web.
+    pub server: WebServer,
+    /// What is actually true about it.
+    pub truth: GroundTruth,
+}
+
+/// `(per-input truths, (min,max) range pairs)` for a site's form.
+type FormTruth = (Vec<(String, InputTruth)>, Vec<(String, String)>);
+
+/// Derive per-input truth from a form spec (+ range pairs).
+fn truth_for(site: &Site) -> FormTruth {
+    let mut inputs = Vec::new();
+    let mut mins: Vec<(usize, String)> = Vec::new(); // col -> name
+    let mut pairs = Vec::new();
+    for i in &site.form.inputs {
+        let t = match &i.binding {
+            Binding::KeywordSearch => InputTruth::Search,
+            Binding::TypedText { ty, .. } => InputTruth::Typed(*ty),
+            Binding::Select { .. } => InputTruth::Select,
+            Binding::RangeMin { col, .. } => {
+                mins.push((*col, i.name.clone()));
+                InputTruth::RangeMin(String::new()) // partner patched below
+            }
+            Binding::RangeMax { col, .. } => {
+                let partner = mins
+                    .iter()
+                    .find(|(c, _)| c == col)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_default();
+                if !partner.is_empty() {
+                    pairs.push((partner.clone(), i.name.clone()));
+                }
+                InputTruth::RangeMax(partner)
+            }
+            Binding::Hidden { .. } => InputTruth::Hidden,
+            Binding::Ignored { .. } => InputTruth::Ignored,
+        };
+        inputs.push((i.name.clone(), t));
+    }
+    // Patch RangeMin partners now that pairs are known.
+    for (name, t) in &mut inputs {
+        if let InputTruth::RangeMin(p) = t {
+            if let Some((_, max_n)) = pairs.iter().find(|(min_n, _)| min_n == name) {
+                *p = max_n.clone();
+            }
+        }
+    }
+    (inputs, pairs)
+}
+
+/// Generate a world from a config.
+pub fn generate(config: &WebConfig) -> World {
+    let seed = config.seed;
+    let zips = vocab::us_zipcodes(seed, 300);
+    let cities = vocab::us_cities();
+    let languages = vocab::languages();
+    let weights: Vec<f64> = config.domain_weights.iter().map(|(_, w)| *w).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    // Shuffle size ranks so big sites are spread across domains.
+    let mut size_ranks: Vec<usize> = (0..config.num_sites).collect();
+    size_ranks.shuffle(&mut derive_rng(seed, "genweb-sizes"));
+
+    let mut sites = Vec::with_capacity(config.num_sites);
+    let mut truths = Vec::with_capacity(config.num_sites);
+    let mut planted_award = false;
+
+    for (i, &rank) in size_ranks.iter().enumerate() {
+        let mut rng = derive_rng_n(seed, "genweb-site", i as u64);
+        // Domain by weight.
+        let mut pick = rng.gen_range(0.0..total_w);
+        let mut domain = config.domain_weights[0].0;
+        for (d, w) in &config.domain_weights {
+            if pick < *w {
+                domain = *d;
+                break;
+            }
+            pick -= w;
+        }
+        // Language.
+        let language = if rng.gen_bool(config.english_fraction) {
+            "en".to_string()
+        } else {
+            (*languages[1..].choose(&mut rng).expect("nonempty")).to_string()
+        };
+        let lexicon = vocab::lexicon(&language, 120, seed);
+        // Size: zipf-ish over shuffled rank.
+        let raw = config.max_records as f64 / ((rank + 1) as f64).powf(config.size_skew);
+        let n_records = (raw as usize).clamp(config.min_records, config.max_records);
+
+        let mut ctx = GenCtx {
+            rng: &mut rng,
+            lang: &language,
+            lexicon: &lexicon,
+            zips: &zips,
+            cities: &cities,
+            n_records,
+        };
+        let plant = domain == DomainKind::Faculty && language == "en" && !planted_award;
+        let (table, mut form) = match domain {
+            DomainKind::UsedCars => datagen::used_cars(&mut ctx),
+            DomainKind::RealEstate => datagen::real_estate(&mut ctx),
+            DomainKind::Jobs => datagen::jobs(&mut ctx),
+            DomainKind::Restaurants => datagen::restaurants(&mut ctx),
+            DomainKind::StoreLocator => datagen::store_locator(&mut ctx),
+            DomainKind::Government => datagen::government(&mut ctx),
+            DomainKind::Library => datagen::library(&mut ctx),
+            DomainKind::MediaSearch => datagen::media_search(&mut ctx),
+            DomainKind::Faculty => {
+                planted_award |= plant;
+                datagen::faculty(&mut ctx, plant)
+            }
+        };
+        form.post = rng.gen_bool(config.post_fraction);
+        let page_size =
+            *config.page_sizes.choose(&mut rng).expect("page_sizes non-empty");
+        let style = if rng.gen_bool(0.5) { RenderStyle::Table } else { RenderStyle::List };
+        let browse_links = if rng.gen_bool(config.browse_fraction) {
+            (table.len() / 10).clamp(1, 10)
+        } else {
+            0
+        };
+        let site = Site {
+            id: SiteId(i as u32),
+            host: format!("{}-{:03}.sim", domain.name(), i),
+            domain,
+            language: language.clone(),
+            lexicon,
+            table: IndexedTable::build(table),
+            form,
+            page_size,
+            style,
+            browse_links,
+        };
+        let (input_truth, range_pairs) = truth_for(&site);
+        truths.push(SiteTruth {
+            id: site.id,
+            host: site.host.clone(),
+            domain,
+            language,
+            records: site.table.table().len(),
+            post: site.form.post,
+            page_size,
+            inputs: input_truth,
+            range_pairs,
+            has_dependent: site.form.dependent.is_some(),
+            browse_links,
+        });
+        sites.push(site);
+    }
+
+    // Surface web.
+    let mut pages = surface::popular_pages(seed, config.popular_hosts);
+    pages.extend(surface::table_pages(seed, config.table_hosts));
+    let popular_hosts: Vec<String> =
+        (0..config.popular_hosts).map(|k| format!("web-{k:03}.sim")).collect();
+    let table_hosts: Vec<String> =
+        (0..config.table_hosts).map(|k| format!("data-{k:03}.sim")).collect();
+    let mut all_hosts: Vec<String> = sites.iter().map(|s| s.host.clone()).collect();
+    all_hosts.extend(popular_hosts.iter().cloned());
+    all_hosts.extend(table_hosts.iter().cloned());
+    pages.push(surface::directory_page(&all_hosts));
+
+    World {
+        server: WebServer::new(sites, pages),
+        truth: GroundTruth { sites: truths, popular_hosts, table_hosts },
+    }
+}
+
+/// Convenience: Zipf popularity over the generated sites (rank = SiteId
+/// order), used by workload generators.
+pub fn site_popularity(num_sites: usize, s: f64) -> Zipf {
+    Zipf::new(num_sites.max(1), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::Fetcher;
+    use deepweb_common::Url;
+
+    fn small_world() -> World {
+        generate(&WebConfig { num_sites: 25, ..WebConfig::default() })
+    }
+
+    #[test]
+    fn generates_requested_site_count() {
+        let w = small_world();
+        assert_eq!(w.server.sites().len(), 25);
+        assert_eq!(w.truth.sites.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small_world();
+        let b = small_world();
+        for (x, y) in a.truth.sites.iter().zip(&b.truth.sites) {
+            assert_eq!(x.host, y.host);
+            assert_eq!(x.records, y.records);
+            assert_eq!(x.inputs, y.inputs);
+        }
+    }
+
+    #[test]
+    fn all_home_pages_serve() {
+        let w = small_world();
+        for host in w.server.hosts() {
+            let r = w.server.fetch(&Url::new(host.clone(), "/"));
+            assert!(r.is_ok(), "home of {host} failed: {r:?}");
+        }
+    }
+
+    #[test]
+    fn truth_matches_server() {
+        let w = small_world();
+        for t in &w.truth.sites {
+            let site = w.server.site_by_host(&t.host).expect("site exists");
+            assert_eq!(site.table.table().len(), t.records);
+            assert_eq!(site.form.post, t.post);
+        }
+    }
+
+    #[test]
+    fn directory_links_all_sites() {
+        let w = small_world();
+        let dir = w.server.fetch(&Url::new("dir.sim", "/")).unwrap();
+        for t in &w.truth.sites {
+            assert!(dir.html.contains(&t.host), "directory missing {}", t.host);
+        }
+    }
+
+    #[test]
+    fn range_pairs_recorded_for_some_sites() {
+        let w = generate(&WebConfig { num_sites: 60, ..WebConfig::default() });
+        assert!(w.truth.range_pair_fraction() > 0.05);
+        for t in &w.truth.sites {
+            for (min_n, max_n) in &t.range_pairs {
+                assert!(t.inputs.iter().any(|(n, _)| n == min_n));
+                assert!(t.inputs.iter().any(|(n, _)| n == max_n));
+            }
+        }
+    }
+
+    #[test]
+    fn award_bio_planted_exactly_once() {
+        let w = generate(&WebConfig { num_sites: 80, ..WebConfig::default() });
+        let mut hits = 0;
+        for s in w.server.sites() {
+            for (_, row) in s.table.table().iter() {
+                if row.iter().any(|v| v.render().contains("sigmod innovations award")) {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, 1, "exactly one award biography expected");
+    }
+
+    #[test]
+    fn multiple_languages_present() {
+        let w = generate(&WebConfig { num_sites: 80, ..WebConfig::default() });
+        assert!(w.truth.languages().len() > 5);
+        assert!(w.truth.languages().contains(&"en".to_string()));
+    }
+
+    #[test]
+    fn site_sizes_are_skewed() {
+        let w = generate(&WebConfig { num_sites: 50, ..WebConfig::default() });
+        let sizes: Vec<usize> = w.truth.sites.iter().map(|s| s.records).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max >= min * 4, "expect heavy skew, got min={min} max={max}");
+    }
+}

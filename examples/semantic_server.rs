@@ -1,0 +1,35 @@
+//! The semantic server of paper §6: harvest HTML tables and form schemas
+//! from the synthetic web into an ACSDb, then query the four services.
+//!
+//! ```text
+//! cargo run --example semantic_server --release
+//! ```
+
+use deepweb::tables::SemanticServer;
+use deepweb::webworld::{generate, WebConfig};
+
+fn main() {
+    let w = generate(&WebConfig { num_sites: 25, table_hosts: 15, ..WebConfig::default() });
+    let mut srv = SemanticServer::new();
+    let mut hosts = w.truth.table_hosts.clone();
+    hosts.extend(w.truth.sites.iter().map(|t| t.host.clone()));
+    srv.harvest(&w.server, &hosts);
+    println!(
+        "harvested {} pages: {} relational tables kept, {} form schemas, {} attributes",
+        srv.stats.pages,
+        srv.stats.tables_kept,
+        srv.stats.forms,
+        srv.db().num_attributes()
+    );
+
+    println!("\nsynonyms(\"make\"):");
+    for (a, score) in srv.synonyms("make", 5) {
+        println!("  {a:<16} {score:.3}");
+    }
+    println!("\nautocomplete([\"make\", \"model\"]):");
+    for (a, p) in srv.autocomplete(&["make", "model"], 5) {
+        println!("  {a:<16} P={p:.3}");
+    }
+    println!("\nvalues_for(\"cuisine\"): {:?}", srv.values_for("cuisine", 8));
+    println!("properties_of(\"honda\"): {:?}", srv.properties_of("honda", 6));
+}

@@ -1,0 +1,69 @@
+//! Failure injection: the pipeline must degrade gracefully on hostile input
+//! — malformed HTML, empty sites, failing fetches, POST-only webs.
+
+use deepweb::common::{Error, Result, Url};
+use deepweb::surfacer::{analyze_page, crawl_and_surface, SurfacerConfig};
+use deepweb::webworld::{Fetcher, Response};
+
+/// A fetcher serving broken content.
+struct HostileFetcher;
+
+impl Fetcher for HostileFetcher {
+    fn fetch(&self, url: &Url) -> Result<Response> {
+        match url.host.as_str() {
+            "dir.sim" => Ok(Response {
+                status: 200,
+                html: "<a href=\"http://broken.sim/\">b</a>\
+                       <a href=\"http://flaky.sim/\">f</a>\
+                       <a href=\"http://empty.sim/\">e</a>"
+                    .into(),
+            }),
+            // Unclosed tags, stray angle brackets, truncated form.
+            "broken.sim" => Ok(Response {
+                status: 200,
+                html: "<html><body><form action=/search <input name=q \
+                       <p>a < b > c <table><tr><td>x"
+                    .into(),
+            }),
+            "empty.sim" => Ok(Response { status: 200, html: String::new() }),
+            _ => Err(Error::Http { status: 500, url: url.to_string() }),
+        }
+    }
+}
+
+#[test]
+fn pipeline_survives_hostile_web() {
+    let cfg = SurfacerConfig::default();
+    let outcome = crawl_and_surface(&HostileFetcher, &[Url::new("dir.sim", "/")], &cfg);
+    // Nothing sane to surface, but nothing panics and the crawl pages exist.
+    assert!(!outcome.docs.is_empty());
+}
+
+#[test]
+fn malformed_form_pages_analyzed_without_panic() {
+    let url = Url::new("broken.sim", "/");
+    for html in [
+        "<form>",
+        "<form action=>",
+        "<form><select><option>a",
+        "<form method=post><input type=text>",
+        "<form><input name=\"q\" value=\"<>&\">",
+    ] {
+        let _ = analyze_page(&url, html);
+    }
+}
+
+#[test]
+fn post_only_web_surfaces_nothing_but_reports() {
+    use deepweb::webworld::{generate, WebConfig};
+    let w = generate(&WebConfig { num_sites: 6, post_fraction: 1.0, ..WebConfig::default() });
+    let outcome = crawl_and_surface(
+        &w.server,
+        &[Url::new("dir.sim", "/")],
+        &SurfacerConfig::default(),
+    );
+    for r in &outcome.reports {
+        assert!(r.post_skipped, "{} should be POST-skipped", r.host);
+        assert_eq!(r.pages_surfaced, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Cross-crate property tests on system invariants.
+
+use deepweb::common::Url;
+use deepweb::webworld::{generate, CompiledQuery, Fetcher, WebConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any query-parameter soup sent at any site must produce a page or a
+    /// typed HTTP error — never a panic.
+    #[test]
+    fn server_survives_arbitrary_params(
+        site_idx in 0usize..6,
+        params in prop::collection::vec(("[a-z_]{1,10}", "[a-z0-9 ]{0,12}"), 0..6),
+        page in 0usize..50,
+    ) {
+        let w = generate(&WebConfig { num_sites: 6, ..WebConfig::default() });
+        let t = &w.truth.sites[site_idx % w.truth.sites.len()];
+        let mut url = Url::new(t.host.clone(), "/results");
+        for (k, v) in params {
+            url = url.with_param(k, v);
+        }
+        url = url.with_param("page", page.to_string());
+        let _ = w.server.fetch(&url);
+    }
+
+    /// Adding a constraint to a compiled query never grows its result set.
+    #[test]
+    fn extra_constraints_shrink_results(
+        site_idx in 0usize..6,
+        value in "[a-z]{2,8}",
+    ) {
+        let w = generate(&WebConfig { num_sites: 6, post_fraction: 0.0, ..WebConfig::default() });
+        let site = &w.server.sites()[site_idx % w.server.sites().len()];
+        let inputs = site.effective_inputs();
+        prop_assume!(!inputs.is_empty());
+        let base: Vec<(String, String)> = vec![];
+        let constrained = vec![(inputs[0].to_string(), value)];
+        let count = |params: &[(String, String)]| -> Option<usize> {
+            match site.compile_query(params) {
+                CompiledQuery::Query(c) => Some(site.table.select(&c).len()),
+                CompiledQuery::Invalid => None,
+            }
+        };
+        if let (Some(all), Some(fewer)) = (count(&base), count(&constrained)) {
+            prop_assert!(fewer <= all);
+        }
+    }
+}
