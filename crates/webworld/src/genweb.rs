@@ -253,6 +253,25 @@ pub fn generate(config: &WebConfig) -> World {
     let mut truths = Vec::with_capacity(config.num_sites);
     let mut planted_award = false;
 
+    // POST status is stratified, not independently Bernoulli per site: exactly
+    // round(num_sites * post_fraction) sites are POST (at least one for any
+    // nonzero fraction), chosen by a dedicated shuffle stream. Independent
+    // draws can produce zero POST forms in small webs, which breaks the
+    // configured fraction's contract (and the POST exclusion experiment that
+    // relies on POST forms existing).
+    assert!(
+        (0.0..=1.0).contains(&config.post_fraction),
+        "post_fraction must be in [0, 1], got {}",
+        config.post_fraction
+    );
+    let n_post = (((config.num_sites as f64) * config.post_fraction).round() as usize)
+        .max((config.post_fraction > 0.0 && config.num_sites > 0) as usize);
+    let mut post_flags = vec![false; config.num_sites];
+    for f in post_flags.iter_mut().take(n_post) {
+        *f = true;
+    }
+    post_flags.shuffle(&mut derive_rng(seed, "genweb-post"));
+
     for (i, &rank) in size_ranks.iter().enumerate() {
         let mut rng = derive_rng_n(seed, "genweb-site", i as u64);
         // Domain by weight.
@@ -299,7 +318,20 @@ pub fn generate(config: &WebConfig) -> World {
                 datagen::faculty(&mut ctx, plant)
             }
         };
-        form.post = rng.gen_bool(config.post_fraction);
+        // The planted award-bio site should stay GET (the paper's fortuitous
+        // query walkthrough depends on it being surfaceable), so hand its
+        // POST flag to a later site — or surrender it (one fewer POST form)
+        // when only earlier sites are GET. The plant keeps its flag when
+        // giving it up would empty the POST set (lone flag, or all-POST
+        // web): the at-least-one-POST contract outranks the walkthrough.
+        if plant && post_flags[i] {
+            if let Some(j) = (i + 1..config.num_sites).find(|&j| !post_flags[j]) {
+                post_flags.swap(i, j);
+            } else if n_post > 1 && n_post < config.num_sites {
+                post_flags[i] = false;
+            }
+        }
+        form.post = post_flags[i];
         let page_size =
             *config.page_sizes.choose(&mut rng).expect("page_sizes non-empty");
         let style = if rng.gen_bool(0.5) { RenderStyle::Table } else { RenderStyle::List };
@@ -369,6 +401,38 @@ mod tests {
 
     fn small_world() -> World {
         generate(&WebConfig { num_sites: 25, ..WebConfig::default() })
+    }
+
+    #[test]
+    fn post_fraction_is_stratified_and_plant_stays_get() {
+        for (n, frac) in [(6usize, 0.08f64), (20, 0.15), (40, 0.15), (5, 0.1)] {
+            let w = generate(&WebConfig { num_sites: n, post_fraction: frac, ..WebConfig::default() });
+            let posts = w.truth.sites.iter().filter(|t| t.post).count();
+            let expect = (((n as f64) * frac).round() as usize).max(1);
+            // The plant may surrender one flag back to GET; never more.
+            assert!(
+                posts == expect || posts == expect.saturating_sub(1).max(1),
+                "n={n} frac={frac}: got {posts} POST sites, expected ~{expect}"
+            );
+            assert!(posts > 0, "nonzero fraction must yield at least one POST form");
+        }
+        // The planted award-bio site stays GET whenever another POST site can
+        // take its flag.
+        let w = generate(&WebConfig { num_sites: 20, post_fraction: 0.15, ..WebConfig::default() });
+        let plant = w
+            .truth
+            .sites
+            .iter()
+            .find(|t| t.domain == DomainKind::Faculty && t.language == "en");
+        if let Some(plant) = plant {
+            let other_posts = w.truth.sites.iter().filter(|t| t.post && t.host != plant.host).count();
+            if other_posts > 0 {
+                assert!(!plant.post, "plant {} must stay GET", plant.host);
+            }
+        }
+        // All-POST webs keep every site POST (no swap target exists).
+        let w = generate(&WebConfig { num_sites: 6, post_fraction: 1.0, ..WebConfig::default() });
+        assert!(w.truth.sites.iter().all(|t| t.post));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Workspace bootstrap smoke test: `quick_config(N)` must build a small
+//! `DeepWebSystem` deterministically — twice over, byte-identical where the
+//! system exposes comparable state.
+
+use deepweb::{quick_config, DeepWebSystem};
+
+#[test]
+fn quick_config_builds_small_system_deterministically() {
+    let cfg = quick_config(4);
+    let a = DeepWebSystem::build(&cfg);
+    let b = DeepWebSystem::build(&cfg);
+
+    // The web itself.
+    assert_eq!(a.world.truth.sites.len(), 4);
+    assert_eq!(a.world.truth.sites.len(), b.world.truth.sites.len());
+    for (sa, sb) in a.world.truth.sites.iter().zip(&b.world.truth.sites) {
+        assert_eq!(sa.host, sb.host);
+        assert_eq!(sa.records, sb.records);
+        assert_eq!(sa.post, sb.post);
+        assert_eq!(sa.language, sb.language);
+    }
+
+    // The surfacing outcome and the index built from it.
+    assert_eq!(a.offline_requests, b.offline_requests);
+    assert_eq!(a.outcome.reports.len(), b.outcome.reports.len());
+    assert_eq!(a.index.len(), b.index.len());
+    let (sa, sb) = (a.index.stats(), b.index.stats());
+    assert_eq!(sa.terms, sb.terms);
+    assert_eq!(sa.postings, sb.postings);
+
+    // Same query, same answer.
+    let qa: Vec<_> = a.search("used honda", 5).iter().map(|h| h.doc).collect();
+    let qb: Vec<_> = b.search("used honda", 5).iter().map(|h| h.doc).collect();
+    assert_eq!(qa, qb);
+}

@@ -1,0 +1,160 @@
+//! Minimal stand-in for the subset of `criterion` used by this workspace's
+//! benches: `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing model: each sample times a fixed-size batch of iterations sized
+//! so one batch takes roughly a millisecond, then reports per-iteration
+//! min/median/mean across `sample_size` samples. Results are printed to
+//! stdout; there is no HTML report, statistical regression, or plotting.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects configuration and runs benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), config: BenchConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }};
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+/// Handed to the closure passed to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>, // per-iteration nanoseconds, one entry per sample
+    config: BenchConfig,
+}
+
+impl Bencher {
+    /// Time the routine. The return value is passed through a black box so
+    /// the computation is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in ~1ms?
+        let t0 = Instant::now();
+        let mut calib_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(1) {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / calib_iters as f64;
+        let budget = self.config.measurement_time.as_nanos() as f64;
+        let per_sample = budget / self.config.sample_size as f64;
+        let batch = ((per_sample / per_iter).round() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples — iter was never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group, mirroring criterion's macro (both the
+/// `name/config/targets` form and the simple positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,161 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` used by
+//! this workspace. The build environment has no access to a crates registry,
+//! so the workspace vendors exactly what it needs:
+//!
+//! - the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! - range strategies (`0i64..100`), regex-subset string strategies
+//!   (`"[a-z]{1,10}"`, `"\\PC*"`), tuple strategies, and
+//!   `prop::collection::vec`.
+//!
+//! Differences from the real crate: cases are generated from a seed derived
+//! from the test's module path + name (fully deterministic across runs), and
+//! there is no shrinking — a failing case reports its values via the assert
+//! message instead.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Run deterministic property tests over one or more strategies.
+///
+/// Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_works(x in 0i64..100, s in "[a-z]{1,4}") { prop_assert!(x >= 0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(arg in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut rejects: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                // Inputs are rendered before the case runs: the body may
+                // consume them (values are not required to be Clone), so
+                // they cannot be formatted lazily in the failure arm.
+                let __values = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let result = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match result {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= config.max_global_rejects,
+                            "proptest {}: too many prop_assume! rejections ({})",
+                            stringify!($name),
+                            rejects
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case,
+                            msg,
+                            __values
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Reject the current case (retried with fresh inputs, up to a global cap).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

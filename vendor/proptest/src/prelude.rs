@@ -1,0 +1,9 @@
+//! Prelude: `use proptest::prelude::*;` brings in the macros, the
+//! `Strategy` trait, `ProptestConfig`, and the `prop` module alias.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+// `prop::collection::vec(..)` resolves through this alias of the crate root.
+pub use crate as prop;

@@ -1,0 +1,205 @@
+//! A tiny regex-subset generator backing string strategies.
+//!
+//! Supported syntax (the subset this workspace's tests use):
+//! - literal characters, and `\.` / `\\` escapes of metacharacters
+//! - character classes `[...]` with literals and ranges (`a-z`, ` -~`);
+//!   a `-` first or last in the class is a literal
+//! - `\PC` — "printable": anything outside Unicode category C. Generated
+//!   from ASCII printable plus a sprinkling of multibyte characters.
+//! - quantifiers `*`, `+`, `?`, `{n}`, `{m,n}` after an element
+//!
+//! Anchors, alternation, groups and negated classes are not supported and
+//! fail parsing loudly.
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions generated for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_MAX: usize = 32;
+
+/// Non-ASCII characters mixed into `\PC` so printable-string tests exercise
+/// multibyte UTF-8.
+const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', 'й', '中', '…', '€', 'Ω'];
+
+#[derive(Debug, Clone)]
+enum Element {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    element: Element,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed generator for one pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    pieces: Vec<Piece>,
+}
+
+impl RegexGen {
+    /// Parse `pattern`, or explain which construct is unsupported.
+    pub fn parse(pattern: &str) -> Result<Self, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let element = match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    Element::Class(class)
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| "dangling backslash".to_string())?;
+                    i += 2;
+                    match c {
+                        'P' => {
+                            // Only the \PC ("not category C") form is supported.
+                            if chars.get(i) == Some(&'C') {
+                                i += 1;
+                                Element::Printable
+                            } else {
+                                return Err(format!("unsupported \\P{:?}", chars.get(i)));
+                            }
+                        }
+                        '.' | '\\' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?'
+                        | '/' | '-' => Element::Literal(c),
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    }
+                }
+                '(' | ')' | '|' | '^' | '$' | '.' => {
+                    return Err(format!("unsupported metacharacter {:?}", chars[i]))
+                }
+                c => {
+                    i += 1;
+                    Element::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i)?;
+            i = next;
+            pieces.push(Piece { element, min, max });
+        }
+        Ok(RegexGen { pieces })
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.usize_inclusive(piece.min, piece.max);
+            for _ in 0..count {
+                out.push(match &piece.element {
+                    Element::Literal(c) => *c,
+                    Element::Class(ranges) => sample_class(ranges, rng),
+                    Element::Printable => sample_printable(rng),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<(char, char)>, usize), String> {
+    let mut ranges = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        return Err("negated classes unsupported".into());
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            *chars.get(i).ok_or("dangling backslash in class")?
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // Range only if `-` is followed by something other than `]`.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                *chars.get(i).ok_or("dangling backslash in class")?
+            } else {
+                chars[i]
+            };
+            i += 1;
+            if lo > hi {
+                return Err(format!("inverted class range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if chars.get(i) != Some(&']') {
+        return Err("unterminated character class".into());
+    }
+    if ranges.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok((ranges, i + 1))
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), String> {
+    match chars.get(i) {
+        Some('*') => Ok((0, UNBOUNDED_MAX, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_MAX, i + 1)),
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated {..} quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((m, "")) => {
+                    let m = m.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (m, m.max(UNBOUNDED_MAX))
+                }
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                    n.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err(format!("quantifier min {min} > max {max}"));
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            // Skip the surrogate gap if a class ever crosses it.
+            let v = lo as u32 + pick as u32;
+            return char::from_u32(v).unwrap_or(lo);
+        }
+        pick -= span;
+    }
+    unreachable!("class sampling out of bounds")
+}
+
+fn sample_printable(rng: &mut TestRng) -> char {
+    if rng.below(10) < 9 {
+        // ASCII printable: 0x20..=0x7E.
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+    } else {
+        PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len() as u64) as usize]
+    }
+}

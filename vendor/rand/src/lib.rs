@@ -1,0 +1,146 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! used by this workspace. The build environment has no access to a crates
+//! registry, so the workspace vendors exactly what it needs.
+//!
+//! Guarantees kept from the real crate:
+//! - `StdRng::seed_from_u64(s)` is deterministic: same seed, same stream.
+//! - Distinct seeds yield decorrelated streams (xoshiro256** core seeded
+//!   via SplitMix64, the construction recommended by the xoshiro authors).
+//!
+//! Not kept: value-compatibility with the real `rand` (this workspace never
+//! relied on it — it pins determinism per seed, not a particular stream).
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::Distribution;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        distributions::unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Iterator of samples from the given distribution (consumes the RNG).
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        distributions::DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A seedable RNG, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly. Mirrors rand's `SampleUniform`:
+/// the single generic `SampleRange` impl below ties the range's element type
+/// to the output type, which is what makes integer-literal inference behave
+/// like the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` or `[lo, hi]` (per `inclusive`).
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_in(rng, lo, hi, true)
+    }
+}
+
+// Lemire-style bounded sampling: widening multiply avoids modulo bias being
+// visible at the scales these tests draw at, and is branch-free.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                if span == 0 || span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded_u64(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, _inclusive: bool) -> $t {
+                let u = distributions::unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);

@@ -1,0 +1,62 @@
+//! Slice sampling helpers, mirroring `rand::seq::SliceRandom`.
+
+use crate::Rng;
+
+/// Random sampling from slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements, uniformly without replacement (clamped
+    /// to the slice length). Order of the returned elements is random.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Shuffle the slice in place (Fisher-Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher-Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
