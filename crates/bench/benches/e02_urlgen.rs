@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};
-use deepweb_core::experiments::e02_urlgen;
 use deepweb_common::Url;
+use deepweb_core::experiments::e02_urlgen;
 use deepweb_surfacer::{
-    analyze_page, generate_urls, search_templates, select_templates, IndexabilityConfig,
-    Prober, Slot, TemplateConfig,
+    analyze_page, generate_urls, search_templates, select_templates, IndexabilityConfig, Prober,
+    Slot, TemplateConfig,
 };
 use deepweb_webworld::{generate, Fetcher, WebConfig};
 use std::hint::black_box;
@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let (tables, _) = e02_urlgen::run(BENCH_SCALE);
     print_tables(&tables);
-    let w = generate(&WebConfig { num_sites: 1, post_fraction: 0.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 1,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
     let host = w.truth.sites[0].host.clone();
     let url = Url::new(host, "/search");
     let html = w.server.fetch(&url).unwrap().html;
@@ -34,7 +38,14 @@ fn bench(c: &mut Criterion) {
     let sel = select_templates(&evals, &IndexabilityConfig::default());
     c.bench_function("e02_generate_urls", |b| {
         b.iter(|| {
-            black_box(generate_urls(&prober, &form, &slots, &evals, &sel.chosen, 500))
+            black_box(generate_urls(
+                &prober,
+                &form,
+                &slots,
+                &evals,
+                &sel.chosen,
+                500,
+            ))
         })
     });
 }

@@ -12,7 +12,11 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let (tables, _) = e03_ranges::run(BENCH_SCALE);
     print_tables(&tables);
-    let w = generate(&WebConfig { num_sites: 10, post_fraction: 0.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 10,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
     let forms: Vec<_> = w
         .truth
         .sites

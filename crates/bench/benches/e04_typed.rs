@@ -22,7 +22,12 @@ fn bench(c: &mut Criterion) {
     let url = Url::new(t.host.clone(), "/search");
     let html = w.server.fetch(&url).unwrap().html;
     let form = analyze_page(&url, &html).remove(0);
-    let input = form.fillable_inputs().into_iter().find(|i| i.is_text()).unwrap().clone();
+    let input = form
+        .fillable_inputs()
+        .into_iter()
+        .find(|i| i.is_text())
+        .unwrap()
+        .clone();
     let lib = TypedValueLibrary::standard(deepweb_common::DEFAULT_SEED);
     c.bench_function("e04_classify_typed", |b| {
         b.iter(|| {

@@ -34,12 +34,22 @@ fn bench(c: &mut Criterion) {
     let site_text = Document::parse(&home).text();
     let mut background = DfTable::new();
     background.add_document(&site_text);
-    let cfg = KeywordConfig { probe_budget: 30, iterations: 1, ..Default::default() };
+    let cfg = KeywordConfig {
+        probe_budget: 30,
+        iterations: 1,
+        ..Default::default()
+    };
     c.bench_function("e05_iterative_probing", |b| {
         b.iter(|| {
             let prober = Prober::new(&w.server);
             black_box(iterative_probing(
-                &prober, &form, &input, &[], &site_text, &background, &cfg,
+                &prober,
+                &form,
+                &input,
+                &[],
+                &site_text,
+                &background,
+                &cfg,
             ))
         })
     });

@@ -1,11 +1,15 @@
-//! E6 bench: regenerates the comparison table, then times one query through
-//! each engine (surfacing serve vs virtual-integration live answer).
+//! E6 bench: regenerates the comparison table, times one query through each
+//! engine (surfacing serve vs virtual-integration live answer), then times
+//! the end-to-end surfacing pipeline sequential vs sharded-parallel on the
+//! same world — the speedup trajectory ROADMAP.md tracks.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};
 use deepweb_core::experiments::e06_surf_vs_virtual;
 use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_surfacer::{crawl_and_surface, SurfacerConfig};
 use deepweb_vertical::{register_sources, VerticalEngine};
+use deepweb_webworld::{generate, WebConfig};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -14,7 +18,13 @@ fn bench(c: &mut Criterion) {
     let mut cfg = quick_config(10);
     cfg.web.post_fraction = 0.0;
     let sys = DeepWebSystem::build(&cfg);
-    let hosts: Vec<String> = sys.world.truth.sites.iter().map(|t| t.host.clone()).collect();
+    let hosts: Vec<String> = sys
+        .world
+        .truth
+        .sites
+        .iter()
+        .map(|t| t.host.clone())
+        .collect();
     let registry = register_sources(&sys.world.server, &hosts);
     let engine = VerticalEngine::new(&sys.world.server, registry);
     c.bench_function("e06_surfacing_serve", |b| {
@@ -22,6 +32,30 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("e06_vertical_answer", |b| {
         b.iter(|| black_box(engine.answer("used honda civic", 10)))
+    });
+
+    // Pipeline scaling: identical seed + config, 1 worker vs 4. Output is
+    // byte-identical (pipeline determinism test); only wall-clock differs.
+    let w = generate(&WebConfig {
+        num_sites: 12,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
+    let seeds = [deepweb_common::Url::new("dir.sim", "/")];
+    let pipe_cfg = quick_config(12).surfacer;
+    let sequential = SurfacerConfig {
+        num_workers: 1,
+        ..pipe_cfg.clone()
+    };
+    let parallel = SurfacerConfig {
+        num_workers: 4,
+        ..pipe_cfg
+    };
+    c.bench_function("e06_pipeline_sequential", |b| {
+        b.iter(|| black_box(crawl_and_surface(&w.server, &seeds, &sequential)))
+    });
+    c.bench_function("e06_pipeline_parallel_w4", |b| {
+        b.iter(|| black_box(crawl_and_surface(&w.server, &seeds, &parallel)))
     });
 }
 

@@ -23,14 +23,18 @@ fn bench(c: &mut Criterion) {
     let url = Url::new(t.host.clone(), "/search");
     let html = w.server.fetch(&url).unwrap().html;
     let form = analyze_page(&url, &html).remove(0);
-    let words: Vec<String> = ["noir", "western", "compiler", "firewall", "arcade", "sonata"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let words: Vec<String> = [
+        "noir", "western", "compiler", "firewall", "arcade", "sonata",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     c.bench_function("e07_detect_dbselection", |b| {
         b.iter(|| {
             let prober = Prober::new(&w.server);
-            black_box(detect_database_selection(&prober, &form, "category", "q", &words, 4))
+            black_box(detect_database_selection(
+                &prober, &form, "category", "q", &words, 4,
+            ))
         })
     });
 }

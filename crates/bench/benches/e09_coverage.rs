@@ -13,7 +13,11 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let (tables, _) = e09_coverage::run(BENCH_SCALE);
     print_tables(&tables);
-    let w = generate(&WebConfig { num_sites: 4, post_fraction: 0.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 4,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
     let t = &w.truth.sites[0];
     let url = Url::new(t.host.clone(), "/search");
     let html = w.server.fetch(&url).unwrap().html;

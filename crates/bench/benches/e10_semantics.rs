@@ -11,12 +11,18 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let (tables, _) = e10_semantics::run(BENCH_SCALE);
     print_tables(&tables);
-    let w = generate(&WebConfig { num_sites: 10, table_hosts: 10, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 10,
+        table_hosts: 10,
+        ..WebConfig::default()
+    });
     let mut srv = SemanticServer::new();
     let mut hosts = w.truth.table_hosts.clone();
     hosts.extend(w.truth.sites.iter().map(|t| t.host.clone()));
     srv.harvest(&w.server, &hosts);
-    c.bench_function("e10_synonyms", |b| b.iter(|| black_box(srv.synonyms("make", 5))));
+    c.bench_function("e10_synonyms", |b| {
+        b.iter(|| black_box(srv.synonyms("make", 5)))
+    });
     c.bench_function("e10_autocomplete", |b| {
         b.iter(|| black_box(srv.autocomplete(&["make"], 5)))
     });

@@ -16,8 +16,14 @@ fn bench(c: &mut Criterion) {
     cfg.web.post_fraction = 0.0;
     cfg.web.domain_weights = vec![(DomainKind::UsedCars, 1.0)];
     let sys = DeepWebSystem::build(&cfg);
-    let plain = SearchOptions { use_annotations: false, ..Default::default() };
-    let ann = SearchOptions { use_annotations: true, ..Default::default() };
+    let plain = SearchOptions {
+        use_annotations: false,
+        ..Default::default()
+    };
+    let ann = SearchOptions {
+        use_annotations: true,
+        ..Default::default()
+    };
     c.bench_function("e11_plain_bm25", |b| {
         b.iter(|| black_box(sys.search_with("used ford focus 1993", 10, plain)))
     });

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         .docs_of(DocOrigin::Surfaced)
         .map(|d| (d.html.clone(), d.annotations.clone()))
         .collect();
-    c.bench_function("e12_form_aware", |b| b.iter(|| black_box(extract_form_aware(&pages))));
+    c.bench_function("e12_form_aware", |b| {
+        b.iter(|| black_box(extract_form_aware(&pages)))
+    });
     c.bench_function("e12_generic", |b| {
         b.iter(|| {
             let mut out = Vec::new();

@@ -10,9 +10,15 @@ use deepweb_core::experiments::{self as ex, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "smoke") { Scale::Smoke } else { Scale::Paper };
-    let only: Option<&str> =
-        args.iter().find(|a| a.starts_with('e') && a.len() == 3).map(String::as_str);
+    let scale = if args.iter().any(|a| a == "smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let only: Option<&str> = args
+        .iter()
+        .find(|a| a.starts_with('e') && a.len() == 3)
+        .map(String::as_str);
     let run = |id: &str| only.is_none_or(|o| o == id);
 
     let mut all = Vec::new();

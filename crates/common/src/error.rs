@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = Error::Http { status: 404, url: "http://x.sim/p".into() };
+        let e = Error::Http {
+            status: 404,
+            url: "http://x.sim/p".into(),
+        };
         assert!(e.to_string().contains("404"));
         assert!(Error::BadUrl("x".into()).to_string().contains("bad url"));
     }

@@ -59,7 +59,10 @@ impl Interner {
 
     /// Iterate `(Sym, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.names.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_str()))
     }
 }
 

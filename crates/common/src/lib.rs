@@ -2,7 +2,8 @@
 //!
 //! Shared substrate for the `deepweb` workspace: fast hashing, deterministic
 //! RNG streams, Zipf sampling, tokenisation, string interning, typed ids,
-//! experiment statistics and URL encoding.
+//! experiment statistics, URL encoding, and the work-stealing [`pool`] the
+//! parallel pipeline and index builders run on.
 //!
 //! Everything here is dependency-light and allocation-conscious; see
 //! `DESIGN.md` §3 for where each module is consumed.
@@ -13,6 +14,7 @@ pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod intern;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod text;
@@ -23,6 +25,7 @@ pub use error::{Error, Result};
 pub use fxhash::{fxhash64, FxHashMap, FxHashSet};
 pub use ids::{DocId, FormId, QueryId, RecordId, SiteId};
 pub use intern::{Interner, Sym};
+pub use pool::{shard_of, Sharded, ThreadPool};
 pub use rng::{derive_rng, derive_rng_n, rng_from_seed, DEFAULT_SEED};
 pub use urlcodec::Url;
 pub use zipf::Zipf;

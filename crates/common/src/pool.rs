@@ -1,0 +1,265 @@
+//! A small work-stealing thread pool for shard-parallel batch work.
+//!
+//! The surfacing pipeline and the index builder fan work out per *shard* (a
+//! deterministic partition of the input keyed by [`shard_of`]); workers drain
+//! their own queue first and steal from the back of their neighbours' queues
+//! when idle, so uneven shards (one giant site, many tiny ones) still
+//! saturate every core. Results are reassembled **in input order**, which is
+//! what lets callers guarantee parallel output is byte-identical to the
+//! sequential path (see DESIGN.md §8).
+//!
+//! The pool is scope-based: [`ThreadPool::map`] spawns its workers inside
+//! `std::thread::scope`, so tasks may borrow caller state (`&dyn Fetcher`,
+//! value libraries, background statistics) without `'static` bounds or
+//! reference counting.
+
+use crate::fxhash::fxhash64;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::VecDeque;
+
+/// Deterministic shard assignment for a string key: stable across runs and
+/// platforms (FxHash with fixed seed), uniform enough for host names.
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard_of needs at least one shard");
+    (fxhash64(&key) % shards.max(1) as u64) as usize
+}
+
+/// Number of workers worth spawning on this machine.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fixed-width work-stealing executor.
+///
+/// `workers == 1` (the default) never spawns a thread: `map` degenerates to a
+/// plain in-order loop, so the sequential path stays the reference
+/// implementation the parallel path is tested against.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool { workers: 1 }
+    }
+}
+
+impl ThreadPool {
+    /// A pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine.
+    pub fn with_default_parallelism() -> Self {
+        ThreadPool::new(default_parallelism())
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item, in parallel, returning results **in input
+    /// order**. `f` receives `(input index, item)`.
+    ///
+    /// Items are dealt round-robin onto per-worker deques; an idle worker
+    /// steals from the *back* of its neighbours' queues (classic
+    /// work-stealing: owners pop oldest-first, thieves take the newest
+    /// assignment, minimising contention on the same end).
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, t) in items.into_iter().enumerate() {
+            queues[i % workers].lock().push_back((i, t));
+        }
+        let finished: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queues = &queues;
+                let finished = &finished;
+                let f = &f;
+                s.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    while let Some((i, t)) = pop_or_steal(queues, w) {
+                        local.push((i, f(i, t)));
+                    }
+                    finished.lock().extend(local);
+                });
+            }
+        });
+        let mut out = finished.into_inner();
+        debug_assert_eq!(out.len(), n, "every task must be executed exactly once");
+        out.sort_unstable_by_key(|&(i, _)| i);
+        out.into_iter().map(|(_, u)| u).collect()
+    }
+}
+
+/// Pop from the worker's own queue, else steal from a neighbour. `None` only
+/// when every queue is empty — tasks never respawn, so that state is final.
+fn pop_or_steal<T>(queues: &[Mutex<VecDeque<(usize, T)>>], worker: usize) -> Option<(usize, T)> {
+    if let Some(task) = queues[worker].lock().pop_front() {
+        return Some(task);
+    }
+    for offset in 1..queues.len() {
+        let victim = (worker + offset) % queues.len();
+        if let Some(task) = queues[victim].lock().pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// State partitioned across independently locked shards, keyed by string.
+///
+/// Readers that need a global view iterate shards in index order, so
+/// aggregation is deterministic. Used for the web server's per-host request
+/// accounting: fetches from different workers contend only when they hash to
+/// the same shard.
+#[derive(Debug, Default)]
+pub struct Sharded<T> {
+    shards: Vec<Mutex<T>>,
+}
+
+impl<T: Default> Sharded<T> {
+    /// `shards` independently locked cells (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Sharded {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(T::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lock the shard owning `key`.
+    pub fn lock(&self, key: &str) -> MutexGuard<'_, T> {
+        self.shards[shard_of(key, self.shards.len())].lock()
+    }
+
+    /// Lock each shard in turn, in index order (deterministic aggregation).
+    pub fn for_each_shard(&self, mut f: impl FnMut(&mut T)) {
+        for shard in &self.shards {
+            f(&mut shard.lock());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1, 2, 7, 16] {
+            for key in ["usedcars-000.sim", "dir.sim", "", "a"] {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "assignment must be stable");
+            }
+        }
+        // Different keys spread over shards (not all collapsing to one).
+        let hits: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| shard_of(&format!("host-{i:03}.sim"), 8))
+            .collect();
+        assert!(
+            hits.len() > 4,
+            "64 hosts should hit >4 of 8 shards, got {hits:?}"
+        );
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        for workers in [1, 2, 4, 9] {
+            let pool = ThreadPool::new(workers);
+            let out = pool.map((0..100).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.map(Vec::<usize>::new(), |_, x| x), Vec::<usize>::new());
+        assert_eq!(pool.map(vec![7], |_, x| x + 1), vec![8]);
+        // More workers than items.
+        assert_eq!(pool.map(vec![1, 2], |_, x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_stealing() {
+        // One giant task on worker 0's queue forces the other workers to
+        // steal the rest of worker 0's round-robin share.
+        let ran = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        let out = pool.map((0..40).collect(), |_, x: usize| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 40);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_allows_borrowed_captures() {
+        let base = vec![10usize, 20, 30];
+        let pool = ThreadPool::new(2);
+        let out = pool.map(vec![0usize, 1, 2], |_, i| base[i]);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    fn sharded_accumulates_per_key_and_aggregates_deterministically() {
+        let counts: Sharded<crate::FxHashMap<String, u64>> = Sharded::new(4);
+        for key in ["a.sim", "b.sim", "a.sim", "c.sim"] {
+            *counts.lock(key).entry(key.to_string()).or_insert(0) += 1;
+        }
+        let mut total = 0;
+        let mut merged = crate::FxHashMap::default();
+        counts.for_each_shard(|m| {
+            for (k, v) in m.iter() {
+                total += *v;
+                *merged.entry(k.clone()).or_insert(0) += *v;
+            }
+        });
+        assert_eq!(total, 4);
+        assert_eq!(merged["a.sim"], 2);
+        assert_eq!(merged["b.sim"], 1);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+        assert_eq!(ThreadPool::default().workers(), 1);
+    }
+}

@@ -45,15 +45,27 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = derive_rng(7, "web").sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u32> = derive_rng(7, "web").sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u32> = derive_rng(7, "web")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u32> = derive_rng(7, "web")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn labels_decorrelate() {
-        let a: Vec<u32> = derive_rng(7, "web").sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u32> = derive_rng(7, "workload").sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u32> = derive_rng(7, "web")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u32> = derive_rng(7, "workload")
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_ne!(a, b);
     }
 

@@ -55,7 +55,10 @@ pub fn cumulative_share(weights: &[f64]) -> Vec<f64> {
 /// Smallest k such that the top-k items carry at least `share` of the total.
 pub fn rank_reaching_share(weights: &[f64], share: f64) -> usize {
     let curve = cumulative_share(weights);
-    curve.iter().position(|&c| c >= share).map_or(curve.len(), |p| p + 1)
+    curve
+        .iter()
+        .position(|&c| c >= share)
+        .map_or(curve.len(), |p| p + 1)
 }
 
 /// Gini coefficient of a weight distribution (0 = uniform, →1 = concentrated).
@@ -172,7 +175,11 @@ mod tests {
 
     #[test]
     fn pr_f1() {
-        let pr = PrecisionRecall { tp: 8, fp: 2, fn_: 2 };
+        let pr = PrecisionRecall {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+        };
         assert!((pr.precision() - 0.8).abs() < 1e-12);
         assert!((pr.recall() - 0.8).abs() < 1e-12);
         assert!((pr.f1() - 0.8).abs() < 1e-12);

@@ -11,10 +11,9 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 /// English-ish stopwords that the keyword selectors must not propose as form
 /// probes and that the index down-weights.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in",
-    "is", "it", "its", "of", "on", "or", "that", "the", "to", "was", "were",
-    "will", "with", "you", "your", "all", "any", "per", "page", "results",
-    "result", "search", "next", "prev", "home",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in", "is", "it", "its",
+    "of", "on", "or", "that", "the", "to", "was", "were", "will", "with", "you", "your", "all",
+    "any", "per", "page", "results", "result", "search", "next", "prev", "home",
 ];
 
 /// Returns true if `t` is a stopword.
@@ -146,12 +145,18 @@ mod tests {
 
     #[test]
     fn tokenize_splits_and_lowercases() {
-        assert_eq!(tokens("Used Ford-Focus 1993!"), vec!["used", "ford", "focus", "1993"]);
+        assert_eq!(
+            tokens("Used Ford-Focus 1993!"),
+            vec!["used", "ford", "focus", "1993"]
+        );
     }
 
     #[test]
     fn tokenize_keeps_digits() {
-        assert_eq!(tokens("zip 94043, price $1,500"), vec!["zip", "94043", "price", "1", "500"]);
+        assert_eq!(
+            tokens("zip 94043, price $1,500"),
+            vec!["zip", "94043", "price", "1", "500"]
+        );
     }
 
     #[test]

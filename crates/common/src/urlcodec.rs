@@ -19,8 +19,16 @@ pub fn encode_component(s: &str) -> String {
             b' ' => out.push('+'),
             _ => {
                 out.push('%');
-                out.push(char::from_digit((b >> 4) as u32, 16).unwrap().to_ascii_uppercase());
-                out.push(char::from_digit((b & 0xf) as u32, 16).unwrap().to_ascii_uppercase());
+                out.push(
+                    char::from_digit((b >> 4) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((b & 0xf) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
             }
         }
     }
@@ -82,7 +90,11 @@ impl Url {
         if !path.starts_with('/') {
             path.insert(0, '/');
         }
-        Url { host: host.into(), path, params: Vec::new() }
+        Url {
+            host: host.into(),
+            path,
+            params: Vec::new(),
+        }
     }
 
     /// Append a query parameter.
@@ -93,7 +105,10 @@ impl Url {
 
     /// Value of the first parameter named `k`.
     pub fn param(&self, k: &str) -> Option<&str> {
-        self.params.iter().find(|(pk, _)| pk == k).map(|(_, v)| v.as_str())
+        self.params
+            .iter()
+            .find(|(pk, _)| pk == k)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Parse from string form. Returns `None` for anything that is not an
@@ -118,7 +133,11 @@ impl Url {
                 params.push((decode_component(k), decode_component(v)));
             }
         }
-        Some(Url { host: host.to_string(), path, params })
+        Some(Url {
+            host: host.to_string(),
+            path,
+            params,
+        })
     }
 }
 

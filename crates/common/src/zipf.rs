@@ -95,7 +95,12 @@ mod tests {
             counts[r] += 1;
         }
         // Rank 0 should dominate rank 50 by a wide margin.
-        assert!(counts[0] > counts[50] * 5, "head {} tail {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[50]
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, LongtailResult) {
     let forms_for_85 = report.forms_for_share(0.85);
     let mut t2 = TextTable::new(
         "E1b: forms needed for result share (paper shape: 10k→50%, 100k→85% of 885k forms)",
-        &["result share", "forms needed", "fraction of impactful forms"],
+        &[
+            "result share",
+            "forms needed",
+            "fraction of impactful forms",
+        ],
     );
     t2.row(&[
         "50%".into(),
@@ -111,7 +115,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, LongtailResult) {
     t4.row(&["queries replayed".into(), n.to_string()]);
     t4.row(&["throughput (qps)".into(), f3(qps)]);
     t4.row(&["indexed docs".into(), sys.index.len().to_string()]);
-    t4.row(&["languages in web".into(), sys.world.truth.languages().len().to_string()]);
+    t4.row(&[
+        "languages in web".into(),
+        sys.world.truth.languages().len().to_string(),
+    ]);
 
     let result = LongtailResult {
         forms_with_impact: total_forms,

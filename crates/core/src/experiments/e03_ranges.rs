@@ -49,7 +49,9 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, RangeResult) {
             forms_with_truth += 1;
         }
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
         let prober = Prober::new(&w.server);
         let mut detected: Vec<(String, String)> = Vec::new();
@@ -62,7 +64,9 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, RangeResult) {
                 TypeClass::Price
             };
             let values = lib.sample(class, 10);
-            let (Some(lo), Some(hi)) = (values.first(), values.last()) else { continue };
+            let (Some(lo), Some(hi)) = (values.first(), values.last()) else {
+                continue;
+            };
             let (wlo, whi) = deepweb_surfacer::typed::wide_window(class);
             // Sampled window first; fall back to the class's full domain when
             // the site's values live outside the ladder (e.g. high salaries).
@@ -117,14 +121,23 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, RangeResult) {
     t1.row(&["GET forms".into(), forms_total.to_string()]);
     t1.row(&[
         "forms with true range pair".into(),
-        format!("{} ({})", forms_with_truth, pct(forms_with_truth as f64 / forms_total.max(1) as f64)),
+        format!(
+            "{} ({})",
+            forms_with_truth,
+            pct(forms_with_truth as f64 / forms_total.max(1) as f64)
+        ),
     ]);
     t1.row(&["detection precision".into(), pct(pr.precision())]);
     t1.row(&["detection recall".into(), pct(pr.recall())]);
 
     let mut t2 = TextTable::new(
         "E3b: URLs for a 10-value range pair (paper: 120 naive vs 10 aligned, no coverage loss)",
-        &["site", "naive URLs", "aligned URLs", "coverage ratio (aligned/naive)"],
+        &[
+            "site",
+            "naive URLs",
+            "aligned URLs",
+            "coverage ratio (aligned/naive)",
+        ],
     );
     t2.row(&[
         host,
@@ -157,6 +170,10 @@ mod tests {
         assert_eq!(r.naive_urls, 120);
         assert_eq!(r.aligned_urls, 10);
         // Aligned buckets keep (almost) all coverage.
-        assert!(r.coverage_ratio > 0.9, "coverage ratio {}", r.coverage_ratio);
+        assert!(
+            r.coverage_ratio > 0.9,
+            "coverage ratio {}",
+            r.coverage_ratio
+        );
     }
 }

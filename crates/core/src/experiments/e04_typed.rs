@@ -16,9 +16,7 @@ fn truth_class(name: &str, ty: ValueType) -> Option<TypeClass> {
         ValueType::Money => Some(TypeClass::Price),
         ValueType::Date => Some(TypeClass::DateT),
         ValueType::Int => Some(TypeClass::Year),
-        ValueType::Text => {
-            matches!(name, "city" | "town" | "location").then_some(TypeClass::City)
-        }
+        ValueType::Text => matches!(name, "city" | "town" | "location").then_some(TypeClass::City),
     }
 }
 
@@ -74,13 +72,21 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, TypedResult) {
             typed_forms += 1;
         }
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
         let prober = Prober::new(&w.server);
         for (name, truth) in &t.inputs {
-            let InputTruth::Typed(ty) = truth else { continue };
-            let Some(expected) = truth_class(name, *ty) else { continue };
-            let Some(input) = form.input(name) else { continue };
+            let InputTruth::Typed(ty) = truth else {
+                continue;
+            };
+            let Some(expected) = truth_class(name, *ty) else {
+                continue;
+            };
+            let Some(input) = form.input(name) else {
+                continue;
+            };
             if locator.is_none() && expected == TypeClass::Zip {
                 locator = Some((t.host.clone(), name.clone()));
             }
@@ -107,7 +113,13 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, TypedResult) {
     // Coverage comparison on a zip input: typed values vs generic keywords.
     let (mut typed_cov, mut kw_cov) = (0.0, 0.0);
     if let Some((host, input_name)) = locator {
-        let records = w.truth.sites.iter().find(|t| t.host == host).map(|t| t.records).unwrap_or(1);
+        let records = w
+            .truth
+            .sites
+            .iter()
+            .find(|t| t.host == host)
+            .map(|t| t.records)
+            .unwrap_or(1);
         let url = Url::new(host, "/search");
         let html = w.server.fetch(&url).expect("search page").html;
         let form = analyze_page(&url, &html).remove(0);
@@ -133,12 +145,19 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, TypedResult) {
     t1.row(&["forms".into(), forms.to_string()]);
     t1.row(&[
         "forms with common-typed text input".into(),
-        format!("{} ({})", typed_forms, pct(typed_forms as f64 / forms.max(1) as f64)),
+        format!(
+            "{} ({})",
+            typed_forms,
+            pct(typed_forms as f64 / forms.max(1) as f64)
+        ),
     ]);
     t1.row(&["classifier precision".into(), pct(pr.precision())]);
     t1.row(&["classifier recall".into(), pct(pr.recall())]);
 
-    let mut t2 = TextTable::new("E4b: recognition by type class", &["class", "correct", "truth total"]);
+    let mut t2 = TextTable::new(
+        "E4b: recognition by type class",
+        &["class", "correct", "truth total"],
+    );
     for (c, correct, total) in &per_class {
         if *total > 0 {
             t2.row(&[c.name().to_string(), correct.to_string(), total.to_string()]);
@@ -172,9 +191,17 @@ mod tests {
         assert!(r.precision > 0.85, "precision {}", r.precision);
         assert!(r.recall > 0.7, "recall {}", r.recall);
         // Small minority of forms (paper: 6.7%); we accept a loose band.
-        assert!(r.typed_form_fraction < 0.45, "fraction {}", r.typed_form_fraction);
+        assert!(
+            r.typed_form_fraction < 0.45,
+            "fraction {}",
+            r.typed_form_fraction
+        );
         // Typed values must beat generic keywords on a zip input.
         assert!(r.typed_coverage > r.keyword_coverage);
-        assert!(r.typed_coverage > 0.1, "typed coverage {}", r.typed_coverage);
+        assert!(
+            r.typed_coverage > 0.1,
+            "typed coverage {}",
+            r.typed_coverage
+        );
     }
 }

@@ -6,7 +6,7 @@
 use super::Scale;
 use crate::report::{pct, TextTable};
 use deepweb_common::text::DfTable;
-use deepweb_common::Url;
+use deepweb_common::{ThreadPool, Url};
 use deepweb_html::Document;
 use deepweb_surfacer::keywords::{frequency_keywords, probe_keyword_coverage};
 use deepweb_surfacer::{analyze_page, iterative_probing, KeywordConfig, Prober};
@@ -42,73 +42,114 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, Vec<StrategyResult>) {
         }
     }
 
+    // Collect the eligible search-box sites sequentially (truth order), then
+    // fan the four probing strategies out per site on the shared pool. The
+    // strategies only read the server and the background table, so the
+    // in-order fold below is identical to the old sequential loop.
     let max_sites = scale.pick(4, 12);
-    let mut totals: Vec<(f64, f64, usize)> = vec![(0.0, 0.0, 0); 4]; // (coverage, probes, n)
+    struct SiteWork {
+        form: deepweb_surfacer::CrawledForm,
+        input: String,
+        site_text: String,
+        records: f64,
+    }
+    let mut work: Vec<SiteWork> = Vec::new();
     for t in &w.truth.sites {
-        if totals[0].2 >= max_sites {
+        if work.len() >= max_sites {
             break;
         }
-        let Some((input, _)) =
-            t.inputs.iter().find(|(_, tr)| matches!(tr, InputTruth::Search))
+        let Some((input, _)) = t
+            .inputs
+            .iter()
+            .find(|(_, tr)| matches!(tr, InputTruth::Search))
         else {
             continue;
         };
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
-        let site_text = home_text.get(&t.host).cloned().unwrap_or_default();
-        let records = t.records.max(1) as f64;
+        work.push(SiteWork {
+            form,
+            input: input.clone(),
+            site_text: home_text.get(&t.host).cloned().unwrap_or_default(),
+            records: t.records.max(1) as f64,
+        });
+    }
+
+    let pool = ThreadPool::with_default_parallelism();
+    let per_site: Vec<[(f64, f64); 4]> = pool.map(work, |_, sw| {
+        let SiteWork {
+            form,
+            input,
+            site_text,
+            records,
+        } = sw;
 
         // Strategy 1: iterative probing.
         let prober = Prober::new(&w.server);
         let sel = iterative_probing(
             &prober,
             &form,
-            input,
+            &input,
             &[],
             &site_text,
             &background,
             &KeywordConfig::default(),
         );
-        totals[0].0 += sel.covered_records as f64 / records;
-        totals[0].1 += sel.probes_used as f64;
-        totals[0].2 += 1;
 
         // Strategy 2: seed-only (no iteration).
         let prober2 = Prober::new(&w.server);
         let sel2 = iterative_probing(
             &prober2,
             &form,
-            input,
+            &input,
             &[],
             &site_text,
             &background,
-            &KeywordConfig { iterations: 0, ..Default::default() },
+            &KeywordConfig {
+                iterations: 0,
+                ..Default::default()
+            },
         );
-        totals[1].0 += sel2.covered_records as f64 / records;
-        totals[1].1 += sel2.probes_used as f64;
-        totals[1].2 += 1;
 
         // Strategy 3: frequency-ranked site words (Ntoulas-style greedy
         // frequency, no probing feedback).
         let prober3 = Prober::new(&w.server);
         let freq = frequency_keywords(&site_text, 20);
-        let cov3 = probe_keyword_coverage(&prober3, &form, input, &freq);
-        totals[2].0 += cov3.len() as f64 / records;
-        totals[2].1 += prober3.requests() as f64;
-        totals[2].2 += 1;
+        let cov3 = probe_keyword_coverage(&prober3, &form, &input, &freq);
 
         // Strategy 4: random dictionary words (wrong-language-agnostic).
         let prober4 = Prober::new(&w.server);
-        let dict: Vec<String> =
-            vocab::lexicon("en", 20, 999).into_iter().collect();
-        let cov4 = probe_keyword_coverage(&prober4, &form, input, &dict);
-        totals[3].0 += cov4.len() as f64 / records;
-        totals[3].1 += prober4.requests() as f64;
-        totals[3].2 += 1;
+        let dict: Vec<String> = vocab::lexicon("en", 20, 999).into_iter().collect();
+        let cov4 = probe_keyword_coverage(&prober4, &form, &input, &dict);
+
+        [
+            (sel.covered_records as f64 / records, sel.probes_used as f64),
+            (
+                sel2.covered_records as f64 / records,
+                sel2.probes_used as f64,
+            ),
+            (cov3.len() as f64 / records, prober3.requests() as f64),
+            (cov4.len() as f64 / records, prober4.requests() as f64),
+        ]
+    });
+    let mut totals: Vec<(f64, f64, usize)> = vec![(0.0, 0.0, 0); 4]; // (coverage, probes, n)
+    for site in &per_site {
+        for (k, &(cov, probes)) in site.iter().enumerate() {
+            totals[k].0 += cov;
+            totals[k].1 += probes;
+            totals[k].2 += 1;
+        }
     }
 
-    let names = ["iterative probing", "seed-only", "frequency baseline", "random dictionary"];
+    let names = [
+        "iterative probing",
+        "seed-only",
+        "frequency baseline",
+        "random dictionary",
+    ];
     let results: Vec<StrategyResult> = names
         .iter()
         .zip(&totals)
@@ -125,7 +166,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, Vec<StrategyResult>) {
         &["strategy", "mean coverage", "mean probes per site"],
     );
     for r in &results {
-        t.row(&[r.name.to_string(), pct(r.coverage), format!("{:.1}", r.probes)]);
+        t.row(&[
+            r.name.to_string(),
+            pct(r.coverage),
+            format!("{:.1}", r.probes),
+        ]);
     }
     (vec![t], results)
 }
@@ -141,7 +186,11 @@ mod tests {
         let iterative = by_name("iterative probing");
         let seed_only = by_name("seed-only");
         let random = by_name("random dictionary");
-        assert!(iterative.coverage > 0.05, "iterative coverage {}", iterative.coverage);
+        assert!(
+            iterative.coverage > 0.05,
+            "iterative coverage {}",
+            iterative.coverage
+        );
         assert!(iterative.coverage >= seed_only.coverage);
         assert!(
             iterative.coverage > random.coverage,

@@ -34,9 +34,17 @@ pub struct SurfVsVirtualResult {
 pub fn run(scale: Scale) -> (Vec<TextTable>, SurfVsVirtualResult) {
     let mut cfg = quick_config(scale.pick(15, 60));
     cfg.web.post_fraction = 0.0;
+    // Build on the sharded parallel pipeline — output is deterministic at
+    // any worker count, so the comparison below is unaffected.
+    cfg.surfacer.num_workers = deepweb_common::pool::default_parallelism();
     let sys = DeepWebSystem::build(&cfg);
-    let hosts: Vec<String> =
-        sys.world.truth.sites.iter().map(|t| t.host.clone()).collect();
+    let hosts: Vec<String> = sys
+        .world
+        .truth
+        .sites
+        .iter()
+        .map(|t| t.host.clone())
+        .collect();
     let registry = register_sources(&sys.world.server, &hosts);
     let vert_mappings = registry.total_mappings();
     let vert_domains: std::collections::BTreeSet<String> =
@@ -45,7 +53,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SurfVsVirtualResult) {
 
     let wl = generate_workload(
         &sys.world,
-        &WorkloadConfig { distinct: scale.pick(80, 400), ..Default::default() },
+        &WorkloadConfig {
+            distinct: scale.pick(80, 400),
+            ..Default::default()
+        },
     );
     let mut rng = derive_rng(61, "e06");
     let stream = wl.stream(scale.pick(200, 1500), &mut rng);
@@ -69,10 +80,8 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SurfVsVirtualResult) {
     let vert_live_load = sys.world.server.total_requests();
 
     // Surfacing amortisation: offline requests per record exposed.
-    let records_exposed: usize =
-        sys.outcome.reports.iter().map(|r| r.records_covered).sum();
-    let surf_offline_per_record =
-        sys.offline_requests as f64 / records_exposed.max(1) as f64;
+    let records_exposed: usize = sys.outcome.reports.iter().map(|r| r.records_covered).sum();
+    let surf_offline_per_record = sys.offline_requests as f64 / records_exposed.max(1) as f64;
     let surf_domains: std::collections::BTreeSet<&str> = sys
         .index
         .docs()

@@ -65,7 +65,9 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
             continue;
         }
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
         let select = form
             .fillable_inputs()
@@ -77,7 +79,9 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
             .iter()
             .find(|i| i.is_text())
             .map(|i| i.name.clone());
-        let (Some(select), Some(text_input)) = (select, text_input) else { continue };
+        let (Some(select), Some(text_input)) = (select, text_input) else {
+            continue;
+        };
         sites += 1;
         let site_text = home_text.get(&t.host).cloned().unwrap_or_default();
         let prober = Prober::new(&w.server);
@@ -98,11 +102,20 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
         let mut urls_used = 0usize;
         for cat in &categories {
             let base = vec![(select.clone(), cat.clone())];
-            let sel =
-                iterative_probing(&prober, &form, &text_input, &base, &site_text, &background, &kw_cfg);
+            let sel = iterative_probing(
+                &prober,
+                &form,
+                &text_input,
+                &base,
+                &site_text,
+                &background,
+                &kw_cfg,
+            );
             for kw in sel.keywords {
-                let out = prober
-                    .submit(&form, &[(select.clone(), cat.clone()), (text_input.clone(), kw)]);
+                let out = prober.submit(
+                    &form,
+                    &[(select.clone(), cat.clone()), (text_input.clone(), kw)],
+                );
                 covered.extend(out.record_ids.iter().copied());
                 urls_used += 1;
             }
@@ -118,14 +131,20 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
             &[],
             &site_text,
             &background,
-            &KeywordConfig { max_keywords: urls_used.max(4) / categories.len().max(1), ..kw_cfg },
+            &KeywordConfig {
+                max_keywords: urls_used.max(4) / categories.len().max(1),
+                ..kw_cfg
+            },
         );
         let mut gcovered: FxHashSet<u32> = FxHashSet::default();
         for cat in &categories {
             for kw in &gsel.keywords {
                 let out = prober.submit(
                     &form,
-                    &[(select.clone(), cat.clone()), (text_input.clone(), kw.clone())],
+                    &[
+                        (select.clone(), cat.clone()),
+                        (text_input.clone(), kw.clone()),
+                    ],
                 );
                 gcovered.extend(out.record_ids.iter().copied());
             }
@@ -135,9 +154,21 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
 
     let result = DbSelectResult {
         sites,
-        detection_rate: if sites > 0 { detected as f64 / sites as f64 } else { 0.0 },
-        per_value_coverage: if sites > 0 { per_value_cov / sites as f64 } else { 0.0 },
-        global_coverage: if sites > 0 { global_cov / sites as f64 } else { 0.0 },
+        detection_rate: if sites > 0 {
+            detected as f64 / sites as f64
+        } else {
+            0.0
+        },
+        per_value_coverage: if sites > 0 {
+            per_value_cov / sites as f64
+        } else {
+            0.0
+        },
+        global_coverage: if sites > 0 {
+            global_cov / sites as f64
+        } else {
+            0.0
+        },
     };
 
     let mut t = TextTable::new(
@@ -147,8 +178,14 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, DbSelectResult) {
     );
     t.row(&["media-search forms probed".into(), result.sites.to_string()]);
     t.row(&["db-selection detected".into(), pct(result.detection_rate)]);
-    t.row(&["coverage, per-value keyword sets".into(), pct(result.per_value_coverage)]);
-    t.row(&["coverage, one global keyword set".into(), pct(result.global_coverage)]);
+    t.row(&[
+        "coverage, per-value keyword sets".into(),
+        pct(result.per_value_coverage),
+    ]);
+    t.row(&[
+        "coverage, one global keyword set".into(),
+        pct(result.global_coverage),
+    ]);
     (vec![t], result)
 }
 

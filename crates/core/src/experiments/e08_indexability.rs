@@ -8,8 +8,8 @@ use deepweb_common::stats::percentile;
 use deepweb_common::Url;
 use deepweb_surfacer::correlate::{aligned_range_assignments, candidate_range_pairs};
 use deepweb_surfacer::{
-    analyze_page, generate_urls, search_templates, select_templates, IndexabilityConfig,
-    Prober, Slot, TemplateConfig, TypeClass, TypedValueLibrary,
+    analyze_page, generate_urls, search_templates, select_templates, IndexabilityConfig, Prober,
+    Slot, TemplateConfig, TypeClass, TypedValueLibrary,
 };
 use deepweb_webworld::{generate, DomainKind, Fetcher, WebConfig};
 
@@ -56,8 +56,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, (PolicyOutcome, PolicyOutcome)) {
     // Range slots give the selector fine-grained (indexable) templates to
     // prefer over whole-database single-select dumps.
     for pair in candidate_range_pairs(&form) {
-        let class =
-            if pair.stem.contains("year") { TypeClass::Year } else { TypeClass::Price };
+        let class = if pair.stem.contains("year") {
+            TypeClass::Year
+        } else {
+            TypeClass::Price
+        };
         slots.push(Slot::Group {
             label: format!("range:{}", pair.stem),
             assignments: aligned_range_assignments(&pair, &lib.sample(class, 10)),
@@ -67,13 +70,23 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, (PolicyOutcome, PolicyOutcome)) {
         &prober,
         &form,
         &slots,
-        &TemplateConfig { test_sample: 8, probe_budget: 300, ..Default::default() },
+        &TemplateConfig {
+            test_sample: 8,
+            probe_budget: 300,
+            ..Default::default()
+        },
     );
 
     let run_policy = |cfg: &IndexabilityConfig| -> PolicyOutcome {
         let selection = select_templates(&evals, cfg);
-        let urls =
-            generate_urls(&prober, &form, &slots, &evals, &selection.chosen, cfg.max_urls);
+        let urls = generate_urls(
+            &prober,
+            &form,
+            &slots,
+            &evals,
+            &selection.chosen,
+            cfg.max_urls,
+        );
         let mut counts: Vec<f64> = Vec::new();
         for g in &urls {
             let out = prober.fetch(&g.url);
@@ -81,8 +94,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, (PolicyOutcome, PolicyOutcome)) {
                 counts.push(out.result_count.unwrap_or(0) as f64);
             }
         }
-        let in_bounds =
-            counts.iter().filter(|&&c| (1.0..=100.0).contains(&c)).count();
+        let in_bounds = counts
+            .iter()
+            .filter(|&&c| (1.0..=100.0).contains(&c))
+            .count();
         PolicyOutcome {
             urls: urls.len(),
             indexable_fraction: if counts.is_empty() {
@@ -111,7 +126,13 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, (PolicyOutcome, PolicyOutcome)) {
     let mut table = TextTable::new(
         "E8: indexability-aware template selection (paper: pages should have \
          neither too many nor too few results)",
-        &["policy", "URLs", "pages in [1,100] results", "median results/page", "p90"],
+        &[
+            "policy",
+            "URLs",
+            "pages in [1,100] results",
+            "median results/page",
+            "p90",
+        ],
     );
     table.row(&[
         "indexability-aware".into(),
@@ -144,6 +165,10 @@ mod tests {
             aware.indexable_fraction,
             blind.indexable_fraction
         );
-        assert!(aware.indexable_fraction > 0.5, "aware {}", aware.indexable_fraction);
+        assert!(
+            aware.indexable_fraction > 0.5,
+            "aware {}",
+            aware.indexable_fraction
+        );
     }
 }

@@ -38,7 +38,9 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, Vec<CoveragePoint>) {
     let probes_per_batch = scale.pick(30, 80);
     for t in w.truth.sites.iter().take(scale.pick(5, 15)) {
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
         // Sample via select slots (every site has at least one select or
         // typed input; skip pure-searchbox sites for sampling uniformity).
@@ -99,7 +101,10 @@ mod tests {
         assert!(!points.is_empty());
         let estimated: Vec<&CoveragePoint> =
             points.iter().filter(|p| p.estimated.is_some()).collect();
-        assert!(!estimated.is_empty(), "at least one site should yield an estimate");
+        assert!(
+            !estimated.is_empty(),
+            "at least one site should yield an estimate"
+        );
         // Median relative error should be bounded (estimates from select
         // sampling see only first pages; we accept generous error).
         let mut errs: Vec<f64> = estimated.iter().filter_map(|p| p.rel_error).collect();

@@ -71,17 +71,68 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SemanticsResult) {
             .filter(|e| !got.iter().any(|(g, _)| g == *e))
             .count();
     }
-    let syn_precision =
-        if syn_tp + syn_fp == 0 { 1.0 } else { syn_tp as f64 / (syn_tp + syn_fp) as f64 };
-    let syn_recall =
-        if syn_tp + syn_fn == 0 { 1.0 } else { syn_tp as f64 / (syn_tp + syn_fn) as f64 };
+    let syn_precision = if syn_tp + syn_fp == 0 {
+        1.0
+    } else {
+        syn_tp as f64 / (syn_tp + syn_fp) as f64
+    };
+    let syn_recall = if syn_tp + syn_fn == 0 {
+        1.0
+    } else {
+        syn_tp as f64 / (syn_tp + syn_fn) as f64
+    };
 
     // Auto-complete: seed with "make", expect car attrs in top-5; seed with
     // "title", expect book/job attrs; etc.
     let cases: Vec<(&str, Vec<&str>)> = vec![
-        ("make", vec!["model", "car model", "price", "cost", "asking price", "year", "model year", "mileage", "miles", "odometer"]),
-        ("title", vec!["author", "writer", "genre", "category", "salary", "pay", "compensation", "cuisine", "food type", "city", "town", "location", "name"]),
-        ("city", vec!["zip", "zipcode", "postal code", "price", "cost", "asking price", "title", "name", "bedrooms", "beds"]),
+        (
+            "make",
+            vec![
+                "model",
+                "car model",
+                "price",
+                "cost",
+                "asking price",
+                "year",
+                "model year",
+                "mileage",
+                "miles",
+                "odometer",
+            ],
+        ),
+        (
+            "title",
+            vec![
+                "author",
+                "writer",
+                "genre",
+                "category",
+                "salary",
+                "pay",
+                "compensation",
+                "cuisine",
+                "food type",
+                "city",
+                "town",
+                "location",
+                "name",
+            ],
+        ),
+        (
+            "city",
+            vec![
+                "zip",
+                "zipcode",
+                "postal code",
+                "price",
+                "cost",
+                "asking price",
+                "title",
+                "name",
+                "bedrooms",
+                "beds",
+            ],
+        ),
     ];
     let mut ac_hits = 0usize;
     let mut ac_total = 0usize;
@@ -95,7 +146,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SemanticsResult) {
             ac_hits += 1;
         }
     }
-    let ac_rate = if ac_total == 0 { 0.0 } else { ac_hits as f64 / ac_total as f64 };
+    let ac_rate = if ac_total == 0 {
+        0.0
+    } else {
+        ac_hits as f64 / ac_total as f64
+    };
 
     // Values: returned make values should be real makes.
     let real_makes: Vec<String> = deepweb_webworld::vocab::car_makes()
@@ -115,8 +170,22 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SemanticsResult) {
     for e in probes {
         let props = srv.properties_of(e, 6);
         if props.iter().any(|p| {
-            ["model", "car model", "price", "cost", "year", "model year", "mileage", "miles", "odometer", "make", "manufacturer", "brand", "asking price"]
-                .contains(&p.as_str())
+            [
+                "model",
+                "car model",
+                "price",
+                "cost",
+                "year",
+                "model year",
+                "mileage",
+                "miles",
+                "odometer",
+                "make",
+                "manufacturer",
+                "brand",
+                "asking price",
+            ]
+            .contains(&p.as_str())
         }) {
             ent_hits += 1;
         }
@@ -127,13 +196,41 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, SemanticsResult) {
         "E10: semantic services over harvested schemas (paper §6)",
         &["service", "metric", "value"],
     );
-    t.row(&["synonyms".into(), "precision@3 (cross-pool)".into(), pct(syn_precision)]);
-    t.row(&["synonyms".into(), "recall of planted synonyms".into(), pct(syn_recall)]);
-    t.row(&["schema auto-complete".into(), "seed→expected in top-5".into(), pct(ac_rate)]);
-    t.row(&["attribute values".into(), "make values that are real makes".into(), pct(values_accuracy)]);
-    t.row(&["entity properties".into(), "entities with sensible property".into(), pct(entity_hit_rate)]);
-    t.row(&["(harvest)".into(), "schemas in ACSDb".into(), srv.db().total_schemas().to_string()]);
-    t.row(&["(harvest)".into(), "distinct attributes".into(), srv.db().num_attributes().to_string()]);
+    t.row(&[
+        "synonyms".into(),
+        "precision@3 (cross-pool)".into(),
+        pct(syn_precision),
+    ]);
+    t.row(&[
+        "synonyms".into(),
+        "recall of planted synonyms".into(),
+        pct(syn_recall),
+    ]);
+    t.row(&[
+        "schema auto-complete".into(),
+        "seed→expected in top-5".into(),
+        pct(ac_rate),
+    ]);
+    t.row(&[
+        "attribute values".into(),
+        "make values that are real makes".into(),
+        pct(values_accuracy),
+    ]);
+    t.row(&[
+        "entity properties".into(),
+        "entities with sensible property".into(),
+        pct(entity_hit_rate),
+    ]);
+    t.row(&[
+        "(harvest)".into(),
+        "schemas in ACSDb".into(),
+        srv.db().total_schemas().to_string(),
+    ]);
+    t.row(&[
+        "(harvest)".into(),
+        "distinct attributes".into(),
+        srv.db().num_attributes().to_string(),
+    ]);
 
     let result = SemanticsResult {
         synonym_precision: syn_precision,
@@ -152,9 +249,17 @@ mod tests {
     #[test]
     fn services_work_on_harvested_corpus() {
         let (_, r) = run(Scale::Smoke);
-        assert!(r.synonym_precision > 0.6, "syn precision {}", r.synonym_precision);
+        assert!(
+            r.synonym_precision > 0.6,
+            "syn precision {}",
+            r.synonym_precision
+        );
         assert!(r.synonym_recall > 0.3, "syn recall {}", r.synonym_recall);
-        assert!(r.autocomplete_hit_rate > 0.5, "autocomplete {}", r.autocomplete_hit_rate);
+        assert!(
+            r.autocomplete_hit_rate > 0.5,
+            "autocomplete {}",
+            r.autocomplete_hit_rate
+        );
         assert!(r.values_accuracy > 0.7, "values {}", r.values_accuracy);
         assert!(r.entity_hit_rate > 0.5, "entity {}", r.entity_hit_rate);
     }

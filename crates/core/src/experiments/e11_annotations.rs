@@ -30,42 +30,53 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, AnnotationResult) {
     cfg.web.domain_weights = vec![(DomainKind::UsedCars, 1.0)];
     let sys = DeepWebSystem::build(&cfg);
 
-    let plain = SearchOptions { use_annotations: false, ..Default::default() };
-    let annotated = SearchOptions { use_annotations: true, ..Default::default() };
+    let plain = SearchOptions {
+        use_annotations: false,
+        ..Default::default()
+    };
+    let annotated = SearchOptions {
+        use_annotations: true,
+        ..Default::default()
+    };
 
     let mut queries = 0usize;
     let mut fp_plain = 0usize;
     let mut fp_annotated = 0usize;
     for (make, models) in vocab::car_makes() {
         for model in models {
-          for year in [1992, 1999, 2005] {
-            let q = format!("used {make} {model} {year}");
-            // A top-1 hit is a conflict iff it carries a make annotation
-            // naming a different make. A non-annotated top-1 (e.g. a review
-            // page) is not a conflict — that is the fixed outcome.
-            let conflict = |opts: SearchOptions| -> Option<bool> {
-                let hits = sys.search_with(&q, 1, opts);
-                let top = hits.first()?;
-                let doc = sys.index.doc(top.doc);
-                Some(
-                    doc.annotations
-                        .iter()
-                        .any(|a| a.key == "make" && a.value != make),
-                )
-            };
-            // Denominator: queries the plain mode answered at all.
-            if let Some(p) = conflict(plain) {
-                queries += 1;
-                fp_plain += usize::from(p);
-                fp_annotated += usize::from(conflict(annotated).unwrap_or(false));
+            for year in [1992, 1999, 2005] {
+                let q = format!("used {make} {model} {year}");
+                // A top-1 hit is a conflict iff it carries a make annotation
+                // naming a different make. A non-annotated top-1 (e.g. a review
+                // page) is not a conflict — that is the fixed outcome.
+                let conflict = |opts: SearchOptions| -> Option<bool> {
+                    let hits = sys.search_with(&q, 1, opts);
+                    let top = hits.first()?;
+                    let doc = sys.index.doc(top.doc);
+                    Some(
+                        doc.annotations
+                            .iter()
+                            .any(|a| a.key == "make" && a.value != make),
+                    )
+                };
+                // Denominator: queries the plain mode answered at all.
+                if let Some(p) = conflict(plain) {
+                    queries += 1;
+                    fp_plain += usize::from(p);
+                    fp_annotated += usize::from(conflict(annotated).unwrap_or(false));
+                }
             }
-          }
         }
     }
 
     let mut t = TextTable::new(
         "E11: structured annotations at serve time (paper's 'used ford focus 1993' example)",
-        &["scoring", "queries", "top-1 make conflicts", "false-positive rate"],
+        &[
+            "scoring",
+            "queries",
+            "top-1 make conflicts",
+            "false-positive rate",
+        ],
     );
     t.row(&[
         "plain BM25".into(),
@@ -80,7 +91,14 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, AnnotationResult) {
         pct(fp_annotated as f64 / queries.max(1) as f64),
     ]);
 
-    (vec![t], AnnotationResult { queries, fp_plain, fp_annotated })
+    (
+        vec![t],
+        AnnotationResult {
+            queries,
+            fp_plain,
+            fp_annotated,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -90,7 +108,11 @@ mod tests {
     #[test]
     fn annotations_do_not_increase_false_positives() {
         let (_, r) = run(Scale::Smoke);
-        assert!(r.queries > 5, "need make/model queries answered, got {}", r.queries);
+        assert!(
+            r.queries > 5,
+            "need make/model queries answered, got {}",
+            r.queries
+        );
         assert!(
             r.fp_annotated <= r.fp_plain,
             "annotated {} vs plain {}",

@@ -26,9 +26,7 @@ pub struct ExtractionResult {
 /// field map (ambiguous values like a shared make are dropped, so an
 /// extracted row is matched through its unique cells — typically the
 /// description).
-fn site_truth(
-    site: &deepweb_webworld::Site,
-) -> FxHashMap<String, FxHashMap<String, String>> {
+fn site_truth(site: &deepweb_webworld::Site) -> FxHashMap<String, FxHashMap<String, String>> {
     let schema = site.table.table().schema();
     let mut first_owner: FxHashMap<String, Option<usize>> = FxHashMap::default();
     for (rid, row) in site.table.table().iter() {
@@ -81,8 +79,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ExtractionResult) {
                  truth: &FxHashMap<String, FxHashMap<String, String>>,
                  acc: &mut (usize, usize)| {
         for rec in recs {
-            let Some(truth_fields) =
-                rec.fields.iter().find_map(|(_, v)| truth.get(&v.to_ascii_lowercase()))
+            let Some(truth_fields) = rec
+                .fields
+                .iter()
+                .find_map(|(_, v)| truth.get(&v.to_ascii_lowercase()))
             else {
                 acc.1 += rec.fields.len();
                 continue;
@@ -124,9 +124,21 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ExtractionResult) {
         score(&recs_generic, &truth, &mut generic);
     }
     let prf = |(tp, fp): (usize, usize)| -> (f64, f64, f64) {
-        let p = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-        let r = if total_fields == 0 { 1.0 } else { (tp as f64 / total_fields as f64).min(1.0) };
-        let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let p = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let r = if total_fields == 0 {
+            1.0
+        } else {
+            (tp as f64 / total_fields as f64).min(1.0)
+        };
+        let f1 = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         (p, r, f1)
     };
     let (ap, ar, af1) = prf(aware);
@@ -140,7 +152,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ExtractionResult) {
     t.row(&["form-aware".into(), f3(ap), f3(ar), f3(af1)]);
     t.row(&["generic scraper".into(), f3(gp), f3(gr), f3(gf1)]);
 
-    let result = ExtractionResult { form_aware_f1: af1, generic_f1: gf1, records };
+    let result = ExtractionResult {
+        form_aware_f1: af1,
+        generic_f1: gf1,
+        records,
+    };
     (vec![t], result)
 }
 

@@ -44,8 +44,13 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ScenarioResult) {
             break;
         }
     }
-    let hosts: Vec<String> =
-        sys.world.truth.sites.iter().map(|t| t.host.clone()).collect();
+    let hosts: Vec<String> = sys
+        .world
+        .truth
+        .sites
+        .iter()
+        .map(|t| t.host.clone())
+        .collect();
     let registry = register_sources(&sys.world.server, &hosts);
     let engine = VerticalEngine::new(&sys.world.server, registry);
     let (_, vstats) = engine.answer(query, 10);
@@ -57,7 +62,11 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ScenarioResult) {
         .reports
         .iter()
         .filter(|r| {
-            sys.world.truth.sites.iter().any(|t| t.host == r.host && t.post)
+            sys.world
+                .truth
+                .sites
+                .iter()
+                .any(|t| t.host == r.host && t.post)
                 && r.pages_surfaced > 0
         })
         .count();
@@ -79,7 +88,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ScenarioResult) {
 
     let mut t1 = TextTable::new(
         "E13a: fortuitous query answering (paper §3.2 example)",
-        &["approach", "outcome for 'sigmod innovations award mit professor'"],
+        &[
+            "approach",
+            "outcome for 'sigmod innovations award mit professor'",
+        ],
     );
     t1.row(&[
         "surfacing".into(),
@@ -91,7 +103,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ScenarioResult) {
     ]);
     t1.row(&[
         "virtual integration".into(),
-        format!("routed to {} sources (department-select form cannot take these keywords)", vstats.sources_routed),
+        format!(
+            "routed to {} sources (department-select form cannot take these keywords)",
+            vstats.sources_routed
+        ),
     ]);
 
     let mut t2 = TextTable::new(
@@ -100,8 +115,14 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, ScenarioResult) {
     );
     t2.row(&["POST forms in web".into(), post_forms.to_string()]);
     t2.row(&["POST forms surfaced".into(), post_surfaced.to_string()]);
-    t2.row(&["mean offline requests per GET site".into(), format!("{mean_requests:.1}")]);
-    t2.row(&["max offline requests on one site".into(), max_requests.to_string()]);
+    t2.row(&[
+        "mean offline requests per GET site".into(),
+        format!("{mean_requests:.1}"),
+    ]);
+    t2.row(&[
+        "max offline requests on one site".into(),
+        max_requests.to_string(),
+    ]);
 
     let result = ScenarioResult {
         fortuitous_rank_surfacing: rank,
@@ -126,7 +147,10 @@ mod tests {
             "award bio should rank top-3, got {}",
             r.fortuitous_rank_surfacing
         );
-        assert_eq!(r.fortuitous_sources_vertical, 0, "vertical must not route this query");
+        assert_eq!(
+            r.fortuitous_sources_vertical, 0,
+            "vertical must not route this query"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ impl TextTable {
 
     /// Append a row of displayable values.
     pub fn rowd<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -50,9 +51,10 @@ impl TextTable {
 
     /// Render with padded columns.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -73,7 +75,11 @@ impl TextTable {
         };
         if !self.header.is_empty() {
             let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+            let _ = writeln!(
+                out,
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * cols)
+            );
         }
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));

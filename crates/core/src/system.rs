@@ -1,8 +1,8 @@
 //! The end-to-end system: generate a web, surface it, index everything, and
 //! serve keyword queries — the full loop the paper's production system runs.
 
-use deepweb_common::{Url, DEFAULT_SEED};
-use deepweb_index::{search, Annotation, DocKind, Hit, SearchIndex, SearchOptions};
+use deepweb_common::{ThreadPool, Url, DEFAULT_SEED};
+use deepweb_index::{search, Annotation, BatchDoc, DocKind, Hit, SearchIndex, SearchOptions};
 use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
 use deepweb_webworld::{generate, WebConfig, World};
 
@@ -20,7 +20,10 @@ pub struct SystemConfig {
 /// A quick, test-sized configuration (small web, tight probe budgets).
 pub fn quick_config(num_sites: usize) -> SystemConfig {
     SystemConfig {
-        web: WebConfig { num_sites, ..WebConfig::default() },
+        web: WebConfig {
+            num_sites,
+            ..WebConfig::default()
+        },
         surfacer: SurfacerConfig {
             keywords: deepweb_surfacer::KeywordConfig {
                 seeds: 6,
@@ -68,28 +71,43 @@ impl DeepWebSystem {
     pub fn build(cfg: &SystemConfig) -> Self {
         let world = generate(&cfg.web);
         world.server.reset_counts();
-        let outcome =
-            crawl_and_surface(&world.server, &[Url::new("dir.sim", "/")], &cfg.surfacer);
+        let outcome = crawl_and_surface(&world.server, &[Url::new("dir.sim", "/")], &cfg.surfacer);
         let offline_requests = world.server.total_requests();
         world.server.reset_counts();
+        // Index build rides the same worker knob as the pipeline: batch the
+        // docs and let the pool shard tokenisation + postings construction
+        // (deterministic shard merge — identical output at any worker count).
+        let pool = ThreadPool::new(cfg.surfacer.num_workers);
+        let batch: Vec<BatchDoc> = outcome
+            .docs
+            .iter()
+            .map(|doc| {
+                let kind = match doc.origin {
+                    DocOrigin::Surface => DocKind::Surface,
+                    DocOrigin::Surfaced => DocKind::Surfaced,
+                    DocOrigin::Discovered => DocKind::Discovered,
+                };
+                let site = world.server.site_by_host(&doc.host).map(|s| s.id);
+                let annotations = doc
+                    .annotations
+                    .iter()
+                    .map(|(k, v)| Annotation {
+                        key: k.clone(),
+                        value: v.to_ascii_lowercase(),
+                    })
+                    .collect();
+                BatchDoc {
+                    url: doc.url.clone(),
+                    title: doc.title.clone(),
+                    text: doc.text.clone(),
+                    kind,
+                    site,
+                    annotations,
+                }
+            })
+            .collect();
         let mut index = SearchIndex::new();
-        for doc in &outcome.docs {
-            let kind = match doc.origin {
-                DocOrigin::Surface => DocKind::Surface,
-                DocOrigin::Surfaced => DocKind::Surfaced,
-                DocOrigin::Discovered => DocKind::Discovered,
-            };
-            let site = world.server.site_by_host(&doc.host).map(|s| s.id);
-            let annotations = doc
-                .annotations
-                .iter()
-                .map(|(k, v)| Annotation {
-                    key: k.clone(),
-                    value: v.to_ascii_lowercase(),
-                })
-                .collect();
-            index.add(doc.url.clone(), doc.title.clone(), doc.text.clone(), kind, site, annotations);
-        }
+        index.add_batch(&pool, batch);
         // Form vocabulary observed by the crawler extends the facet value
         // sets, so annotation conflicts are detectable even for values with
         // no surfaced page of their own (paper §5.1).
@@ -102,7 +120,13 @@ impl DeepWebSystem {
             use_annotations: cfg.use_annotations,
             ..Default::default()
         };
-        DeepWebSystem { world, index, outcome, offline_requests, options }
+        DeepWebSystem {
+            world,
+            index,
+            outcome,
+            offline_requests,
+            options,
+        }
     }
 
     /// Serve a keyword query.

@@ -70,7 +70,11 @@ pub fn coverage_statement(
     let upper_total = est + z * sd;
     let coverage = (surfaced as f64 / est).min(1.0);
     let lower_bound = (surfaced as f64 / upper_total).min(1.0);
-    Some(CoverageStatement { coverage, lower_bound, confidence })
+    Some(CoverageStatement {
+        coverage,
+        lower_bound,
+        confidence,
+    })
 }
 
 #[cfg(test)]

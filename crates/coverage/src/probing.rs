@@ -98,9 +98,7 @@ mod tests {
     use deepweb_surfacer::analyze_page;
     use deepweb_webworld::{generate, Fetcher, WebConfig};
 
-    fn site_with_select(
-        w: &deepweb_webworld::World,
-    ) -> (CrawledForm, Vec<Slot>, usize) {
+    fn site_with_select(w: &deepweb_webworld::World) -> (CrawledForm, Vec<Slot>, usize) {
         for t in &w.truth.sites {
             if t.post {
                 continue;
@@ -165,7 +163,10 @@ mod tests {
 
     #[test]
     fn empty_slots_yield_no_estimate() {
-        let w = generate(&WebConfig { num_sites: 5, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 5,
+            ..WebConfig::default()
+        });
         let (form, _, _) = site_with_select(&w);
         let prober = Prober::new(&w.server);
         let mut rng = derive_rng(8, "coverage-empty");

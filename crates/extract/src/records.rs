@@ -22,7 +22,10 @@ pub struct ExtractedRecord {
 impl ExtractedRecord {
     /// Value of a field.
     pub fn field(&self, name: &str) -> Option<&str> {
-        self.fields.iter().find(|(f, _)| f == name).map(|(_, v)| v.as_str())
+        self.fields
+            .iter()
+            .find(|(f, _)| f == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -36,9 +39,7 @@ pub fn extract_generic(html: &str) -> Vec<ExtractedRecord> {
             let fields = row
                 .iter()
                 .enumerate()
-                .map(|(i, v)| {
-                    (t.header.get(i).cloned().unwrap_or_default(), v.clone())
-                })
+                .map(|(i, v)| (t.header.get(i).cloned().unwrap_or_default(), v.clone()))
                 .collect();
             out.push(ExtractedRecord { fields });
         }
@@ -161,7 +162,10 @@ pub fn field_prf(
             }
         }
         let extracted_names: Vec<&String> = rec.fields.iter().map(|(f, _)| f).collect();
-        pr.fn_ += truth_fields.keys().filter(|k| !extracted_names.contains(k)).count();
+        pr.fn_ += truth_fields
+            .keys()
+            .filter(|k| !extracted_names.contains(k))
+            .count();
     }
     pr
 }

@@ -7,8 +7,9 @@
 use crate::tokenizer::{tokenize, Token};
 
 /// Elements that cannot have children.
-const VOID_ELEMENTS: &[&str] =
-    &["br", "hr", "img", "input", "meta", "link", "area", "base", "col", "embed", "source", "wbr"];
+const VOID_ELEMENTS: &[&str] = &[
+    "br", "hr", "img", "input", "meta", "link", "area", "base", "col", "embed", "source", "wbr",
+];
 
 /// A DOM node.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -30,9 +31,10 @@ impl Node {
     /// Attribute value, if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
         match self {
-            Node::Element { attrs, .. } => {
-                attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
-            }
+            Node::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
             Node::Text(_) => None,
         }
     }
@@ -164,9 +166,17 @@ impl Document {
                     }
                 }
                 Token::Comment(_) => {}
-                Token::Open { tag, attrs, self_closing } => {
+                Token::Open {
+                    tag,
+                    attrs,
+                    self_closing,
+                } => {
                     let void = self_closing || VOID_ELEMENTS.contains(&tag.as_str());
-                    let node = Node::Element { tag, attrs, children: Vec::new() };
+                    let node = Node::Element {
+                        tag,
+                        attrs,
+                        children: Vec::new(),
+                    };
                     if void {
                         push_child(&mut stack, node);
                     } else {
@@ -175,9 +185,7 @@ impl Document {
                 }
                 Token::Close { tag } => {
                     // Find matching open element on the stack (skip #root at 0).
-                    if let Some(pos) =
-                        stack.iter().rposition(|n| n.tag() == Some(tag.as_str()))
-                    {
+                    if let Some(pos) = stack.iter().rposition(|n| n.tag() == Some(tag.as_str())) {
                         if pos == 0 {
                             continue; // close of "#root" impossible; ignore
                         }
@@ -274,7 +282,11 @@ mod tests {
     #[test]
     fn find_all_document_order() {
         let d = Document::parse("<a id=1></a><div><a id=2></a></div><a id=3></a>");
-        let ids: Vec<_> = d.find_all("a").iter().map(|n| n.attr("id").unwrap()).collect();
+        let ids: Vec<_> = d
+            .find_all("a")
+            .iter()
+            .map(|n| n.attr("id").unwrap())
+            .collect();
         assert_eq!(ids, vec!["1", "2", "3"]);
     }
 

@@ -102,7 +102,11 @@ fn extract_one(form: &Node) -> ExtractedForm {
     // widget — that text is its label.
     let mut last_text = String::new();
     collect_inputs(form, &mut last_text, &mut inputs);
-    ExtractedForm { action, method, inputs }
+    ExtractedForm {
+        action,
+        method,
+        inputs,
+    }
 }
 
 fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedInput>) {
@@ -133,7 +137,11 @@ fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedIn
                         _ => None,
                     };
                     if let Some(kind) = kind {
-                        out.push(ExtractedInput { name, kind, label: last_text.clone() });
+                        out.push(ExtractedInput {
+                            name,
+                            kind,
+                            label: last_text.clone(),
+                        });
                     }
                 }
                 "select" => {
@@ -208,7 +216,10 @@ mod tests {
         let f = &extract_forms(&doc)[0];
         match &f.input("make").unwrap().kind {
             WidgetKind::SelectMenu { options } => {
-                assert_eq!(options, &vec!["".to_string(), "honda".into(), "ford".into()]);
+                assert_eq!(
+                    options,
+                    &vec!["".to_string(), "honda".into(), "ford".into()]
+                );
             }
             k => panic!("unexpected {k:?}"),
         }
@@ -236,7 +247,8 @@ mod tests {
 
     #[test]
     fn post_method_detected() {
-        let doc = Document::parse(r#"<form action="/buy" method="POST"><input type=text name=x></form>"#);
+        let doc =
+            Document::parse(r#"<form action="/buy" method="POST"><input type=text name=x></form>"#);
         assert_eq!(extract_forms(&doc)[0].method, Method::Post);
     }
 
@@ -248,7 +260,8 @@ mod tests {
 
     #[test]
     fn textarea_is_textbox() {
-        let doc = Document::parse(r#"<form action="/s">Comments <textarea name="c"></textarea></form>"#);
+        let doc =
+            Document::parse(r#"<form action="/s">Comments <textarea name="c"></textarea></form>"#);
         let f = &extract_forms(&doc)[0];
         assert!(matches!(f.input("c").unwrap().kind, WidgetKind::TextBox));
         assert_eq!(f.input("c").unwrap().label, "comments");

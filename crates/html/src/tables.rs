@@ -23,12 +23,18 @@ impl ExtractedTable {
 
     /// Number of columns (header width, or widest row).
     pub fn num_cols(&self) -> usize {
-        self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0))
+        self.header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0))
     }
 
     /// True if every body row has the same arity as the header.
     pub fn is_rectangular(&self) -> bool {
-        let w = if self.header.is_empty() { self.num_cols() } else { self.header.len() };
+        let w = if self.header.is_empty() {
+            self.num_cols()
+        } else {
+            self.header.len()
+        };
         self.rows.iter().all(|r| r.len() == w)
     }
 }
@@ -44,7 +50,10 @@ fn extract_one(table: &Node) -> ExtractedTable {
     for tr in table.find_all("tr") {
         let ths = tr.find_all("th");
         if !ths.is_empty() && header.is_empty() && rows.is_empty() {
-            header = ths.iter().map(|c| c.text_content().to_ascii_lowercase()).collect();
+            header = ths
+                .iter()
+                .map(|c| c.text_content().to_ascii_lowercase())
+                .collect();
             continue;
         }
         let cells: Vec<String> = tr

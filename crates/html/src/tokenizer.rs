@@ -112,13 +112,15 @@ pub fn tokenize(html: &str) -> Vec<Token> {
                     }
                     None => i = bytes.len(),
                 }
-            } else if i + 1 < bytes.len()
-                && (bytes[i + 1].is_ascii_alphabetic())
-            {
+            } else if i + 1 < bytes.len() && (bytes[i + 1].is_ascii_alphabetic()) {
                 match parse_open_tag(&html[i..]) {
                     Some((tag, attrs, self_closing, consumed)) => {
                         let raw_text = matches!(tag.as_str(), "script" | "style");
-                        tokens.push(Token::Open { tag: tag.clone(), attrs, self_closing });
+                        tokens.push(Token::Open {
+                            tag: tag.clone(),
+                            attrs,
+                            self_closing,
+                        });
                         i += consumed;
                         if raw_text && !self_closing {
                             // Raw text until the matching close tag.
@@ -260,7 +262,11 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::Open { tag: "p".into(), attrs: vec![], self_closing: false },
+                Token::Open {
+                    tag: "p".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
                 Token::Text("Hello".into()),
                 Token::Close { tag: "p".into() },
             ]
@@ -308,12 +314,26 @@ mod tests {
     fn script_is_raw_text() {
         let toks = tokenize("<script>if (a<b) {}</script><p>t</p>");
         assert_eq!(toks[1], Token::Text("if (a<b) {}".into()));
-        assert_eq!(toks[2], Token::Close { tag: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::Close {
+                tag: "script".into()
+            }
+        );
     }
 
     #[test]
     fn malformed_never_panics() {
-        for s in ["<", "<>", "< p>", "<a href=", "<b", "</", "<!-- unterminated", "a < b"] {
+        for s in [
+            "<",
+            "<>",
+            "< p>",
+            "<a href=",
+            "<b",
+            "</",
+            "<!-- unterminated",
+            "a < b",
+        ] {
             let _ = tokenize(s);
         }
     }
@@ -321,7 +341,13 @@ mod tests {
     #[test]
     fn self_closing() {
         let toks = tokenize("<br/><img src=x />");
-        assert!(matches!(&toks[0], Token::Open { self_closing: true, .. }));
+        assert!(matches!(
+            &toks[0],
+            Token::Open {
+                self_closing: true,
+                ..
+            }
+        ));
         assert!(matches!(&toks[1], Token::Open { tag, self_closing: true, .. } if tag == "img"));
     }
 }

@@ -46,7 +46,10 @@ pub struct PageBuilder {
 impl PageBuilder {
     /// Start a page with a title.
     pub fn new(title: &str) -> Self {
-        PageBuilder { body: String::new(), title: title.to_string() }
+        PageBuilder {
+            body: String::new(),
+            title: title.to_string(),
+        }
     }
 
     /// Add a heading.
@@ -63,8 +66,12 @@ impl PageBuilder {
 
     /// Add an anchor.
     pub fn link(&mut self, href: &str, text: &str) -> &mut Self {
-        let _ =
-            write!(self.body, "<a href=\"{}\">{}</a>", escape_attr(href), escape_text(text));
+        let _ = write!(
+            self.body,
+            "<a href=\"{}\">{}</a>",
+            escape_attr(href),
+            escape_text(text)
+        );
         self
     }
 
@@ -131,12 +138,20 @@ pub struct FormBuilder {
 impl FormBuilder {
     /// Start a GET form posting to `action`.
     pub fn get(action: &str) -> Self {
-        FormBuilder { action: action.to_string(), method: "get", body: String::new() }
+        FormBuilder {
+            action: action.to_string(),
+            method: "get",
+            body: String::new(),
+        }
     }
 
     /// Start a POST form posting to `action`.
     pub fn post(action: &str) -> Self {
-        FormBuilder { action: action.to_string(), method: "post", body: String::new() }
+        FormBuilder {
+            action: action.to_string(),
+            method: "post",
+            body: String::new(),
+        }
     }
 
     /// Add a labelled text box.
@@ -152,7 +167,12 @@ impl FormBuilder {
 
     /// Add a labelled select menu.
     pub fn select(mut self, label: &str, name: &str, options: &[String]) -> Self {
-        let _ = write!(self.body, "{} <select name=\"{}\">", escape_text(label), escape_attr(name));
+        let _ = write!(
+            self.body,
+            "{} <select name=\"{}\">",
+            escape_text(label),
+            escape_attr(name)
+        );
         for o in options {
             let _ = write!(
                 self.body,

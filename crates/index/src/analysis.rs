@@ -28,6 +28,9 @@ mod tests {
 
     #[test]
     fn digits_survive() {
-        assert_eq!(analyze_query("ford focus 1993"), vec!["ford", "focus", "1993"]);
+        assert_eq!(
+            analyze_query("ford focus 1993"),
+            vec!["ford", "focus", "1993"]
+        );
     }
 }

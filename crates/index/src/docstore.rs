@@ -68,7 +68,15 @@ impl DocStore {
         annotations: Vec<Annotation>,
     ) -> DocId {
         let id = DocId(self.docs.len() as u32);
-        self.docs.push(StoredDoc { id, url, title, text, kind, site, annotations });
+        self.docs.push(StoredDoc {
+            id,
+            url,
+            title,
+            text,
+            kind,
+            site,
+            annotations,
+        });
         id
     }
 
@@ -122,7 +130,10 @@ mod tests {
             "body".into(),
             DocKind::Surfaced,
             Some(SiteId(3)),
-            vec![Annotation { key: "make".into(), value: "honda".into() }],
+            vec![Annotation {
+                key: "make".into(),
+                value: "honda".into(),
+            }],
         );
         assert_eq!(ds.get(id).annotations[0].value, "honda");
         assert_eq!(ds.get(id).site, Some(SiteId(3)));

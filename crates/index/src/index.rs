@@ -6,7 +6,25 @@ use crate::analysis::analyze;
 use crate::docstore::{Annotation, DocKind, DocStore, StoredDoc};
 use crate::postings::Postings;
 use deepweb_common::ids::{DocId, SiteId};
-use deepweb_common::{FxHashMap, FxHashSet, Url};
+use deepweb_common::{FxHashMap, FxHashSet, ThreadPool, Url};
+
+/// One document of a batch insert (the argument list of [`SearchIndex::add`]
+/// as a struct, so batches can cross thread boundaries).
+#[derive(Clone, Debug)]
+pub struct BatchDoc {
+    /// Source URL (the dedup key).
+    pub url: Url,
+    /// Page title.
+    pub title: String,
+    /// Visible text.
+    pub text: String,
+    /// Provenance.
+    pub kind: DocKind,
+    /// Originating deep-web site, if any.
+    pub site: Option<SiteId>,
+    /// Structured annotations.
+    pub annotations: Vec<Annotation>,
+}
 
 /// An in-memory search index.
 #[derive(Default, Clone, Debug)]
@@ -53,6 +71,80 @@ impl SearchIndex {
         self.postings.add_document(id, &terms);
         self.by_url.insert(key, id);
         id
+    }
+
+    /// Add a batch of documents with tokenisation and postings construction
+    /// fanned out over `pool`, returning one id per batch entry (existing ids
+    /// for already-indexed URLs, exactly like repeated [`SearchIndex::add`]
+    /// calls).
+    ///
+    /// The batch is deduplicated sequentially (URL identity, first occurrence
+    /// wins), split into contiguous shards of fresh documents, analysed and
+    /// indexed into per-shard postings in parallel, then merged in shard
+    /// order via [`Postings::absorb`] — so the resulting index is identical
+    /// to the sequential loop for any worker count.
+    pub fn add_batch(&mut self, pool: &ThreadPool, batch: Vec<BatchDoc>) -> Vec<DocId> {
+        // 1. Sequential dedup + id assignment in batch order.
+        let mut ids = Vec::with_capacity(batch.len());
+        let mut fresh: Vec<BatchDoc> = Vec::new();
+        for doc in batch {
+            let key = doc.url.to_string();
+            if let Some(&id) = self.by_url.get(&key) {
+                ids.push(id);
+                continue;
+            }
+            let id = DocId((self.docs.len() + fresh.len()) as u32);
+            self.by_url.insert(key, id);
+            ids.push(id);
+            fresh.push(doc);
+        }
+        if fresh.is_empty() {
+            return ids;
+        }
+        // 2. Contiguous shards (≈4 per worker for stealing headroom), each
+        // analysed into a doc-local postings shard in parallel. Split the
+        // owned vec — no re-cloning of document text.
+        let shard_len = fresh.len().div_ceil(pool.workers().max(1) * 4).max(1);
+        let mut shards: Vec<Vec<BatchDoc>> = Vec::new();
+        while fresh.len() > shard_len {
+            let tail = fresh.split_off(shard_len);
+            shards.push(std::mem::replace(&mut fresh, tail));
+        }
+        shards.push(fresh);
+        let built = pool.map(shards, |_, shard: Vec<BatchDoc>| {
+            let mut postings = Postings::new();
+            for (local, doc) in shard.iter().enumerate() {
+                let mut terms = analyze(&doc.title);
+                terms.extend(analyze(&doc.text));
+                postings.add_document(DocId(local as u32), &terms);
+            }
+            (postings, shard)
+        });
+        // 3. Deterministic merge in shard order + sequential store/facet
+        // bookkeeping (identical to what `add` does per document).
+        for (shard_postings, shard) in built {
+            self.postings.absorb(shard_postings);
+            for doc in shard {
+                for ann in &doc.annotations {
+                    for tok in ann.value.split_whitespace() {
+                        self.facet_values
+                            .entry(ann.key.clone())
+                            .or_default()
+                            .insert(tok.to_string());
+                    }
+                }
+                self.docs.push(
+                    doc.url,
+                    doc.title,
+                    doc.text,
+                    doc.kind,
+                    doc.site,
+                    doc.annotations,
+                );
+            }
+        }
+        debug_assert_eq!(self.docs.len(), self.postings.num_docs());
+        ids
     }
 
     /// Extend the facet vocabulary with externally observed values (e.g.
@@ -138,9 +230,22 @@ mod tests {
     fn url_dedup() {
         let mut idx = SearchIndex::new();
         let u = Url::new("a.sim", "/p");
-        let id1 = idx.add(u.clone(), "t".into(), "x".into(), DocKind::Surface, None, vec![]);
-        let id2 =
-            idx.add(u.clone(), "other".into(), "y".into(), DocKind::Surface, None, vec![]);
+        let id1 = idx.add(
+            u.clone(),
+            "t".into(),
+            "x".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        let id2 = idx.add(
+            u.clone(),
+            "other".into(),
+            "y".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
         assert_eq!(id1, id2);
         assert_eq!(idx.len(), 1);
         assert!(idx.contains_url(&u));
@@ -170,7 +275,10 @@ mod tests {
             "x".into(),
             DocKind::Surfaced,
             Some(SiteId(0)),
-            vec![Annotation { key: "make".into(), value: "honda".into() }],
+            vec![Annotation {
+                key: "make".into(),
+                value: "honda".into(),
+            }],
         );
         idx.add(
             Url::new("a.sim", "/2"),
@@ -178,10 +286,73 @@ mod tests {
             "x".into(),
             DocKind::Surfaced,
             Some(SiteId(0)),
-            vec![Annotation { key: "make".into(), value: "ford".into() }],
+            vec![Annotation {
+                key: "make".into(),
+                value: "ford".into(),
+            }],
         );
         let vals = &idx.facet_values()["make"];
         assert!(vals.contains("honda") && vals.contains("ford"));
+    }
+
+    #[test]
+    fn add_batch_parallel_equals_sequential_adds() {
+        let batch: Vec<BatchDoc> = (0..25)
+            .map(|i| BatchDoc {
+                url: Url::new("a.sim", format!("/p{}", i % 20)), // 5 in-batch dupes
+                title: format!("title {i}"),
+                text: format!("honda civic doc number {i} zip {}", 90000 + i),
+                kind: DocKind::Surfaced,
+                site: Some(SiteId(0)),
+                annotations: vec![Annotation {
+                    key: "make".into(),
+                    value: format!("make{}", i % 3),
+                }],
+            })
+            .collect();
+        let mut sequential = SearchIndex::new();
+        let seq_ids: Vec<DocId> = batch
+            .iter()
+            .cloned()
+            .map(|d| sequential.add(d.url, d.title, d.text, d.kind, d.site, d.annotations))
+            .collect();
+        for workers in [1, 3, 8] {
+            let mut parallel = SearchIndex::new();
+            // Pre-seed one URL so the batch also dedups against prior state.
+            let pre = batch[0].clone();
+            sequentialize(&mut parallel, &pre);
+            let mut pre_seq = SearchIndex::new();
+            sequentialize(&mut pre_seq, &pre);
+            for d in batch.iter().cloned() {
+                pre_seq.add(d.url, d.title, d.text, d.kind, d.site, d.annotations);
+            }
+            let ids = parallel.add_batch(&ThreadPool::new(workers), batch.clone());
+            assert_eq!(ids.len(), seq_ids.len());
+            assert_eq!(parallel.len(), pre_seq.len(), "workers={workers}");
+            assert_eq!(parallel.stats(), pre_seq.stats(), "workers={workers}");
+            for term in ["honda", "civic", "number", "90003", "title"] {
+                assert_eq!(
+                    parallel.postings().postings(term),
+                    pre_seq.postings().postings(term),
+                    "postings for {term:?} diverge at workers={workers}"
+                );
+            }
+            assert_eq!(
+                parallel.facet_values()["make"],
+                pre_seq.facet_values()["make"]
+            );
+        }
+    }
+
+    fn sequentialize(idx: &mut SearchIndex, d: &BatchDoc) {
+        idx.add(
+            d.url.clone(),
+            d.title.clone(),
+            d.text.clone(),
+            d.kind,
+            d.site,
+            d.annotations.clone(),
+        );
     }
 
     #[test]

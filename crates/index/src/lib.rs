@@ -19,6 +19,6 @@ pub mod searcher;
 pub mod snippet;
 
 pub use docstore::{Annotation, DocKind, DocStore, StoredDoc};
-pub use index::{IndexStats, SearchIndex};
+pub use index::{BatchDoc, IndexStats, SearchIndex};
 pub use searcher::{search, Bm25Params, Hit, SearchOptions};
 pub use snippet::snippet;

@@ -42,8 +42,7 @@ impl Postings {
         self.doc_len.push(terms.len() as u32);
         self.total_len += terms.len() as u64;
         // Aggregate tf within the document first.
-        let mut counts: deepweb_common::FxHashMap<&str, u32> =
-            deepweb_common::FxHashMap::default();
+        let mut counts: deepweb_common::FxHashMap<&str, u32> = deepweb_common::FxHashMap::default();
         for t in terms {
             *counts.entry(t.as_str()).or_insert(0) += 1;
         }
@@ -107,6 +106,46 @@ impl Postings {
         let df = self.df(term) as f64;
         ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
     }
+
+    /// Append a shard's postings built over doc-local ids `0..shard.num_docs()`:
+    /// the shard's documents become ids `self.num_docs()..` here.
+    ///
+    /// Merge discipline (determinism argument, DESIGN.md §8): shards hold
+    /// *contiguous* document ranges, and shards are absorbed in range order.
+    /// A shard's interner records terms in first-appearance order within the
+    /// shard (documents in order, terms sorted within a document — exactly
+    /// what [`Postings::add_document`] does), so folding shard interners in
+    /// shard order reproduces the sequential build's interning order, and
+    /// concatenating each term's per-shard lists reproduces its doc-sorted
+    /// postings. The result is identical to adding every document
+    /// sequentially.
+    pub fn absorb(&mut self, shard: Postings) {
+        let offset = self.doc_len.len() as u32;
+        self.total_len += shard.total_len;
+        self.doc_len.extend_from_slice(&shard.doc_len);
+        for (local_sym, term) in shard.terms.iter() {
+            let sym = self.terms.intern(term);
+            if sym.0 as usize == self.lists.len() {
+                self.lists.push(Vec::new());
+            }
+            self.lists[sym.0 as usize].extend(shard.lists[local_sym.0 as usize].iter().map(|p| {
+                Posting {
+                    doc: DocId(p.doc.0 + offset),
+                    tf: p.tf,
+                }
+            }));
+        }
+    }
+
+    /// Merge shards of contiguous document ranges, in order, into one
+    /// postings structure (see [`Postings::absorb`]).
+    pub fn merge_shards(shards: Vec<Postings>) -> Postings {
+        let mut merged = Postings::new();
+        for shard in shards {
+            merged.absorb(shard);
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -126,8 +165,20 @@ mod tests {
         let p = sample();
         let honda = p.postings("honda");
         assert_eq!(honda.len(), 2);
-        assert_eq!(honda[0], Posting { doc: DocId(0), tf: 2 });
-        assert_eq!(honda[1], Posting { doc: DocId(2), tf: 1 });
+        assert_eq!(
+            honda[0],
+            Posting {
+                doc: DocId(0),
+                tf: 2
+            }
+        );
+        assert_eq!(
+            honda[1],
+            Posting {
+                doc: DocId(2),
+                tf: 1
+            }
+        );
         assert!(p.postings("tesla").is_empty());
     }
 
@@ -152,5 +203,51 @@ mod tests {
     fn out_of_order_docs_rejected() {
         let mut p = Postings::new();
         p.add_document(DocId(1), &["x".into()]);
+    }
+
+    #[test]
+    fn shard_merge_equals_sequential_build() {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["honda".into(), "civic".into(), "honda".into()],
+            vec!["ford".into(), "focus".into()],
+            vec!["honda".into(), "accord".into()],
+            vec!["zip".into(), "ford".into()],
+            vec!["accord".into()],
+        ];
+        let mut sequential = Postings::new();
+        for (i, terms) in docs.iter().enumerate() {
+            sequential.add_document(DocId(i as u32), terms);
+        }
+        // Shards over contiguous ranges [0..2), [2..3), [3..5).
+        let mut shards = Vec::new();
+        for range in [0..2, 2..3, 3..5] {
+            let mut shard = Postings::new();
+            for (local, terms) in docs[range].iter().enumerate() {
+                shard.add_document(DocId(local as u32), terms);
+            }
+            shards.push(shard);
+        }
+        let merged = Postings::merge_shards(shards);
+        assert_eq!(format!("{sequential:?}"), format!("{merged:?}"));
+        assert_eq!(merged.postings("honda"), sequential.postings("honda"));
+        assert_eq!(merged.num_postings(), sequential.num_postings());
+        assert_eq!(merged.doc_len(DocId(4)), 1);
+    }
+
+    #[test]
+    fn absorb_into_nonempty_base() {
+        let mut base = sample();
+        let mut shard = Postings::new();
+        shard.add_document(DocId(0), &["honda".into(), "tesla".into()]);
+        base.absorb(shard);
+        assert_eq!(base.num_docs(), 4);
+        assert_eq!(base.df("honda"), 3);
+        assert_eq!(
+            base.postings("tesla"),
+            &[Posting {
+                doc: DocId(3),
+                tf: 1
+            }]
+        );
     }
 }

@@ -108,8 +108,13 @@ pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -
             heap.pop();
         }
     }
-    let mut hits: Vec<Hit> =
-        heap.into_iter().map(|HeapEntry(s, d)| Hit { doc: DocId(d), score: s }).collect();
+    let mut hits: Vec<Hit> = heap
+        .into_iter()
+        .map(|HeapEntry(s, d)| Hit {
+            doc: DocId(d),
+            score: s,
+        })
+        .collect();
     hits.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -169,8 +174,14 @@ mod tests {
             DocKind::Surfaced,
             None,
             vec![
-                Annotation { key: "make".into(), value: "honda".into() },
-                Annotation { key: "model".into(), value: "civic".into() },
+                Annotation {
+                    key: "make".into(),
+                    value: "honda".into(),
+                },
+                Annotation {
+                    key: "model".into(),
+                    value: "civic".into(),
+                },
             ],
         );
         idx.add(
@@ -180,8 +191,14 @@ mod tests {
             DocKind::Surfaced,
             None,
             vec![
-                Annotation { key: "make".into(), value: "ford".into() },
-                Annotation { key: "model".into(), value: "focus".into() },
+                Annotation {
+                    key: "make".into(),
+                    value: "ford".into(),
+                },
+                Annotation {
+                    key: "model".into(),
+                    value: "focus".into(),
+                },
             ],
         );
         idx.add(
@@ -215,7 +232,10 @@ mod tests {
         let idx = build();
         // With annotations, the honda page is penalised for the make
         // conflict and the ford page is boosted.
-        let opts = SearchOptions { use_annotations: true, ..Default::default() };
+        let opts = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
         let hits = search(&idx, "used ford focus 1993", 10, opts);
         assert_eq!(hits[0].doc, DocId(1));
         let ford = hits.iter().find(|h| h.doc == DocId(1)).unwrap().score;

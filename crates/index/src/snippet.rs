@@ -15,8 +15,10 @@ pub fn snippet(text: &str, query: &str, window: usize) -> String {
         return tokens[..tokens.len().min(window)].join(" ");
     }
     // Score each window start by the number of query-term hits inside it.
-    let is_hit: Vec<bool> =
-        tokens.iter().map(|t| qterms.iter().any(|q| q == t)).collect();
+    let is_hit: Vec<bool> = tokens
+        .iter()
+        .map(|t| qterms.iter().any(|q| q == t))
+        .collect();
     let w = window.min(tokens.len());
     let mut hits: usize = is_hit[..w].iter().filter(|&&h| h).count();
     let mut best = (hits, 0usize);

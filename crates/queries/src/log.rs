@@ -35,15 +35,13 @@ impl ImpactReport {
     /// answers "what fraction of deep-web results do the top-(k+1) forms
     /// carry" — the paper's long-tail table.
     pub fn cumulative_share(&self) -> Vec<f64> {
-        let weights: Vec<f64> =
-            self.per_site_impact.values().map(|&c| c as f64).collect();
+        let weights: Vec<f64> = self.per_site_impact.values().map(|&c| c as f64).collect();
         stats::cumulative_share(&weights)
     }
 
     /// Number of forms needed to reach `share` of deep-web results.
     pub fn forms_for_share(&self, share: f64) -> usize {
-        let weights: Vec<f64> =
-            self.per_site_impact.values().map(|&c| c as f64).collect();
+        let weights: Vec<f64> = self.per_site_impact.values().map(|&c| c as f64).collect();
         stats::rank_reaching_share(&weights, share)
     }
 
@@ -68,7 +66,10 @@ pub fn replay(
     rng: &mut StdRng,
 ) -> ImpactReport {
     let stream: Vec<QueryId> = workload.stream(n, rng);
-    let mut report = ImpactReport { queries: n, ..Default::default() };
+    let mut report = ImpactReport {
+        queries: n,
+        ..Default::default()
+    };
     for qid in stream {
         let q = workload.query(qid);
         if q.is_tail {
@@ -144,7 +145,10 @@ mod tests {
             "rare subject zz11 text".into(),
             DocKind::Surfaced,
             Some(SiteId(4)),
-            vec![Annotation { key: "t".into(), value: "v".into() }],
+            vec![Annotation {
+                key: "t".into(),
+                value: "v".into(),
+            }],
         );
         let _ = idx; // replay needs a workload over a world; covered in integration tests.
         assert_eq!(idx.doc(DocId(0)).site, Some(SiteId(4)));

@@ -38,7 +38,9 @@ pub struct Workload {
 impl Workload {
     /// Sample a stream of `n` query ids.
     pub fn stream(&self, n: usize, rng: &mut StdRng) -> Vec<QueryId> {
-        (0..n).map(|_| QueryId(self.zipf.sample(rng) as u32)).collect()
+        (0..n)
+            .map(|_| QueryId(self.zipf.sample(rng) as u32))
+            .collect()
     }
 
     /// Query by id.
@@ -73,7 +75,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { distinct: 400, zipf_s: 1.07, head_fraction: 0.2, seed: 17 }
+        WorkloadConfig {
+            distinct: 400,
+            zipf_s: 1.07,
+            head_fraction: 0.2,
+            seed: 17,
+        }
     }
 }
 
@@ -129,10 +136,7 @@ pub fn generate_workload(world: &World, cfg: &WorkloadConfig) -> Workload {
         // 3-4 tokens sampled from the record (sorted-dedup token cache), so
         // a conjunctive match finds this record.
         let k = rng.gen_range(3..=4.min(toks.len()));
-        let mut chosen: Vec<String> = toks
-            .choose_multiple(&mut rng, k)
-            .cloned()
-            .collect();
+        let mut chosen: Vec<String> = toks.choose_multiple(&mut rng, k).cloned().collect();
         chosen.sort();
         queries.push(Query {
             id: QueryId(queries.len() as u32),
@@ -151,13 +155,22 @@ mod tests {
     use deepweb_webworld::{generate, WebConfig};
 
     fn world() -> World {
-        generate(&WebConfig { num_sites: 15, ..WebConfig::default() })
+        generate(&WebConfig {
+            num_sites: 15,
+            ..WebConfig::default()
+        })
     }
 
     #[test]
     fn workload_shape() {
         let w = world();
-        let wl = generate_workload(&w, &WorkloadConfig { distinct: 100, ..Default::default() });
+        let wl = generate_workload(
+            &w,
+            &WorkloadConfig {
+                distinct: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(wl.len(), 100);
         let heads = wl.queries.iter().filter(|q| !q.is_tail).count();
         assert_eq!(heads, 20);
@@ -170,13 +183,23 @@ mod tests {
     #[test]
     fn stream_is_head_heavy() {
         let w = world();
-        let wl = generate_workload(&w, &WorkloadConfig { distinct: 200, ..Default::default() });
+        let wl = generate_workload(
+            &w,
+            &WorkloadConfig {
+                distinct: 200,
+                ..Default::default()
+            },
+        );
         let mut rng = derive_rng(3, "stream");
         let stream = wl.stream(5000, &mut rng);
         let head_hits = stream.iter().filter(|id| !wl.query(**id).is_tail).count();
         // 20% of distinct queries are head but they draw far more than 20%
         // of the stream.
-        assert!(head_hits as f64 / 5000.0 > 0.4, "head share {}", head_hits as f64 / 5000.0);
+        assert!(
+            head_hits as f64 / 5000.0 > 0.4,
+            "head share {}",
+            head_hits as f64 / 5000.0
+        );
     }
 
     #[test]
@@ -194,14 +217,24 @@ mod tests {
     #[test]
     fn tail_queries_quote_real_records() {
         let w = world();
-        let wl = generate_workload(&w, &WorkloadConfig { distinct: 60, ..Default::default() });
+        let wl = generate_workload(
+            &w,
+            &WorkloadConfig {
+                distinct: 60,
+                ..Default::default()
+            },
+        );
         for q in wl.queries.iter().filter(|q| q.is_tail).take(10) {
             let site = w.server.site(q.target_site.unwrap());
             let found = site.table.table().iter().any(|(id, _)| {
                 let toks = site.table.table().row_tokens(id);
                 q.text.split(' ').all(|t| toks.iter().any(|x| x == t))
             });
-            assert!(found, "query {:?} should match a record on its target site", q.text);
+            assert!(
+                found,
+                "query {:?} should match a record on its target site",
+                q.text
+            );
         }
     }
 }

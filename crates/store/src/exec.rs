@@ -41,7 +41,11 @@ impl IndexedTable {
         let ncols = table.schema().len();
         let hash_indexes = (0..ncols).map(|c| HashIndex::build(&table, c)).collect();
         let btree_indexes = (0..ncols).map(|c| BTreeIndex::build(&table, c)).collect();
-        IndexedTable { table, hash_indexes, btree_indexes }
+        IndexedTable {
+            table,
+            hash_indexes,
+            btree_indexes,
+        }
     }
 
     /// The underlying table.
@@ -100,7 +104,12 @@ impl IndexedTable {
         let total = all.len();
         let start = page.saturating_mul(page_size).min(total);
         let end = (start + page_size).min(total);
-        Page { total, ids: all[start..end].to_vec(), page, page_size }
+        Page {
+            total,
+            ids: all[start..end].to_vec(),
+            page,
+            page_size,
+        }
     }
 }
 
@@ -126,7 +135,12 @@ mod tests {
             ("ford fiesta", 1993, 1500),
         ];
         for (m, y, p) in rows {
-            t.insert(vec![Value::Text(m.into()), Value::Int(y), Value::Money(p * 100)]).unwrap();
+            t.insert(vec![
+                Value::Text(m.into()),
+                Value::Int(y),
+                Value::Money(p * 100),
+            ])
+            .unwrap();
         }
         IndexedTable::build(t)
     }
@@ -145,7 +159,11 @@ mod tests {
     fn conjunction_of_range_and_keyword() {
         let it = cars();
         let conj = Conjunction::new(vec![
-            Predicate::Range { col: 1, min: Some(Value::Int(1993)), max: Some(Value::Int(1995)) },
+            Predicate::Range {
+                col: 1,
+                min: Some(Value::Int(1993)),
+                max: Some(Value::Int(1995)),
+            },
             Predicate::KeywordsAll(vec!["honda".into()]),
         ]);
         assert_eq!(it.select(&conj), vec![RecordId(0)]);

@@ -78,8 +78,11 @@ impl BTreeIndex {
                 return Vec::new();
             }
         }
-        let mut ids: Vec<RecordId> =
-            self.map.range((lo, hi)).flat_map(|(_, v)| v.iter().copied()).collect();
+        let mut ids: Vec<RecordId> = self
+            .map
+            .range((lo, hi))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
         ids.sort();
         ids
     }
@@ -95,10 +98,15 @@ mod tests {
         let schema =
             Schema::new(vec![("make", ValueType::Text), ("price", ValueType::Money)]).unwrap();
         let mut t = Table::new(schema);
-        for (m, p) in
-            [("honda", 4000), ("ford", 2000), ("honda", 6000), ("bmw", 9000), ("ford", 2000)]
-        {
-            t.insert(vec![Value::Text(m.into()), Value::Money(p * 100)]).unwrap();
+        for (m, p) in [
+            ("honda", 4000),
+            ("ford", 2000),
+            ("honda", 6000),
+            ("bmw", 9000),
+            ("ford", 2000),
+        ] {
+            t.insert(vec![Value::Text(m.into()), Value::Money(p * 100)])
+                .unwrap();
         }
         t
     }
@@ -118,7 +126,10 @@ mod tests {
         let t = table();
         let idx = BTreeIndex::build(&t, 1);
         let got = idx.range(Some(&Value::Money(200_000)), Some(&Value::Money(600_000)));
-        assert_eq!(got, vec![RecordId(0), RecordId(1), RecordId(2), RecordId(4)]);
+        assert_eq!(
+            got,
+            vec![RecordId(0), RecordId(1), RecordId(2), RecordId(4)]
+        );
     }
 
     #[test]

@@ -54,16 +54,18 @@ impl Predicate {
                 }
                 true
             }
-            Predicate::KeywordsAll(kws) => {
-                kws.iter().all(|k| row_tokens.iter().any(|t| t == k))
-            }
+            Predicate::KeywordsAll(kws) => kws.iter().all(|k| row_tokens.iter().any(|t| t == k)),
         }
     }
 
     /// An empty range (`min > max`) can never match; sites short-circuit it.
     pub fn is_vacuous(&self) -> bool {
         match self {
-            Predicate::Range { min: Some(lo), max: Some(hi), .. } => lo > hi,
+            Predicate::Range {
+                min: Some(lo),
+                max: Some(hi),
+                ..
+            } => lo > hi,
             Predicate::KeywordsAll(kws) => kws.is_empty(),
             _ => false,
         }
@@ -105,7 +107,11 @@ mod tests {
     use crate::value::Value;
 
     fn row() -> Vec<Value> {
-        vec![Value::Text("honda".into()), Value::Int(1993), Value::Money(450_000)]
+        vec![
+            Value::Text("honda".into()),
+            Value::Int(1993),
+            Value::Money(450_000),
+        ]
     }
 
     fn toks() -> Vec<String> {
@@ -114,9 +120,15 @@ mod tests {
 
     #[test]
     fn eq_matches_same_column_only() {
-        let p = Predicate::Eq { col: 0, value: Value::Text("honda".into()) };
+        let p = Predicate::Eq {
+            col: 0,
+            value: Value::Text("honda".into()),
+        };
         assert!(p.matches(&row(), &toks()));
-        let p2 = Predicate::Eq { col: 1, value: Value::Text("honda".into()) };
+        let p2 = Predicate::Eq {
+            col: 1,
+            value: Value::Text("honda".into()),
+        };
         assert!(!p2.matches(&row(), &toks()));
     }
 
@@ -128,14 +140,26 @@ mod tests {
             max: Some(Value::Int(1995)),
         };
         assert!(p.matches(&row(), &toks()));
-        let cross = Predicate::Range { col: 1, min: Some(Value::Money(0)), max: None };
+        let cross = Predicate::Range {
+            col: 1,
+            min: Some(Value::Money(0)),
+            max: None,
+        };
         assert!(!cross.matches(&row(), &toks()));
     }
 
     #[test]
     fn open_ended_ranges() {
-        let lo = Predicate::Range { col: 2, min: Some(Value::Money(400_000)), max: None };
-        let hi = Predicate::Range { col: 2, min: None, max: Some(Value::Money(400_000)) };
+        let lo = Predicate::Range {
+            col: 2,
+            min: Some(Value::Money(400_000)),
+            max: None,
+        };
+        let hi = Predicate::Range {
+            col: 2,
+            min: None,
+            max: Some(Value::Money(400_000)),
+        };
         assert!(lo.matches(&row(), &toks()));
         assert!(!hi.matches(&row(), &toks()));
     }
@@ -164,8 +188,15 @@ mod tests {
     #[test]
     fn conjunction_semantics() {
         let c = Conjunction::new(vec![
-            Predicate::Eq { col: 0, value: Value::Text("honda".into()) },
-            Predicate::Range { col: 1, min: Some(Value::Int(1990)), max: Some(Value::Int(2000)) },
+            Predicate::Eq {
+                col: 0,
+                value: Value::Text("honda".into()),
+            },
+            Predicate::Range {
+                col: 1,
+                min: Some(Value::Int(1990)),
+                max: Some(Value::Int(2000)),
+            },
         ]);
         assert!(c.matches(&row(), &toks()));
         assert!(Conjunction::all().matches(&row(), &toks()));

@@ -31,7 +31,10 @@ impl Schema {
             if columns.iter().any(|c: &Column| c.name == name) {
                 return Err(Error::Schema(format!("duplicate column {name}")));
             }
-            columns.push(Column { name: name.to_string(), ty });
+            columns.push(Column {
+                name: name.to_string(),
+                ty,
+            });
         }
         Ok(Schema { columns })
     }

@@ -32,7 +32,12 @@ impl ColumnStats {
         let mut top: Vec<(Value, usize)> = counts.into_iter().collect();
         top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         top.truncate(top_k);
-        ColumnStats { rows: table.len(), distinct, top, min_max: table.min_max(col) }
+        ColumnStats {
+            rows: table.len(),
+            distinct,
+            top,
+            min_max: table.min_max(col),
+        }
     }
 
     /// Fraction of rows carrying the single most frequent value.

@@ -21,7 +21,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table with `schema`.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new(), row_tokens: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            row_tokens: Vec::new(),
+        }
     }
 
     /// The table's schema.
@@ -86,7 +90,10 @@ impl Table {
 
     /// Iterate `(RecordId, row)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[Value])> {
-        self.rows.iter().enumerate().map(|(i, r)| (RecordId(i as u32), r.as_slice()))
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u32), r.as_slice()))
     }
 
     /// Distinct values of a column (sorted).
@@ -124,8 +131,10 @@ mod tests {
         let schema =
             Schema::new(vec![("make", ValueType::Text), ("year", ValueType::Int)]).unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec![Value::Text("honda civic".into()), Value::Int(1993)]).unwrap();
-        t.insert(vec![Value::Text("ford focus".into()), Value::Int(1998)]).unwrap();
+        t.insert(vec![Value::Text("honda civic".into()), Value::Int(1993)])
+            .unwrap();
+        t.insert(vec![Value::Text("ford focus".into()), Value::Int(1998)])
+            .unwrap();
         t
     }
 
@@ -154,7 +163,10 @@ mod tests {
     #[test]
     fn distinct_and_minmax() {
         let t = car_table();
-        assert_eq!(t.distinct_values(1), vec![Value::Int(1993), Value::Int(1998)]);
+        assert_eq!(
+            t.distinct_values(1),
+            vec![Value::Int(1993), Value::Int(1998)]
+        );
         assert_eq!(t.min_max(1), Some((Value::Int(1993), Value::Int(1998))));
         let empty = Table::new(Schema::new(vec![("x", ValueType::Int)]).unwrap());
         assert_eq!(empty.min_max(0), None);

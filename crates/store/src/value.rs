@@ -160,14 +160,23 @@ mod tests {
 
     #[test]
     fn parse_as_money_accepts_dollar_and_commas() {
-        assert_eq!(Value::parse_as(ValueType::Money, "$1,500"), Some(Value::Money(150_000)));
-        assert_eq!(Value::parse_as(ValueType::Money, "200"), Some(Value::Money(20_000)));
+        assert_eq!(
+            Value::parse_as(ValueType::Money, "$1,500"),
+            Some(Value::Money(150_000))
+        );
+        assert_eq!(
+            Value::parse_as(ValueType::Money, "200"),
+            Some(Value::Money(20_000))
+        );
         assert!(Value::parse_as(ValueType::Money, "abc").is_none());
     }
 
     #[test]
     fn parse_as_zip_strict() {
-        assert_eq!(Value::parse_as(ValueType::Zip, "94043"), Some(Value::Zip("94043".into())));
+        assert_eq!(
+            Value::parse_as(ValueType::Zip, "94043"),
+            Some(Value::Zip("94043".into()))
+        );
         assert!(Value::parse_as(ValueType::Zip, "9404").is_none());
         assert!(Value::parse_as(ValueType::Zip, "94o43").is_none());
     }

@@ -33,13 +33,21 @@ fn decompose(name: &str) -> (Option<bool>, String) {
     // Underscore-separated affix anywhere: min_price, price_min, price_from.
     for (i, p) in parts.iter().enumerate() {
         if MIN_AFFIXES.contains(p) {
-            let stem: Vec<&str> =
-                parts.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, s)| *s).collect();
+            let stem: Vec<&str> = parts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, s)| *s)
+                .collect();
             return (Some(true), stem.join("_"));
         }
         if MAX_AFFIXES.contains(p) {
-            let stem: Vec<&str> =
-                parts.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, s)| *s).collect();
+            let stem: Vec<&str> = parts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, s)| *s)
+                .collect();
             return (Some(false), stem.join("_"));
         }
     }
@@ -63,8 +71,7 @@ fn decompose(name: &str) -> (Option<bool>, String) {
 
 /// Mine candidate range pairs from input names alone (no probing).
 pub fn candidate_range_pairs(form: &CrawledForm) -> Vec<RangePair> {
-    let texts: Vec<&CrawledInput> =
-        form.inputs.iter().filter(|i| i.is_text()).collect();
+    let texts: Vec<&CrawledInput> = form.inputs.iter().filter(|i| i.is_text()).collect();
     let mut pairs = Vec::new();
     for (i, a) in texts.iter().enumerate() {
         let (ka, stem_a) = decompose(&a.name);
@@ -97,11 +104,17 @@ pub fn validate_range(
 ) -> bool {
     let proper = prober.submit(
         form,
-        &[(pair.min_input.clone(), lo.to_string()), (pair.max_input.clone(), hi.to_string())],
+        &[
+            (pair.min_input.clone(), lo.to_string()),
+            (pair.max_input.clone(), hi.to_string()),
+        ],
     );
     let inverted = prober.submit(
         form,
-        &[(pair.min_input.clone(), hi.to_string()), (pair.max_input.clone(), lo.to_string())],
+        &[
+            (pair.min_input.clone(), hi.to_string()),
+            (pair.max_input.clone(), lo.to_string()),
+        ],
     );
     proper.ok && inverted.ok && proper.has_results() && !inverted.has_results()
 }
@@ -124,17 +137,17 @@ pub fn aligned_range_assignments(
         ]);
     }
     // Open tail bucket: everything above the last value.
-    out.push(vec![(pair.min_input.clone(), values[values.len() - 1].clone())]);
+    out.push(vec![(
+        pair.min_input.clone(),
+        values[values.len() - 1].clone(),
+    )]);
     out
 }
 
 /// Naive assignments for the same pair: full cross product plus singles —
 /// what a correlation-blind surfacer would generate (paper: "as many as 120
 /// URLs" for 10×10).
-pub fn naive_range_assignments(
-    pair: &RangePair,
-    values: &[String],
-) -> Vec<Vec<(String, String)>> {
+pub fn naive_range_assignments(pair: &RangePair, values: &[String]) -> Vec<Vec<(String, String)>> {
     let mut out = Vec::new();
     for lo in values {
         out.push(vec![(pair.min_input.clone(), lo.clone())]);
@@ -198,7 +211,10 @@ pub fn detect_database_selection(
         for (wi, w) in probe_words.iter().enumerate() {
             let out = prober.submit(
                 form,
-                &[(select_name.to_string(), opt.clone()), (text_name.to_string(), w.clone())],
+                &[
+                    (select_name.to_string(), opt.clone()),
+                    (text_name.to_string(), w.clone()),
+                ],
             );
             if out.ok {
                 let n = out.result_count.unwrap_or(out.record_ids.len());
@@ -228,7 +244,11 @@ pub fn detect_database_selection(
             pairs += 1;
         }
     }
-    let mean_overlap = if pairs > 0 { overlap_sum / pairs as f64 } else { 1.0 };
+    let mean_overlap = if pairs > 0 {
+        overlap_sum / pairs as f64
+    } else {
+        1.0
+    };
     (mean_overlap < 0.34).then(|| DatabaseSelection {
         select_input: select_name.to_string(),
         text_input: text_name.to_string(),
@@ -237,9 +257,7 @@ pub fn detect_database_selection(
 
 /// Aligned assignments for a JS-dependent pair (make → model): only valid
 /// (controller, dependent) combinations, straight from the emulator's map.
-pub fn dependent_assignments(
-    dep: &crate::formmodel::DependentMap,
-) -> Vec<Vec<(String, String)>> {
+pub fn dependent_assignments(dep: &crate::formmodel::DependentMap) -> Vec<Vec<(String, String)>> {
     let mut out = Vec::new();
     for (ctrl_val, dep_vals) in &dep.map {
         for dv in dep_vals {
@@ -291,7 +309,10 @@ mod tests {
 
     #[test]
     fn mined_pairs_match_ground_truth() {
-        let w = generate(&WebConfig { num_sites: 60, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 60,
+            ..WebConfig::default()
+        });
         let mut tp = 0;
         let mut fp = 0;
         let mut fn_ = 0;
@@ -326,11 +347,18 @@ mod tests {
 
     #[test]
     fn range_validation_confirms_true_pairs() {
-        let w = generate(&WebConfig { num_sites: 60, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 60,
+            ..WebConfig::default()
+        });
         let (form, pair, _t) = form_with_range(&w).expect("range site exists");
         let prober = Prober::new(&w.server);
         // Price/salary stems take dollar ladders; year stems take years.
-        let (lo, hi) = if pair.stem.contains("year") { ("1985", "2009") } else { ("1", "99999") };
+        let (lo, hi) = if pair.stem.contains("year") {
+            ("1985", "2009")
+        } else {
+            ("1", "99999")
+        };
         assert!(validate_range(&prober, &form, &pair, lo, hi));
     }
 
@@ -368,7 +396,10 @@ mod tests {
 
     #[test]
     fn database_selection_detected_on_media_site() {
-        let w = generate(&WebConfig { num_sites: 80, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 80,
+            ..WebConfig::default()
+        });
         for t in &w.truth.sites {
             if t.post || t.domain != deepweb_webworld::DomainKind::MediaSearch {
                 continue;
@@ -389,13 +420,19 @@ mod tests {
                 .map(|i| i.name.clone())
                 .unwrap();
             // Category-specific words: some from each pool.
-            let words: Vec<String> = ["noir", "western", "compiler", "firewall", "arcade", "sonata"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+            let words: Vec<String> = [
+                "noir", "western", "compiler", "firewall", "arcade", "sonata",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
             let prober = Prober::new(&w.server);
             let det = detect_database_selection(&prober, &form, &select, &text, &words, 4);
-            assert!(det.is_some(), "media site {} should show db-selection", t.host);
+            assert!(
+                det.is_some(),
+                "media site {} should show db-selection",
+                t.host
+            );
             return;
         }
         panic!("no media site generated");

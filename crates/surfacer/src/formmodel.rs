@@ -42,9 +42,11 @@ impl CrawledInput {
     /// filtered out.
     pub fn options(&self) -> Vec<&str> {
         match &self.kind {
-            WidgetKind::SelectMenu { options } => {
-                options.iter().map(String::as_str).filter(|o| !o.is_empty()).collect()
-            }
+            WidgetKind::SelectMenu { options } => options
+                .iter()
+                .map(String::as_str)
+                .filter(|o| !o.is_empty())
+                .collect(),
             _ => Vec::new(),
         }
     }
@@ -100,10 +102,13 @@ pub fn analyze_page(page_url: &Url, html: &str) -> Vec<CrawledForm> {
     extract_forms(&doc)
         .into_iter()
         .map(|f| {
-            let action_path = if f.action.is_empty() { page_url.path.clone() } else { f.action.clone() };
+            let action_path = if f.action.is_empty() {
+                page_url.path.clone()
+            } else {
+                f.action.clone()
+            };
             let action_url = if action_path.starts_with("http://") {
-                Url::parse(&action_path)
-                    .unwrap_or_else(|| Url::new(page_url.host.clone(), "/"))
+                Url::parse(&action_path).unwrap_or_else(|| Url::new(page_url.host.clone(), "/"))
             } else {
                 Url::new(page_url.host.clone(), action_path)
             };
@@ -115,7 +120,11 @@ pub fn analyze_page(page_url: &Url, html: &str) -> Vec<CrawledForm> {
                 inputs: f
                     .inputs
                     .into_iter()
-                    .map(|i| CrawledInput { name: i.name, label: i.label, kind: i.kind })
+                    .map(|i| CrawledInput {
+                        name: i.name,
+                        label: i.label,
+                        kind: i.kind,
+                    })
                     .collect(),
                 dependents: dependents.clone(),
             }
@@ -132,7 +141,12 @@ pub fn parse_dependent_options(doc: &Document) -> Option<DependentMap> {
     let script = doc
         .find_all("script")
         .iter()
-        .map(|s| s.children().iter().filter_map(node_text).collect::<String>())
+        .map(|s| {
+            s.children()
+                .iter()
+                .filter_map(node_text)
+                .collect::<String>()
+        })
         .find(|t| t.contains("dependentOptions"))?;
     let controller = capture(&script, "\"controller\":\"", "\"")?;
     let dependent = capture(&script, "\"dependent\":\"", "\"")?;
@@ -157,7 +171,11 @@ pub fn parse_dependent_options(doc: &Document) -> Option<DependentMap> {
     if map.is_empty() {
         return None;
     }
-    Some(DependentMap { controller, dependent, map })
+    Some(DependentMap {
+        controller,
+        dependent,
+        map,
+    })
 }
 
 fn node_text(n: &deepweb_html::Node) -> Option<String> {
@@ -198,7 +216,10 @@ mod tests {
         assert_eq!(f.action_url, Url::new("cars.sim", "/results"));
         assert!(!f.post);
         assert_eq!(f.fillable_inputs().len(), 3);
-        assert_eq!(f.hidden_params(), vec![("lang".to_string(), "en".to_string())]);
+        assert_eq!(
+            f.hidden_params(),
+            vec![("lang".to_string(), "en".to_string())]
+        );
     }
 
     #[test]
@@ -209,7 +230,10 @@ mod tests {
         assert_eq!(dep.controller, "make");
         assert_eq!(dep.dependent, "model");
         assert_eq!(dep.map.len(), 2);
-        assert_eq!(dep.map[0], ("honda".to_string(), vec!["civic".into(), "accord".into()]));
+        assert_eq!(
+            dep.map[0],
+            ("honda".to_string(), vec!["civic".into(), "accord".into()])
+        );
     }
 
     #[test]
@@ -223,8 +247,7 @@ mod tests {
     #[test]
     fn page_without_script_has_no_dependents() {
         let url = Url::new("x.sim", "/search");
-        let forms =
-            analyze_page(&url, r#"<form action="/r"><input type=text name=q></form>"#);
+        let forms = analyze_page(&url, r#"<form action="/r"><input type=text name=q></form>"#);
         assert!(forms[0].dependents.is_none());
     }
 

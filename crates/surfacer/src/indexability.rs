@@ -25,7 +25,11 @@ pub struct IndexabilityConfig {
 
 impl Default for IndexabilityConfig {
     fn default() -> Self {
-        IndexabilityConfig { min_results: 1, max_results: 100, max_urls: 500 }
+        IndexabilityConfig {
+            min_results: 1,
+            max_results: 100,
+            max_urls: 500,
+        }
     }
 }
 
@@ -56,15 +60,11 @@ pub struct SelectionOutcome {
 }
 
 /// Greedy indexability-aware selection over informative templates.
-pub fn select_templates(
-    evals: &[TemplateEval],
-    cfg: &IndexabilityConfig,
-) -> SelectionOutcome {
+pub fn select_templates(evals: &[TemplateEval], cfg: &IndexabilityConfig) -> SelectionOutcome {
     let mut covered: FxHashSet<u32> = FxHashSet::default();
     let mut chosen: Vec<usize> = Vec::new();
     let mut url_cost = 0usize;
-    let mut remaining: Vec<usize> =
-        (0..evals.len()).filter(|&i| evals[i].informative).collect();
+    let mut remaining: Vec<usize> = (0..evals.len()).filter(|&i| evals[i].informative).collect();
     loop {
         let mut best: Option<(usize, f64)> = None; // (position in remaining, score)
         for (pos, &i) in remaining.iter().enumerate() {
@@ -72,8 +72,11 @@ pub fn select_templates(
             if url_cost + e.url_potential > cfg.max_urls && !chosen.is_empty() {
                 continue;
             }
-            let gain =
-                e.sample_records.iter().filter(|r| !covered.contains(r)).count() as f64;
+            let gain = e
+                .sample_records
+                .iter()
+                .filter(|r| !covered.contains(r))
+                .count() as f64;
             // Small floor keeps selection from refusing outright when no
             // template is strictly indexable — the goal is to *minimise*
             // violations, not to surface nothing (paper §5.2).
@@ -90,7 +93,11 @@ pub fn select_templates(
         }
         let i = remaining.remove(pos);
         let e = &evals[i];
-        let gain = e.sample_records.iter().filter(|r| !covered.contains(r)).count();
+        let gain = e
+            .sample_records
+            .iter()
+            .filter(|r| !covered.contains(r))
+            .count();
         if gain == 0 && !chosen.is_empty() {
             break; // nothing new left
         }
@@ -101,7 +108,11 @@ pub fn select_templates(
             break;
         }
     }
-    SelectionOutcome { chosen, covered_records: covered.len(), url_cost }
+    SelectionOutcome {
+        chosen,
+        covered_records: covered.len(),
+        url_cost,
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +140,11 @@ mod tests {
 
     #[test]
     fn indexable_fraction_bounds() {
-        let cfg = IndexabilityConfig { min_results: 1, max_results: 10, max_urls: 100 };
+        let cfg = IndexabilityConfig {
+            min_results: 1,
+            max_results: 10,
+            max_urls: 100,
+        };
         let e = eval(vec![0], true, vec![5, 11, 0, 3], &[1], 10);
         // 5 and 3 are in bounds; 11 too many; 0 too few.
         assert!((indexable_fraction(&e, &cfg) - 0.5).abs() < 1e-12);
@@ -137,7 +152,11 @@ mod tests {
 
     #[test]
     fn selection_prefers_indexable_high_coverage() {
-        let cfg = IndexabilityConfig { min_results: 1, max_results: 10, max_urls: 1000 };
+        let cfg = IndexabilityConfig {
+            min_results: 1,
+            max_results: 10,
+            max_urls: 1000,
+        };
         let evals = vec![
             eval(vec![0], true, vec![500, 700], &[1, 2, 3, 4, 5, 6], 5), // dumps
             eval(vec![1], true, vec![5, 7, 3], &[1, 2, 3, 4, 5], 10),    // indexable
@@ -156,7 +175,11 @@ mod tests {
 
     #[test]
     fn budget_limits_url_cost() {
-        let cfg = IndexabilityConfig { min_results: 1, max_results: 10, max_urls: 15 };
+        let cfg = IndexabilityConfig {
+            min_results: 1,
+            max_results: 10,
+            max_urls: 15,
+        };
         let evals = vec![
             eval(vec![0], true, vec![5], &[1, 2, 3], 10),
             eval(vec![1], true, vec![5], &[4, 5, 6], 10),

@@ -207,7 +207,10 @@ mod tests {
 
     /// Find a site with a keyword search box and return (world, form, truth idx).
     fn world_with_search_box() -> (deepweb_webworld::World, CrawledForm, usize) {
-        let w = generate(&WebConfig { num_sites: 30, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 30,
+            ..WebConfig::default()
+        });
         for (i, t) in w.truth.sites.iter().enumerate() {
             if t.post {
                 continue;
@@ -239,11 +242,12 @@ mod tests {
             .unwrap()
     }
 
-    fn site_text_and_background(
-        w: &deepweb_webworld::World,
-        host: &str,
-    ) -> (String, DfTable) {
-        let home = w.server.fetch(&Url::new(host.to_string(), "/")).unwrap().html;
+    fn site_text_and_background(w: &deepweb_webworld::World, host: &str) -> (String, DfTable) {
+        let home = w
+            .server
+            .fetch(&Url::new(host.to_string(), "/"))
+            .unwrap()
+            .html;
         let text = deepweb_html::Document::parse(&home).text();
         let mut bg = DfTable::new();
         for t in &w.truth.sites {
@@ -278,7 +282,10 @@ mod tests {
         let (w, form, i) = world_with_search_box();
         let input = search_input_name(&w, i);
         let (text, bg) = site_text_and_background(&w, &form.host);
-        let seed_only = KeywordConfig { iterations: 0, ..KeywordConfig::default() };
+        let seed_only = KeywordConfig {
+            iterations: 0,
+            ..KeywordConfig::default()
+        };
         let prober1 = Prober::new(&w.server);
         let a = iterative_probing(&prober1, &form, &input, &[], &text, &bg, &seed_only);
         let prober2 = Prober::new(&w.server);
@@ -304,7 +311,10 @@ mod tests {
         let (w, form, i) = world_with_search_box();
         let input = search_input_name(&w, i);
         let (text, bg) = site_text_and_background(&w, &form.host);
-        let cfg = KeywordConfig { probe_budget: 5, ..KeywordConfig::default() };
+        let cfg = KeywordConfig {
+            probe_budget: 5,
+            ..KeywordConfig::default()
+        };
         let prober = Prober::new(&w.server);
         let sel = iterative_probing(&prober, &form, &input, &[], &text, &bg, &cfg);
         assert!(sel.candidates_tried <= 5);

@@ -26,7 +26,9 @@ pub use correlate::{DatabaseSelection, RangePair};
 pub use formmodel::{analyze_page, CrawledForm, CrawledInput, DependentMap};
 pub use indexability::{select_templates, IndexabilityConfig, SelectionOutcome};
 pub use keywords::{iterative_probing, KeywordConfig, KeywordSelection};
-pub use pipeline::{crawl_and_surface, DocOrigin, ProducedDoc, SiteReport, SurfacerConfig, SurfacingOutcome};
+pub use pipeline::{
+    crawl_and_surface, DocOrigin, ProducedDoc, SiteReport, SurfacerConfig, SurfacingOutcome,
+};
 pub use probe::{Assignment, ProbeOutcome, Prober};
 pub use template::{search_templates, Slot, Template, TemplateConfig, TemplateEval};
 pub use typed::{classify_typed, TypeClass, TypedValueLibrary, TypedVerdict};

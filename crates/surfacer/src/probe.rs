@@ -56,7 +56,10 @@ pub struct Prober<'a> {
 impl<'a> Prober<'a> {
     /// Create a prober over `fetcher`.
     pub fn new(fetcher: &'a dyn Fetcher) -> Self {
-        Prober { fetcher, requests: Cell::new(0) }
+        Prober {
+            fetcher,
+            requests: Cell::new(0),
+        }
     }
 
     /// Requests issued so far (the per-site load the paper argues is light).
@@ -159,8 +162,7 @@ pub fn analyze_response(url: Url, html: String, stripped_values: &[&str]) -> Pro
                 strip.insert(t);
             }
         }
-        let sig_tokens: Vec<String> =
-            tokenize(&text).filter(|t| !strip.contains(t)).collect();
+        let sig_tokens: Vec<String> = tokenize(&text).filter(|t| !strip.contains(t)).collect();
         fxhash64(&sig_tokens)
     } else {
         fxhash64(&(&record_ids, result_count))
@@ -206,7 +208,10 @@ mod tests {
     use deepweb_webworld::{generate, WebConfig};
 
     fn world() -> deepweb_webworld::World {
-        generate(&WebConfig { num_sites: 6, ..WebConfig::default() })
+        generate(&WebConfig {
+            num_sites: 6,
+            ..WebConfig::default()
+        })
     }
 
     fn first_get_form(w: &deepweb_webworld::World) -> CrawledForm {

@@ -149,8 +149,11 @@ pub fn evaluate_template(
     empty_sig: Option<u64>,
     cfg: &TemplateConfig,
 ) -> TemplateEval {
-    let potential: usize =
-        template.slots.iter().map(|&si| slots[si].cardinality().max(1)).product();
+    let potential: usize = template
+        .slots
+        .iter()
+        .map(|&si| slots[si].cardinality().max(1))
+        .product();
     let n = cfg.test_sample.min(potential);
     let mut signatures: FxHashSet<u64> = FxHashSet::default();
     let mut ok_pages = 0usize;
@@ -176,14 +179,16 @@ pub fn evaluate_template(
             sample_records.extend(out.record_ids.iter().copied());
         }
     }
-    let distinct_fraction =
-        if ok_pages == 0 { 0.0 } else { signatures.len() as f64 / ok_pages as f64 };
+    let distinct_fraction = if ok_pages == 0 {
+        0.0
+    } else {
+        signatures.len() as f64 / ok_pages as f64
+    };
     // Informative ⇔ some page has results, the pages are actually diverse
     // (≥2 signatures whenever ≥2 pages were sampled), the pages are not all
     // identical to the unconstrained submission, and the distinct fraction
     // clears the threshold.
-    let all_match_empty =
-        empty_sig.is_some_and(|es| signatures.iter().all(|&s| s == es));
+    let all_match_empty = empty_sig.is_some_and(|es| signatures.iter().all(|&s| s == es));
     let diverse = ok_pages < 2 || signatures.len() >= 2;
     let informative = ok_pages > 0
         && with_results > 0
@@ -214,8 +219,9 @@ pub fn search_templates(
     let empty_probe = prober.submit(form, &[]);
     let empty_sig = empty_probe.ok.then_some(empty_probe.signature);
     let mut evals: Vec<TemplateEval> = Vec::new();
-    let mut frontier: Vec<Template> =
-        (0..slots.len()).map(|i| Template { slots: vec![i] }).collect();
+    let mut frontier: Vec<Template> = (0..slots.len())
+        .map(|i| Template { slots: vec![i] })
+        .collect();
     let mut seen: FxHashSet<Vec<usize>> = FxHashSet::default();
     let mut size = 1;
     while !frontier.is_empty() && size <= cfg.max_template_size {
@@ -265,8 +271,10 @@ mod tests {
             if t.post {
                 continue;
             }
-            if let Some((name, _)) =
-                t.inputs.iter().find(|(_, tr)| matches!(tr, InputTruth::Select))
+            if let Some((name, _)) = t
+                .inputs
+                .iter()
+                .find(|(_, tr)| matches!(tr, InputTruth::Select))
             {
                 let url = Url::new(t.host.clone(), "/search");
                 let html = w.server.fetch(&url).unwrap().html;
@@ -281,29 +289,47 @@ mod tests {
 
     #[test]
     fn select_slot_is_informative() {
-        let w = generate(&WebConfig { num_sites: 20, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 20,
+            ..WebConfig::default()
+        });
         let (form, name, _) = select_site(&w);
-        let options: Vec<String> =
-            form.input(&name).unwrap().options().iter().map(|s| s.to_string()).collect();
-        let slots = vec![Slot::Single { input: name, values: options }];
+        let options: Vec<String> = form
+            .input(&name)
+            .unwrap()
+            .options()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let slots = vec![Slot::Single {
+            input: name,
+            values: options,
+        }];
         let prober = Prober::new(&w.server);
-        let evals =
-            search_templates(&prober, &form, &slots, &TemplateConfig::default());
+        let evals = search_templates(&prober, &form, &slots, &TemplateConfig::default());
         assert_eq!(evals.len(), 1);
-        assert!(evals[0].informative, "distinct select values give distinct pages");
+        assert!(
+            evals[0].informative,
+            "distinct select values give distinct pages"
+        );
         assert!(evals[0].distinct_fraction > 0.2);
     }
 
     #[test]
     fn ignored_input_is_uninformative() {
-        let w = generate(&WebConfig { num_sites: 60, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 60,
+            ..WebConfig::default()
+        });
         // Find a store locator with a radius input (backend ignores it).
         for t in &w.truth.sites {
             if t.post {
                 continue;
             }
-            if let Some((name, _)) =
-                t.inputs.iter().find(|(_, tr)| matches!(tr, InputTruth::Ignored))
+            if let Some((name, _)) = t
+                .inputs
+                .iter()
+                .find(|(_, tr)| matches!(tr, InputTruth::Ignored))
             {
                 let url = Url::new(t.host.clone(), "/search");
                 let html = w.server.fetch(&url).unwrap().html;
@@ -315,11 +341,12 @@ mod tests {
                     .iter()
                     .map(|s| s.to_string())
                     .collect();
-                let slots =
-                    vec![Slot::Single { input: name.clone(), values: options }];
+                let slots = vec![Slot::Single {
+                    input: name.clone(),
+                    values: options,
+                }];
                 let prober = Prober::new(&w.server);
-                let evals =
-                    search_templates(&prober, &form, &slots, &TemplateConfig::default());
+                let evals = search_templates(&prober, &form, &slots, &TemplateConfig::default());
                 // All radius values return the full table: one signature.
                 assert!(!evals[0].informative, "ignored input must fail the test");
                 return;
@@ -330,16 +357,33 @@ mod tests {
 
     #[test]
     fn incremental_search_extends_only_informative() {
-        let w = generate(&WebConfig { num_sites: 20, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 20,
+            ..WebConfig::default()
+        });
         let (form, name, _) = select_site(&w);
-        let options: Vec<String> =
-            form.input(&name).unwrap().options().iter().map(|s| s.to_string()).collect();
+        let options: Vec<String> = form
+            .input(&name)
+            .unwrap()
+            .options()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let slots = vec![
-            Slot::Single { input: name, values: options },
-            Slot::Single { input: "bogus_input".into(), values: vec!["x".into(), "y".into()] },
+            Slot::Single {
+                input: name,
+                values: options,
+            },
+            Slot::Single {
+                input: "bogus_input".into(),
+                values: vec!["x".into(), "y".into()],
+            },
         ];
         let prober = Prober::new(&w.server);
-        let cfg = TemplateConfig { max_template_size: 2, ..Default::default() };
+        let cfg = TemplateConfig {
+            max_template_size: 2,
+            ..Default::default()
+        };
         let evals = search_templates(&prober, &form, &slots, &cfg);
         // The bogus input is ignored by the server: every value returns the
         // full table → uninformative; the pair template is only reached via
@@ -356,18 +400,32 @@ mod tests {
 
     #[test]
     fn budget_stops_search() {
-        let w = generate(&WebConfig { num_sites: 20, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 20,
+            ..WebConfig::default()
+        });
         let (form, name, _) = select_site(&w);
-        let options: Vec<String> =
-            form.input(&name).unwrap().options().iter().map(|s| s.to_string()).collect();
+        let options: Vec<String> = form
+            .input(&name)
+            .unwrap()
+            .options()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let slots: Vec<Slot> = (0..6)
             .map(|i| Slot::Single {
-                input: format!("{name}{}", if i == 0 { String::new() } else { i.to_string() }),
+                input: format!(
+                    "{name}{}",
+                    if i == 0 { String::new() } else { i.to_string() }
+                ),
                 values: options.clone(),
             })
             .collect();
         let prober = Prober::new(&w.server);
-        let cfg = TemplateConfig { probe_budget: 10, ..Default::default() };
+        let cfg = TemplateConfig {
+            probe_budget: 10,
+            ..Default::default()
+        };
         let _ = search_templates(&prober, &form, &slots, &cfg);
         assert!(prober.requests() <= 10 + cfg.test_sample as u64);
     }
@@ -375,7 +433,10 @@ mod tests {
     #[test]
     fn template_assignment_merges_slots() {
         let slots = vec![
-            Slot::Single { input: "a".into(), values: vec!["1".into(), "2".into()] },
+            Slot::Single {
+                input: "a".into(),
+                values: vec!["1".into(), "2".into()],
+            },
             Slot::Group {
                 label: "range:p".into(),
                 assignments: vec![vec![

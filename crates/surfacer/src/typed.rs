@@ -32,7 +32,13 @@ pub enum TypeClass {
 impl TypeClass {
     /// All classes, in the order they are tried.
     pub fn all() -> &'static [TypeClass] {
-        &[TypeClass::Zip, TypeClass::Price, TypeClass::DateT, TypeClass::City, TypeClass::Year]
+        &[
+            TypeClass::Zip,
+            TypeClass::Price,
+            TypeClass::DateT,
+            TypeClass::City,
+            TypeClass::Year,
+        ]
     }
 
     /// Stable name for reports.
@@ -172,7 +178,10 @@ pub fn classify_typed(
             }
         }
         if productive > 0 {
-            return Some(TypedVerdict { class, productive_samples: productive });
+            return Some(TypedVerdict {
+                class,
+                productive_samples: productive,
+            });
         }
     }
     None
@@ -206,11 +215,14 @@ mod tests {
     use super::*;
     use crate::formmodel::analyze_page;
     use deepweb_common::Url;
-    use deepweb_webworld::{generate, Fetcher, InputTruth, WebConfig};
     use deepweb_store::ValueType;
+    use deepweb_webworld::{generate, Fetcher, InputTruth, WebConfig};
 
     fn world() -> deepweb_webworld::World {
-        generate(&WebConfig { num_sites: 40, ..WebConfig::default() })
+        generate(&WebConfig {
+            num_sites: 40,
+            ..WebConfig::default()
+        })
     }
 
     fn crawled_form(w: &deepweb_webworld::World, host: &str) -> CrawledForm {
@@ -283,17 +295,23 @@ mod tests {
             if t.post {
                 continue;
             }
-            if let Some((name, _)) =
-                t.inputs.iter().find(|(_, tr)| matches!(tr, InputTruth::Search))
+            if let Some((name, _)) = t
+                .inputs
+                .iter()
+                .find(|(_, tr)| matches!(tr, InputTruth::Search))
             {
                 let form = crawled_form(&w, &t.host);
                 let input = form.input(name).unwrap().clone();
                 // Words straight from the site's own records are productive.
                 let site = w.server.site_by_host(&t.host).unwrap();
-                let words: Vec<String> =
-                    site.table.table().row_tokens(deepweb_common::RecordId(0))
-                        [..3.min(site.table.table().row_tokens(deepweb_common::RecordId(0)).len())]
-                        .to_vec();
+                let words: Vec<String> = site.table.table().row_tokens(deepweb_common::RecordId(0))
+                    [..3.min(
+                        site.table
+                            .table()
+                            .row_tokens(deepweb_common::RecordId(0))
+                            .len(),
+                    )]
+                    .to_vec();
                 let prober = Prober::new(&w.server);
                 assert!(is_search_box(&prober, &form, &input, &words));
                 return;

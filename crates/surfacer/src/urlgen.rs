@@ -32,8 +32,12 @@ pub fn generate_urls(
     for &ti in chosen {
         let eval = &evals[ti];
         let mut urls = Vec::new();
-        let card: Vec<usize> =
-            eval.template.slots.iter().map(|&si| slots[si].cardinality().max(1)).collect();
+        let card: Vec<usize> = eval
+            .template
+            .slots
+            .iter()
+            .map(|&si| slots[si].cardinality().max(1))
+            .collect();
         let total: usize = card.iter().product();
         for flat in 0..total.min(max_urls * 2) {
             // Odometer decode of `flat` into one index per slot.
@@ -45,7 +49,11 @@ pub fn generate_urls(
                 assignment.extend(slots[si].assignment(idx));
             }
             let url = prober.submission_url(form, &assignment);
-            urls.push(GeneratedUrl { url, assignment, template: ti });
+            urls.push(GeneratedUrl {
+                url,
+                assignment,
+                template: ti,
+            });
         }
         per_template.push(urls);
     }
@@ -102,8 +110,14 @@ mod tests {
             dependents: None,
         };
         let slots = vec![
-            Slot::Single { input: "a".into(), values: vec!["1".into(), "2".into()] },
-            Slot::Single { input: "b".into(), values: vec!["x".into(), "y".into(), "z".into()] },
+            Slot::Single {
+                input: "a".into(),
+                values: vec!["1".into(), "2".into()],
+            },
+            Slot::Single {
+                input: "b".into(),
+                values: vec!["x".into(), "y".into(), "z".into()],
+            },
         ];
         let evals = vec![
             TemplateEval {
@@ -136,8 +150,7 @@ mod tests {
         let urls = generate_urls(&prober, &form, &slots, &evals, &[0, 1], 100);
         // 2 singles + 6 pairs, all distinct.
         assert_eq!(urls.len(), 8);
-        let unique: FxHashSet<String> =
-            urls.iter().map(|g| g.url.to_string()).collect();
+        let unique: FxHashSet<String> = urls.iter().map(|g| g.url.to_string()).collect();
         assert_eq!(unique.len(), 8);
     }
 

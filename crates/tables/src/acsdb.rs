@@ -102,8 +102,11 @@ impl Acsdb {
 
     /// All attributes (sorted by frequency desc, then name).
     pub fn attributes(&self) -> Vec<(&str, u32)> {
-        let mut v: Vec<(&str, u32)> =
-            self.attr_counts.iter().map(|(a, &c)| (a.as_str(), c)).collect();
+        let mut v: Vec<(&str, u32)> = self
+            .attr_counts
+            .iter()
+            .map(|(a, &c)| (a.as_str(), c))
+            .collect();
         v.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(y.0)));
         v
     }

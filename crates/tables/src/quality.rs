@@ -16,7 +16,10 @@ pub struct QualityScore {
 /// consistency (cells in a column should agree on looking numeric or not).
 pub fn score_table(t: &ExtractedTable) -> QualityScore {
     if t.num_rows() < 2 || t.num_cols() < 2 {
-        return QualityScore { score: 0.0, is_relational: false };
+        return QualityScore {
+            score: 0.0,
+            is_relational: false,
+        };
     }
     let mut score = 0.0;
     if !t.header.is_empty() {
@@ -53,12 +56,17 @@ pub fn score_table(t: &ExtractedTable) -> QualityScore {
         }
         score += 0.3 * consistent as f64 / cols as f64;
     }
-    QualityScore { score, is_relational: score >= 0.5 }
+    QualityScore {
+        score,
+        is_relational: score >= 0.5,
+    }
 }
 
 fn looks_numeric(cell: &str) -> bool {
-    let stripped: String =
-        cell.chars().filter(|c| !matches!(c, '$' | ',' | '.' | '-' | ' ')).collect();
+    let stripped: String = cell
+        .chars()
+        .filter(|c| !matches!(c, '$' | ',' | '.' | '-' | ' '))
+        .collect();
     !stripped.is_empty() && stripped.chars().all(|c| c.is_ascii_digit())
 }
 
@@ -80,7 +88,11 @@ mod tests {
     fn good_data_table_passes() {
         let t = table(
             vec!["make", "price"],
-            vec![vec!["honda", "$4500"], vec!["ford", "$3000"], vec!["bmw", "$9000"]],
+            vec![
+                vec!["honda", "$4500"],
+                vec!["ford", "$3000"],
+                vec!["bmw", "$9000"],
+            ],
         );
         let q = score_table(&t);
         assert!(q.is_relational, "score {}", q.score);

@@ -77,12 +77,13 @@ impl SemanticServer {
     pub fn harvest(&mut self, fetcher: &dyn Fetcher, hosts: &[String]) {
         for host in hosts {
             let home_url = Url::new(host.clone(), "/");
-            let Ok(home) = fetcher.fetch(&home_url) else { continue };
+            let Ok(home) = fetcher.fetch(&home_url) else {
+                continue;
+            };
             self.ingest_page(&home_url, &home.html);
             for a in Document::parse(&home.html).find_all("a") {
                 if let Some(href) = a.attr("href") {
-                    if let Some(url) = deepweb_surfacer::probe::resolve_href(&home_url, href)
-                    {
+                    if let Some(url) = deepweb_surfacer::probe::resolve_href(&home_url, href) {
                         if url.host == *host && url.path != "/" {
                             if let Ok(resp) = fetcher.fetch(&url) {
                                 self.ingest_page(&url, &resp.html);
@@ -121,7 +122,11 @@ mod tests {
     use deepweb_webworld::{generate, WebConfig};
 
     fn harvested() -> SemanticServer {
-        let w = generate(&WebConfig { num_sites: 30, table_hosts: 10, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 30,
+            table_hosts: 10,
+            ..WebConfig::default()
+        });
         let mut srv = SemanticServer::new();
         let mut hosts = w.truth.table_hosts.clone();
         hosts.extend(w.truth.sites.iter().map(|t| t.host.clone()));
@@ -152,7 +157,10 @@ mod tests {
     fn values_service_returns_plausible_makes() {
         let srv = harvested();
         let vals = srv.values_for("make", 20);
-        assert!(vals.iter().any(|v| v == "honda" || v == "ford"), "values: {vals:?}");
+        assert!(
+            vals.iter().any(|v| v == "honda" || v == "ford"),
+            "values: {vals:?}"
+        );
     }
 
     #[test]
@@ -162,7 +170,17 @@ mod tests {
         assert!(!sugg.is_empty());
         let names: Vec<&str> = sugg.iter().map(|(a, _)| a.as_str()).collect();
         assert!(
-            names.iter().any(|n| ["price", "cost", "year", "model year", "mileage", "miles", "odometer", "asking price"].contains(n)),
+            names.iter().any(|n| [
+                "price",
+                "cost",
+                "year",
+                "model year",
+                "mileage",
+                "miles",
+                "odometer",
+                "asking price"
+            ]
+            .contains(n)),
             "suggestions: {names:?}"
         );
     }

@@ -36,10 +36,21 @@ pub fn synonyms(db: &Acsdb, attr: &str, k: usize) -> Vec<(String, f64)> {
                 dot += (ca as f64) * (cb as f64);
             }
         }
-        let norm_a: f64 = ctx_a.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
-        let norm_b: f64 = ctx_b.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
-        let context_sim =
-            if norm_a > 0.0 && norm_b > 0.0 { dot / (norm_a * norm_b) } else { 0.0 };
+        let norm_a: f64 = ctx_a
+            .values()
+            .map(|&c| (c as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let norm_b: f64 = ctx_b
+            .values()
+            .map(|&c| (c as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let context_sim = if norm_a > 0.0 && norm_b > 0.0 {
+            dot / (norm_a * norm_b)
+        } else {
+            0.0
+        };
         // (3) Value overlap.
         let value_sim = db.value_overlap(attr, cand);
         let score = 0.5 * context_sim + 0.5 * value_sim - cooccur_penalty;
@@ -48,7 +59,9 @@ pub fn synonyms(db: &Acsdb, attr: &str, k: usize) -> Vec<(String, f64)> {
         }
     }
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
     });
     scored.truncate(k);
     scored
@@ -73,7 +86,9 @@ pub fn properties_of(db: &Acsdb, entity: &str, k: usize) -> Vec<String> {
         scored.push(((*a).to_string(), db.attr_count(a) as f64 * 0.5));
     }
     scored.sort_by(|x, y| {
-        y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| x.0.cmp(&y.0))
+        y.1.partial_cmp(&x.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
     });
     let mut out: Vec<String> = Vec::new();
     for (a, _) in scored {
@@ -134,13 +149,21 @@ mod tests {
         for _ in 0..5 {
             db.add_schema(
                 &s(&["make", "model", "price"]),
-                Some(&[s(&["honda", "ford"]), s(&["civic", "focus"]), s(&["1", "2"])]),
+                Some(&[
+                    s(&["honda", "ford"]),
+                    s(&["civic", "focus"]),
+                    s(&["1", "2"]),
+                ]),
             );
         }
         for _ in 0..4 {
             db.add_schema(
                 &s(&["manufacturer", "model", "year"]),
-                Some(&[s(&["honda", "bmw"]), s(&["civic", "x5"]), s(&["1999", "2001"])]),
+                Some(&[
+                    s(&["honda", "bmw"]),
+                    s(&["civic", "x5"]),
+                    s(&["1999", "2001"]),
+                ]),
             );
         }
         for _ in 0..3 {

@@ -55,7 +55,11 @@ pub struct VerticalEngine<'a> {
 impl<'a> VerticalEngine<'a> {
     /// Build over a registry.
     pub fn new(fetcher: &'a dyn Fetcher, registry: SourceRegistry) -> Self {
-        VerticalEngine { fetcher, registry, max_sources: 5 }
+        VerticalEngine {
+            fetcher,
+            registry,
+            max_sources: 5,
+        }
     }
 
     /// The registry (for effort accounting).
@@ -96,7 +100,11 @@ impl<'a> VerticalEngine<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.1.form.host.cmp(&b.1.form.host))
         });
-        scored.into_iter().take(self.max_sources).map(|(_, s)| s).collect()
+        scored
+            .into_iter()
+            .take(self.max_sources)
+            .map(|(_, s)| s)
+            .collect()
     }
 
     /// Reformulate a keyword query for one source: tokens matching a mapped
@@ -107,7 +115,9 @@ impl<'a> VerticalEngine<'a> {
         let mut assignment: Vec<(String, String)> = Vec::new();
         let mut consumed = vec![false; tokens.len()];
         for m in &source.mappings {
-            let Some(input) = source.form.input(&m.input) else { continue };
+            let Some(input) = source.form.input(&m.input) else {
+                continue;
+            };
             if let WidgetKind::SelectMenu { .. } = input.kind {
                 let options = input.options();
                 if let Some((ti, tok)) = tokens
@@ -139,7 +149,10 @@ impl<'a> VerticalEngine<'a> {
                 assignment.push((kw_input, leftover.join(" ")));
             }
         }
-        Reformulation { assignment, tokens_bound }
+        Reformulation {
+            assignment,
+            tokens_bound,
+        }
     }
 
     /// Answer a query: route, reformulate, submit live, extract result rows,
@@ -163,7 +176,9 @@ impl<'a> VerticalEngine<'a> {
                 url = url.with_param(k.clone(), v.clone());
             }
             stats.requests += 1;
-            let Ok(resp) = self.fetcher.fetch(&url) else { continue };
+            let Ok(resp) = self.fetcher.fetch(&url) else {
+                continue;
+            };
             let doc = Document::parse(&resp.html);
             // Wrapper: each record row/listing becomes a hit.
             for row_text in extract_result_rows(&doc) {
@@ -224,7 +239,11 @@ mod tests {
     }
 
     fn world() -> deepweb_webworld::World {
-        generate(&WebConfig { num_sites: 40, post_fraction: 0.0, ..WebConfig::default() })
+        generate(&WebConfig {
+            num_sites: 40,
+            post_fraction: 0.0,
+            ..WebConfig::default()
+        })
     }
 
     #[test]
@@ -243,7 +262,10 @@ mod tests {
         let routed = e.route("honda");
         let src = routed.first().expect("routed source");
         let r = VerticalEngine::reformulate(src, "honda 1995");
-        assert!(r.assignment.iter().any(|(k, v)| k == "make" && v == "honda"));
+        assert!(r
+            .assignment
+            .iter()
+            .any(|(k, v)| k == "make" && v == "honda"));
     }
 
     #[test]
@@ -278,6 +300,9 @@ mod tests {
                     .iter()
                     .any(|(_, row)| row.iter().any(|v| v.render().contains("sigmod")))
         });
-        assert!(exists, "award bio must exist for the scenario to be meaningful");
+        assert!(
+            exists,
+            "award bio must exist for the scenario to be meaningful"
+        );
     }
 }

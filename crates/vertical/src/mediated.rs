@@ -157,7 +157,9 @@ pub fn builtin_schemas() -> Vec<MediatedSchema> {
                     kind: ElementKind::Keyword,
                 },
             ],
-            domain_keywords: &["job", "jobs", "position", "hiring", "engineer", "nurse", "salary"],
+            domain_keywords: &[
+                "job", "jobs", "position", "hiring", "engineer", "nurse", "salary",
+            ],
         },
         MediatedSchema {
             domain: "restaurants",
@@ -178,7 +180,15 @@ pub fn builtin_schemas() -> Vec<MediatedSchema> {
                     kind: ElementKind::Keyword,
                 },
             ],
-            domain_keywords: &["restaurant", "cuisine", "menu", "thai", "italian", "bistro", "cafe"],
+            domain_keywords: &[
+                "restaurant",
+                "cuisine",
+                "menu",
+                "thai",
+                "italian",
+                "bistro",
+                "cafe",
+            ],
         },
     ]
 }
@@ -190,7 +200,11 @@ mod tests {
     #[test]
     fn builtin_schemas_have_keywords_element() {
         for s in builtin_schemas() {
-            assert!(s.element("keywords").is_some(), "{} lacks keywords", s.domain);
+            assert!(
+                s.element("keywords").is_some(),
+                "{} lacks keywords",
+                s.domain
+            );
             assert!(!s.domain_keywords.is_empty());
         }
     }
@@ -200,7 +214,10 @@ mod tests {
         let schemas = builtin_schemas();
         let cars = &schemas[0];
         assert_eq!(cars.match_input("zipcode", "").unwrap().name, "zip");
-        assert_eq!(cars.match_input("min_price", "min price:").unwrap().name, "price");
+        assert_eq!(
+            cars.match_input("min_price", "min price:").unwrap().name,
+            "price"
+        );
         assert_eq!(cars.match_input("q", "keywords:").unwrap().name, "keywords");
         assert!(cars.match_input("xyzzy", "").is_none());
     }

@@ -99,7 +99,9 @@ pub fn classify_form(form: &CrawledForm, schemas: &[MediatedSchema]) -> Option<S
             .is_some_and(|id| mappings.iter().any(|m| m.element == id.name));
         if has_identifier
             && mappings.len() >= 2
-            && best.as_ref().is_none_or(|b| mappings.len() > b.mappings.len())
+            && best
+                .as_ref()
+                .is_none_or(|b| mappings.len() > b.mappings.len())
         {
             best = Some(Source {
                 form: form.clone(),
@@ -118,7 +120,9 @@ pub fn register_sources(fetcher: &dyn Fetcher, hosts: &[String]) -> SourceRegist
     let mut registry = SourceRegistry::default();
     for host in hosts {
         let url = Url::new(host.clone(), "/search");
-        let Ok(resp) = fetcher.fetch(&url) else { continue };
+        let Ok(resp) = fetcher.fetch(&url) else {
+            continue;
+        };
         let forms = analyze_page(&url, &resp.html);
         let mut mapped = false;
         for form in forms {
@@ -144,10 +148,16 @@ mod tests {
 
     #[test]
     fn registers_in_domain_sites_and_skips_others() {
-        let w = generate(&WebConfig { num_sites: 40, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 40,
+            ..WebConfig::default()
+        });
         let hosts: Vec<String> = w.truth.sites.iter().map(|t| t.host.clone()).collect();
         let reg = register_sources(&w.server, &hosts);
-        assert!(!reg.sources.is_empty(), "should register some car/realestate/jobs sites");
+        assert!(
+            !reg.sources.is_empty(),
+            "should register some car/realestate/jobs sites"
+        );
         // Faculty/government/media sites have no 2-element match in the
         // builtin schemas → unmapped (the vertical coverage gap).
         let faculty_host = w
@@ -157,7 +167,10 @@ mod tests {
             .find(|t| t.domain == DomainKind::Faculty)
             .map(|t| t.host.clone());
         if let Some(h) = faculty_host {
-            assert!(reg.unmapped_hosts.contains(&h), "faculty must be out of scope");
+            assert!(
+                reg.unmapped_hosts.contains(&h),
+                "faculty must be out of scope"
+            );
         }
         // Every registered used-cars source maps its make select.
         for s in reg.of_domain("usedcars") {
@@ -167,7 +180,10 @@ mod tests {
 
     #[test]
     fn mapping_effort_counts() {
-        let w = generate(&WebConfig { num_sites: 40, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 40,
+            ..WebConfig::default()
+        });
         let hosts: Vec<String> = w.truth.sites.iter().map(|t| t.host.clone()).collect();
         let reg = register_sources(&w.server, &hosts);
         assert!(reg.total_mappings() >= 2 * reg.sources.len());

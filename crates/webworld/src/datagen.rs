@@ -35,11 +35,17 @@ impl GenCtx<'_> {
     }
 
     fn zip(&mut self) -> String {
-        self.zips.choose(self.rng).cloned().unwrap_or_else(|| "00000".into())
+        self.zips
+            .choose(self.rng)
+            .cloned()
+            .unwrap_or_else(|| "00000".into())
     }
 
     fn city(&mut self) -> String {
-        self.cities.choose(self.rng).cloned().unwrap_or_else(|| "springfield".into())
+        self.cities
+            .choose(self.rng)
+            .cloned()
+            .unwrap_or_else(|| "springfield".into())
     }
 
     fn date(&mut self) -> Date {
@@ -151,7 +157,9 @@ pub fn used_cars(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
             let (other_make, other_models) = makes.choose(ctx.rng).expect("nonempty");
             let other_model = other_models.choose(ctx.rng).expect("nonempty");
             if other_make != make {
-                desc.push_str(&format!(" better mileage than the {other_make} {other_model}"));
+                desc.push_str(&format!(
+                    " better mileage than the {other_make} {other_model}"
+                ));
             }
         }
         t.insert(vec![
@@ -185,7 +193,10 @@ pub fn used_cars(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
             map: makes
                 .iter()
                 .map(|(m, ms)| {
-                    ((*m).to_string(), ms.iter().map(|s| (*s).to_string()).collect())
+                    (
+                        (*m).to_string(),
+                        ms.iter().map(|s| (*s).to_string()).collect(),
+                    )
                 })
                 .collect(),
         });
@@ -201,7 +212,10 @@ pub fn used_cars(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 6, ty: ValueType::Zip },
+            binding: Binding::TypedText {
+                col: 6,
+                ty: ValueType::Zip,
+            },
         });
     }
     if ctx.flip(0.3) {
@@ -209,19 +223,36 @@ pub fn used_cars(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 5, ty: ValueType::Text },
+            binding: Binding::TypedText {
+                col: 5,
+                ty: ValueType::Text,
+            },
         });
     }
     if ctx.flip(0.8) {
         let (n, l) = keyword_name(ctx.rng);
-        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::KeywordSearch,
+        });
     }
     inputs.push(InputSpec {
         name: "lang".into(),
         label: String::new(),
-        binding: Binding::Hidden { value: ctx.lang.to_string() },
+        binding: Binding::Hidden {
+            value: ctx.lang.to_string(),
+        },
     });
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent,
+        },
+    )
 }
 
 /// Real-estate listings.
@@ -278,7 +309,10 @@ pub fn real_estate(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 4, ty: ValueType::Zip },
+            binding: Binding::TypedText {
+                col: 4,
+                ty: ValueType::Zip,
+            },
         });
     }
     if ctx.flip(0.4) {
@@ -286,21 +320,39 @@ pub fn real_estate(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 3, ty: ValueType::Text },
+            binding: Binding::TypedText {
+                col: 3,
+                ty: ValueType::Text,
+            },
         });
     }
     if ctx.flip(0.3) {
         inputs.push(InputSpec {
             name: "listed_after".into(),
             label: "listed after (yyyy-mm-dd):".into(),
-            binding: Binding::RangeMin { col: 5, ty: ValueType::Date },
+            binding: Binding::RangeMin {
+                col: 5,
+                ty: ValueType::Date,
+            },
         });
     }
     if ctx.flip(0.7) {
         let (n, l) = keyword_name(ctx.rng);
-        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::KeywordSearch,
+        });
     }
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Job listings.
@@ -318,7 +370,9 @@ pub fn jobs(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
     let mut t = Table::new(schema);
     for _ in 0..ctx.n_records {
         let cat = cats.choose(ctx.rng).expect("nonempty");
-        let seniority = ["junior", "senior", "lead", "staff"].choose(ctx.rng).expect("nonempty");
+        let seniority = ["junior", "senior", "lead", "staff"]
+            .choose(ctx.rng)
+            .expect("nonempty");
         let title = format!("{seniority} {cat}");
         let city = ctx.city();
         let salary = ctx.rng.gen_range(250..=1800) * 10_000; // cents
@@ -348,12 +402,27 @@ pub fn jobs(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 2, ty: ValueType::Text },
+            binding: Binding::TypedText {
+                col: 2,
+                ty: ValueType::Text,
+            },
         });
     }
     let (n, l) = keyword_name(ctx.rng);
-    inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    inputs.push(InputSpec {
+        name: n,
+        label: l,
+        binding: Binding::KeywordSearch,
+    });
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Restaurant guides.
@@ -371,8 +440,13 @@ pub fn restaurants(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
     let mut t = Table::new(schema);
     for i in 0..ctx.n_records {
         let cuisine = cuisines.choose(ctx.rng).expect("nonempty");
-        let name = format!("{} {}", ctx.filler(1), ["kitchen", "bistro", "cafe", "grill", "house"]
-            .choose(ctx.rng).expect("nonempty"));
+        let name = format!(
+            "{} {}",
+            ctx.filler(1),
+            ["kitchen", "bistro", "cafe", "grill", "house"]
+                .choose(ctx.rng)
+                .expect("nonempty")
+        );
         let city = ctx.city();
         let zip = ctx.zip();
         let level = ctx.rng.gen_range(1..=4);
@@ -398,7 +472,10 @@ pub fn restaurants(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: n,
             label: l,
-            binding: Binding::TypedText { col: 3, ty: ValueType::Zip },
+            binding: Binding::TypedText {
+                col: 3,
+                ty: ValueType::Zip,
+            },
         });
     }
     if ctx.flip(0.5) {
@@ -410,9 +487,21 @@ pub fn restaurants(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
     }
     if ctx.flip(0.8) {
         let (n, l) = keyword_name(ctx.rng);
-        inputs.push(InputSpec { name: n, label: l, binding: Binding::KeywordSearch });
+        inputs.push(InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::KeywordSearch,
+        });
     }
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Store locators: the pure typed-input site (paper §4.1: "we do not need to
@@ -447,7 +536,10 @@ pub fn store_locator(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
     let mut inputs = vec![InputSpec {
         name: n,
         label: l,
-        binding: Binding::TypedText { col: 3, ty: ValueType::Zip },
+        binding: Binding::TypedText {
+            col: 3,
+            ty: ValueType::Zip,
+        },
     }];
     if ctx.flip(0.8) {
         inputs.push(InputSpec {
@@ -458,7 +550,15 @@ pub fn store_locator(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
             },
         });
     }
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Government / NGO portals: keyword-searchable document stores.
@@ -487,7 +587,11 @@ pub fn government(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         .expect("row matches schema");
     }
     let (n, l) = keyword_name(ctx.rng);
-    let mut inputs = vec![InputSpec { name: n, label: l, binding: Binding::KeywordSearch }];
+    let mut inputs = vec![InputSpec {
+        name: n,
+        label: l,
+        binding: Binding::KeywordSearch,
+    }];
     if ctx.flip(0.7) {
         inputs.push(InputSpec {
             name: "doc_type".into(),
@@ -502,7 +606,15 @@ pub fn government(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
             binding: Binding::Select { col: 1 },
         });
     }
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Library catalogues: keyword box plus an exact-match author text box (an
@@ -532,7 +644,11 @@ pub fn library(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         .expect("row matches schema");
     }
     let (n, l) = keyword_name(ctx.rng);
-    let mut inputs = vec![InputSpec { name: n, label: l, binding: Binding::KeywordSearch }];
+    let mut inputs = vec![InputSpec {
+        name: n,
+        label: l,
+        binding: Binding::KeywordSearch,
+    }];
     if ctx.flip(0.8) {
         inputs.push(InputSpec {
             name: "genre".into(),
@@ -544,10 +660,21 @@ pub fn library(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
         inputs.push(InputSpec {
             name: "author".into(),
             label: "author surname:".into(),
-            binding: Binding::TypedText { col: 1, ty: ValueType::Text },
+            binding: Binding::TypedText {
+                col: 1,
+                ty: ValueType::Text,
+            },
         });
     }
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Media search: the database-selection correlation (paper §4.2) — one select
@@ -585,9 +712,21 @@ pub fn media_search(ctx: &mut GenCtx<'_>) -> (Table, FormSpec) {
             label: "search in:".into(),
             binding: Binding::Select { col: 0 },
         },
-        InputSpec { name: n, label: l, binding: Binding::KeywordSearch },
+        InputSpec {
+            name: n,
+            label: l,
+            binding: Binding::KeywordSearch,
+        },
     ];
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 /// Faculty directories: the fortuitous-query substrate (paper §3.2). Exactly
@@ -632,7 +771,15 @@ pub fn faculty(ctx: &mut GenCtx<'_>, plant_award: bool) -> (Table, FormSpec) {
         label: "department:".into(),
         binding: Binding::Select { col: 0 },
     }];
-    (t, FormSpec { action: "/results".into(), post: false, inputs, dependent: None })
+    (
+        t,
+        FormSpec {
+            action: "/results".into(),
+            post: false,
+            inputs,
+            dependent: None,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -656,7 +803,14 @@ mod tests {
         cities: &'a [String],
         n: usize,
     ) -> GenCtx<'a> {
-        GenCtx { rng, lang: "en", lexicon: lex, zips, cities, n_records: n }
+        GenCtx {
+            rng,
+            lang: "en",
+            lexicon: lex,
+            zips,
+            cities,
+            n_records: n,
+        }
     }
 
     #[test]
@@ -725,7 +879,10 @@ mod tests {
             if row[0].render() == "software" {
                 sw_rows += 1;
                 let desc = row[3].render();
-                assert!(!desc.contains("noir") && !desc.contains("western"), "desc={desc}");
+                assert!(
+                    !desc.contains("noir") && !desc.contains("western"),
+                    "desc={desc}"
+                );
             }
         }
         assert!(sw_rows > 10);
@@ -739,7 +896,11 @@ mod tests {
             let (lex, zips, cities) = ctx_fixture(&mut rng);
             let mut ctx = make_ctx(&mut rng, &lex, &zips, &cities, 10);
             let (_, form) = store_locator(&mut ctx);
-            if form.inputs.iter().any(|i| matches!(i.binding, Binding::Ignored { .. })) {
+            if form
+                .inputs
+                .iter()
+                .any(|i| matches!(i.binding, Binding::Ignored { .. }))
+            {
                 hit = true;
                 break;
             }

@@ -17,7 +17,12 @@ pub struct Response {
 }
 
 /// Anything that can serve URLs.
-pub trait Fetcher {
+///
+/// `Send + Sync` is part of the contract: the sharded surfacing pipeline
+/// probes many sites from worker threads against one shared fetcher, so
+/// implementations must use interior mutability that tolerates concurrent
+/// callers (e.g. the web server's sharded request counters).
+pub trait Fetcher: Send + Sync {
     /// Fetch a URL. Error statuses (404, 405, 500) come back as
     /// [`Error::Http`] so callers must handle failing sites.
     fn fetch(&self, url: &Url) -> Result<Response>;
@@ -25,7 +30,10 @@ pub trait Fetcher {
 
 /// Helper for building an HTTP error.
 pub fn http_error(status: u16, url: &Url) -> Error {
-    Error::Http { status, url: url.to_string() }
+    Error::Http {
+        status,
+        url: url.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -36,7 +44,10 @@ mod tests {
     impl Fetcher for Fixed {
         fn fetch(&self, url: &Url) -> Result<Response> {
             if url.host == "ok.sim" {
-                Ok(Response { status: 200, html: "<p>hi</p>".into() })
+                Ok(Response {
+                    status: 200,
+                    html: "<p>hi</p>".into(),
+                })
             } else {
                 Err(http_error(404, url))
             }

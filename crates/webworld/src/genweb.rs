@@ -171,7 +171,10 @@ impl GroundTruth {
         if self.sites.is_empty() {
             return 0.0;
         }
-        self.sites.iter().filter(|s| !s.range_pairs.is_empty()).count() as f64
+        self.sites
+            .iter()
+            .filter(|s| !s.range_pairs.is_empty())
+            .count() as f64
             / self.sites.len() as f64
     }
 
@@ -332,9 +335,15 @@ pub fn generate(config: &WebConfig) -> World {
             }
         }
         form.post = post_flags[i];
-        let page_size =
-            *config.page_sizes.choose(&mut rng).expect("page_sizes non-empty");
-        let style = if rng.gen_bool(0.5) { RenderStyle::Table } else { RenderStyle::List };
+        let page_size = *config
+            .page_sizes
+            .choose(&mut rng)
+            .expect("page_sizes non-empty");
+        let style = if rng.gen_bool(0.5) {
+            RenderStyle::Table
+        } else {
+            RenderStyle::List
+        };
         let browse_links = if rng.gen_bool(config.browse_fraction) {
             (table.len() / 10).clamp(1, 10)
         } else {
@@ -372,10 +381,12 @@ pub fn generate(config: &WebConfig) -> World {
     // Surface web.
     let mut pages = surface::popular_pages(seed, config.popular_hosts);
     pages.extend(surface::table_pages(seed, config.table_hosts));
-    let popular_hosts: Vec<String> =
-        (0..config.popular_hosts).map(|k| format!("web-{k:03}.sim")).collect();
-    let table_hosts: Vec<String> =
-        (0..config.table_hosts).map(|k| format!("data-{k:03}.sim")).collect();
+    let popular_hosts: Vec<String> = (0..config.popular_hosts)
+        .map(|k| format!("web-{k:03}.sim"))
+        .collect();
+    let table_hosts: Vec<String> = (0..config.table_hosts)
+        .map(|k| format!("data-{k:03}.sim"))
+        .collect();
     let mut all_hosts: Vec<String> = sites.iter().map(|s| s.host.clone()).collect();
     all_hosts.extend(popular_hosts.iter().cloned());
     all_hosts.extend(table_hosts.iter().cloned());
@@ -383,7 +394,11 @@ pub fn generate(config: &WebConfig) -> World {
 
     World {
         server: WebServer::new(sites, pages),
-        truth: GroundTruth { sites: truths, popular_hosts, table_hosts },
+        truth: GroundTruth {
+            sites: truths,
+            popular_hosts,
+            table_hosts,
+        },
     }
 }
 
@@ -400,13 +415,20 @@ mod tests {
     use deepweb_common::Url;
 
     fn small_world() -> World {
-        generate(&WebConfig { num_sites: 25, ..WebConfig::default() })
+        generate(&WebConfig {
+            num_sites: 25,
+            ..WebConfig::default()
+        })
     }
 
     #[test]
     fn post_fraction_is_stratified_and_plant_stays_get() {
         for (n, frac) in [(6usize, 0.08f64), (20, 0.15), (40, 0.15), (5, 0.1)] {
-            let w = generate(&WebConfig { num_sites: n, post_fraction: frac, ..WebConfig::default() });
+            let w = generate(&WebConfig {
+                num_sites: n,
+                post_fraction: frac,
+                ..WebConfig::default()
+            });
             let posts = w.truth.sites.iter().filter(|t| t.post).count();
             let expect = (((n as f64) * frac).round() as usize).max(1);
             // The plant may surrender one flag back to GET; never more.
@@ -414,24 +436,40 @@ mod tests {
                 posts == expect || posts == expect.saturating_sub(1).max(1),
                 "n={n} frac={frac}: got {posts} POST sites, expected ~{expect}"
             );
-            assert!(posts > 0, "nonzero fraction must yield at least one POST form");
+            assert!(
+                posts > 0,
+                "nonzero fraction must yield at least one POST form"
+            );
         }
         // The planted award-bio site stays GET whenever another POST site can
         // take its flag.
-        let w = generate(&WebConfig { num_sites: 20, post_fraction: 0.15, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 20,
+            post_fraction: 0.15,
+            ..WebConfig::default()
+        });
         let plant = w
             .truth
             .sites
             .iter()
             .find(|t| t.domain == DomainKind::Faculty && t.language == "en");
         if let Some(plant) = plant {
-            let other_posts = w.truth.sites.iter().filter(|t| t.post && t.host != plant.host).count();
+            let other_posts = w
+                .truth
+                .sites
+                .iter()
+                .filter(|t| t.post && t.host != plant.host)
+                .count();
             if other_posts > 0 {
                 assert!(!plant.post, "plant {} must stay GET", plant.host);
             }
         }
         // All-POST webs keep every site POST (no swap target exists).
-        let w = generate(&WebConfig { num_sites: 6, post_fraction: 1.0, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 6,
+            post_fraction: 1.0,
+            ..WebConfig::default()
+        });
         assert!(w.truth.sites.iter().all(|t| t.post));
     }
 
@@ -483,7 +521,10 @@ mod tests {
 
     #[test]
     fn range_pairs_recorded_for_some_sites() {
-        let w = generate(&WebConfig { num_sites: 60, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 60,
+            ..WebConfig::default()
+        });
         assert!(w.truth.range_pair_fraction() > 0.05);
         for t in &w.truth.sites {
             for (min_n, max_n) in &t.range_pairs {
@@ -495,11 +536,17 @@ mod tests {
 
     #[test]
     fn award_bio_planted_exactly_once() {
-        let w = generate(&WebConfig { num_sites: 80, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 80,
+            ..WebConfig::default()
+        });
         let mut hits = 0;
         for s in w.server.sites() {
             for (_, row) in s.table.table().iter() {
-                if row.iter().any(|v| v.render().contains("sigmod innovations award")) {
+                if row
+                    .iter()
+                    .any(|v| v.render().contains("sigmod innovations award"))
+                {
                     hits += 1;
                 }
             }
@@ -509,14 +556,20 @@ mod tests {
 
     #[test]
     fn multiple_languages_present() {
-        let w = generate(&WebConfig { num_sites: 80, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 80,
+            ..WebConfig::default()
+        });
         assert!(w.truth.languages().len() > 5);
         assert!(w.truth.languages().contains(&"en".to_string()));
     }
 
     #[test]
     fn site_sizes_are_skewed() {
-        let w = generate(&WebConfig { num_sites: 50, ..WebConfig::default() });
+        let w = generate(&WebConfig {
+            num_sites: 50,
+            ..WebConfig::default()
+        });
         let sizes: Vec<usize> = w.truth.sites.iter().map(|s| s.records).collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();

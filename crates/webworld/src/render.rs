@@ -77,7 +77,10 @@ pub fn browse_page(site: &Site) -> String {
         .iter()
         .take(site.browse_links)
         .map(|(id, row)| {
-            (format!("/item?id={}", id.0), format!("listing {}: {}", id.0, row[0].render()))
+            (
+                format!("/item?id={}", id.0),
+                format!("listing {}: {}", id.0, row[0].render()),
+            )
         })
         .collect();
     pb.link_list(&links);
@@ -163,10 +166,16 @@ pub fn results_page(site: &Site, params: &[(String, String)], page: &Page) -> St
         .join("&");
     let mut nav: Vec<(String, String)> = Vec::new();
     if page.page > 0 {
-        nav.push((format!("/results?{}&page={}", base, page.page - 1), "previous page".into()));
+        nav.push((
+            format!("/results?{}&page={}", base, page.page - 1),
+            "previous page".into(),
+        ));
     }
     if (page.page + 1) * page.page_size < page.total {
-        nav.push((format!("/results?{}&page={}", base, page.page + 1), "next page".into()));
+        nav.push((
+            format!("/results?{}&page={}", base, page.page + 1),
+            "next page".into(),
+        ));
     }
     if !nav.is_empty() {
         pb.link_list(&nav);
@@ -213,8 +222,11 @@ mod tests {
         let page = site.table.select_page(&Conjunction::all(), 0, 10);
         let html = results_page(&site, &[], &page);
         let doc = Document::parse(&html);
-        let hrefs: Vec<&str> =
-            doc.find_all("a").iter().filter_map(|a| a.attr("href")).collect();
+        let hrefs: Vec<&str> = doc
+            .find_all("a")
+            .iter()
+            .filter_map(|a| a.attr("href"))
+            .collect();
         assert!(hrefs.iter().any(|h| h.starts_with("/item?id=")));
         assert!(html.contains("3 results"));
     }
@@ -235,7 +247,12 @@ mod tests {
     #[test]
     fn empty_results_uniform() {
         let site = mini_site(RenderStyle::Table);
-        let page = Page { total: 0, ids: vec![], page: 0, page_size: 10 };
+        let page = Page {
+            total: 0,
+            ids: vec![],
+            page: 0,
+            page_size: 10,
+        };
         let a = results_page(&site, &[("q".into(), "zzz".into())], &page);
         assert!(a.contains("No results found."));
     }

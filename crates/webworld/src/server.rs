@@ -6,8 +6,8 @@ use crate::fetch::{http_error, Fetcher, Response};
 use crate::render;
 use crate::site::{CompiledQuery, Site};
 use deepweb_common::ids::{RecordId, SiteId};
+use deepweb_common::pool::Sharded;
 use deepweb_common::{FxHashMap, Result, Url};
-use parking_lot::Mutex;
 
 /// A static surface-web page.
 #[derive(Clone, Debug)]
@@ -25,19 +25,33 @@ pub struct WebServer {
     sites: Vec<Site>,
     host_to_site: FxHashMap<String, usize>,
     surface: FxHashMap<String, FxHashMap<String, String>>,
-    counts: Mutex<FxHashMap<String, u64>>,
+    // Request accounting is sharded by host so parallel crawl workers
+    // contend only when they hit hosts in the same shard.
+    counts: Sharded<FxHashMap<String, u64>>,
 }
+
+/// Lock shards for the request counters — enough that the parallel pipeline's
+/// workers rarely collide on the same shard.
+const COUNT_SHARDS: usize = 16;
 
 impl WebServer {
     /// Build a server over deep-web sites and surface pages.
     pub fn new(sites: Vec<Site>, surface_pages: Vec<SurfacePage>) -> Self {
-        let host_to_site =
-            sites.iter().enumerate().map(|(i, s)| (s.host.clone(), i)).collect();
+        let host_to_site = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.host.clone(), i))
+            .collect();
         let mut surface: FxHashMap<String, FxHashMap<String, String>> = FxHashMap::default();
         for p in surface_pages {
             surface.entry(p.host).or_default().insert(p.path, p.html);
         }
-        WebServer { sites, host_to_site, surface, counts: Mutex::new(FxHashMap::default()) }
+        WebServer {
+            sites,
+            host_to_site,
+            surface,
+            counts: Sharded::new(COUNT_SHARDS),
+        }
     }
 
     /// All deep-web sites.
@@ -68,19 +82,28 @@ impl WebServer {
         hosts
     }
 
-    /// Snapshot of per-host request counts.
+    /// Snapshot of per-host request counts (merged across shards).
     pub fn request_counts(&self) -> FxHashMap<String, u64> {
-        self.counts.lock().clone()
+        let mut merged = FxHashMap::default();
+        self.counts.for_each_shard(|shard| {
+            for (host, n) in shard.iter() {
+                *merged.entry(host.clone()).or_insert(0) += *n;
+            }
+        });
+        merged
     }
 
     /// Total requests served.
     pub fn total_requests(&self) -> u64 {
-        self.counts.lock().values().sum()
+        let mut total = 0;
+        self.counts
+            .for_each_shard(|shard| total += shard.values().sum::<u64>());
+        total
     }
 
     /// Reset load accounting (e.g. between crawl phase and serve phase).
     pub fn reset_counts(&self) {
-        self.counts.lock().clear();
+        self.counts.for_each_shard(|shard| shard.clear());
     }
 
     fn serve_site(&self, site: &Site, url: &Url) -> Result<Response> {
@@ -94,8 +117,7 @@ impl WebServer {
                     // GET against a POST action: method not allowed.
                     return Err(http_error(405, url));
                 }
-                let page_no: usize =
-                    url.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+                let page_no: usize = url.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
                 match site.compile_query(&url.params) {
                     CompiledQuery::Query(conj) => {
                         let page = site.table.select_page(&conj, page_no, site.page_size);
@@ -126,7 +148,11 @@ fn ok(html: String) -> Response {
 
 impl Fetcher for WebServer {
     fn fetch(&self, url: &Url) -> Result<Response> {
-        *self.counts.lock().entry(url.host.clone()).or_insert(0) += 1;
+        *self
+            .counts
+            .lock(&url.host)
+            .entry(url.host.clone())
+            .or_insert(0) += 1;
         if let Some(&i) = self.host_to_site.get(&url.host) {
             return self.serve_site(&self.sites[i], url);
         }
@@ -184,10 +210,18 @@ mod tests {
     #[test]
     fn item_pages_and_404s() {
         let s = server();
-        assert!(s.fetch(&Url::parse("http://usedcars-000.sim/item?id=1").unwrap()).is_ok());
-        assert!(s.fetch(&Url::parse("http://usedcars-000.sim/item?id=99").unwrap()).is_err());
-        assert!(s.fetch(&Url::parse("http://usedcars-000.sim/nope").unwrap()).is_err());
-        assert!(s.fetch(&Url::parse("http://unknown.sim/").unwrap()).is_err());
+        assert!(s
+            .fetch(&Url::parse("http://usedcars-000.sim/item?id=1").unwrap())
+            .is_ok());
+        assert!(s
+            .fetch(&Url::parse("http://usedcars-000.sim/item?id=99").unwrap())
+            .is_err());
+        assert!(s
+            .fetch(&Url::parse("http://usedcars-000.sim/nope").unwrap())
+            .is_err());
+        assert!(s
+            .fetch(&Url::parse("http://unknown.sim/").unwrap())
+            .is_err());
     }
 
     #[test]
@@ -195,9 +229,11 @@ mod tests {
         let mut site = mini_site(RenderStyle::Table);
         site.form.post = true;
         let s = WebServer::new(vec![site], vec![]);
-        let err =
-            s.fetch(&Url::parse("http://usedcars-000.sim/results?make=honda").unwrap());
-        assert!(matches!(err, Err(deepweb_common::Error::Http { status: 405, .. })));
+        let err = s.fetch(&Url::parse("http://usedcars-000.sim/results?make=honda").unwrap());
+        assert!(matches!(
+            err,
+            Err(deepweb_common::Error::Http { status: 405, .. })
+        ));
         // But the form page still serves.
         assert!(s.fetch(&Url::new("usedcars-000.sim", "/search")).is_ok());
     }

@@ -227,15 +227,19 @@ impl Site {
                     }
                 }
                 Binding::RangeMin { col, ty } => match Value::parse_as(*ty, v) {
-                    Some(value) => {
-                        preds.push(Predicate::Range { col: *col, min: Some(value), max: None })
-                    }
+                    Some(value) => preds.push(Predicate::Range {
+                        col: *col,
+                        min: Some(value),
+                        max: None,
+                    }),
                     None => return CompiledQuery::Invalid,
                 },
                 Binding::RangeMax { col, ty } => match Value::parse_as(*ty, v) {
-                    Some(value) => {
-                        preds.push(Predicate::Range { col: *col, min: None, max: Some(value) })
-                    }
+                    Some(value) => preds.push(Predicate::Range {
+                        col: *col,
+                        min: None,
+                        max: Some(value),
+                    }),
                     None => return CompiledQuery::Invalid,
                 },
                 Binding::Hidden { .. } | Binding::Ignored { .. } => {}
@@ -317,9 +321,7 @@ impl Site {
         self.form
             .inputs
             .iter()
-            .filter(|i| {
-                !matches!(i.binding, Binding::Hidden { .. } | Binding::Ignored { .. })
-            })
+            .filter(|i| !matches!(i.binding, Binding::Hidden { .. } | Binding::Ignored { .. }))
             .map(|i| i.name.as_str())
             .collect()
     }
@@ -375,17 +377,26 @@ pub mod tests_support {
                     InputSpec {
                         name: "min_price".into(),
                         label: "min price:".into(),
-                        binding: Binding::RangeMin { col: 2, ty: ValueType::Money },
+                        binding: Binding::RangeMin {
+                            col: 2,
+                            ty: ValueType::Money,
+                        },
                     },
                     InputSpec {
                         name: "max_price".into(),
                         label: "max price:".into(),
-                        binding: Binding::RangeMax { col: 2, ty: ValueType::Money },
+                        binding: Binding::RangeMax {
+                            col: 2,
+                            ty: ValueType::Money,
+                        },
                     },
                     InputSpec {
                         name: "zip".into(),
                         label: "zip code:".into(),
-                        binding: Binding::TypedText { col: 3, ty: ValueType::Zip },
+                        binding: Binding::TypedText {
+                            col: 3,
+                            ty: ValueType::Zip,
+                        },
                     },
                     InputSpec {
                         name: "q".into(),
@@ -416,8 +427,10 @@ mod tests {
     }
 
     fn q(site: &Site, params: &[(&str, &str)]) -> Vec<u32> {
-        let params: Vec<(String, String)> =
-            params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let params: Vec<(String, String)> = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         match site.compile_query(&params) {
             CompiledQuery::Query(c) => site.table.select(&c).iter().map(|r| r.0).collect(),
             CompiledQuery::Invalid => panic!("unexpected invalid"),
@@ -428,7 +441,10 @@ mod tests {
     fn select_and_range_compile() {
         let s = mini_site();
         assert_eq!(q(&s, &[("make", "honda")]), vec![0, 2]);
-        assert_eq!(q(&s, &[("min_price", "4000"), ("max_price", "9000")]), vec![0, 2]);
+        assert_eq!(
+            q(&s, &[("min_price", "4000"), ("max_price", "9000")]),
+            vec![0, 2]
+        );
         assert_eq!(q(&s, &[("make", "honda"), ("max_price", "5000")]), vec![0]);
     }
 
@@ -478,7 +494,10 @@ mod tests {
         // Select options include distinct makes.
         match &f.input("make").unwrap().kind {
             deepweb_html::WidgetKind::SelectMenu { options } => {
-                assert_eq!(options, &vec!["".to_string(), "ford".into(), "honda".into()]);
+                assert_eq!(
+                    options,
+                    &vec!["".to_string(), "ford".into(), "honda".into()]
+                );
             }
             k => panic!("unexpected {k:?}"),
         }
@@ -500,6 +519,9 @@ mod tests {
     #[test]
     fn effective_inputs_exclude_hidden() {
         let s = mini_site();
-        assert_eq!(s.effective_inputs(), vec!["make", "min_price", "max_price", "zip", "q"]);
+        assert_eq!(
+            s.effective_inputs(),
+            vec!["make", "min_price", "max_price", "zip", "q"]
+        );
     }
 }

@@ -42,16 +42,16 @@ pub fn attribute_synonym_pools() -> Vec<Vec<&'static str>> {
 /// tables instantiate; co-occurrence of these concepts is what the ACSDb's
 /// auto-complete learns.
 const SCHEMA_TEMPLATES: &[&[usize]] = &[
-    &[0, 1, 2, 3],    // make, model, price, year     (cars)
-    &[0, 1, 2, 4],    // make, model, price, mileage
-    &[0, 1, 3],       // make, model, year
-    &[8, 7, 9],       // title, author, genre          (books)
-    &[8, 7, 9, 3],    // title, author, genre, year
-    &[5, 6],          // city, zip                     (geo)
-    &[5, 6, 2],       // city, zip, price
-    &[8, 10, 5],      // title, salary, city           (jobs)
-    &[8, 11, 5],      // title, cuisine, city          (restaurants)
-    &[12, 2, 5, 6],   // bedrooms, price, city, zip    (real estate)
+    &[0, 1, 2, 3],  // make, model, price, year     (cars)
+    &[0, 1, 2, 4],  // make, model, price, mileage
+    &[0, 1, 3],     // make, model, year
+    &[8, 7, 9],     // title, author, genre          (books)
+    &[8, 7, 9, 3],  // title, author, genre, year
+    &[5, 6],        // city, zip                     (geo)
+    &[5, 6, 2],     // city, zip, price
+    &[8, 10, 5],    // title, salary, city           (jobs)
+    &[8, 11, 5],    // title, cuisine, city          (restaurants)
+    &[12, 2, 5, 6], // bedrooms, price, city, zip    (real estate)
 ];
 
 /// Generate the SEO'd popular-topic pages for head queries.
@@ -82,13 +82,21 @@ pub fn popular_pages(seed: u64, num_hosts: usize) -> Vec<SurfacePage> {
                  and where to find one in {city}. also try {cuisine} restaurants. {filler}"
             ));
             pb.link("/", "home");
-            pages.push(SurfacePage { host: host.clone(), path: path.clone(), html: pb.build() });
+            pages.push(SurfacePage {
+                host: host.clone(),
+                path: path.clone(),
+                html: pb.build(),
+            });
             links.push((path, format!("{make} {model} review")));
         }
         let mut pb = PageBuilder::new(&format!("{host} reviews"));
         pb.h1("reviews and guides");
         pb.link_list(&links);
-        pages.push(SurfacePage { host, path: "/".into(), html: pb.build() });
+        pages.push(SurfacePage {
+            host,
+            path: "/".into(),
+            html: pb.build(),
+        });
     }
     pages
 }
@@ -127,13 +135,21 @@ pub fn table_pages(seed: u64, num_hosts: usize) -> Vec<SurfacePage> {
             pb.p(&vocab::sentence(&lex, 10, &mut rng));
             let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
             pb.table(&header_refs, &rows);
-            pages.push(SurfacePage { host: host.clone(), path: path.clone(), html: pb.build() });
+            pages.push(SurfacePage {
+                host: host.clone(),
+                path: path.clone(),
+                html: pb.build(),
+            });
             links.push((path, format!("dataset {p}")));
         }
         let mut pb = PageBuilder::new(&format!("{host} datasets"));
         pb.h1("open datasets");
         pb.link_list(&links);
-        pages.push(SurfacePage { host, path: "/".into(), html: pb.build() });
+        pages.push(SurfacePage {
+            host,
+            path: "/".into(),
+            html: pb.build(),
+        });
     }
     pages
 }
@@ -170,10 +186,16 @@ fn cell_value(
 pub fn directory_page(hosts: &[String]) -> SurfacePage {
     let mut pb = PageBuilder::new("web directory");
     pb.h1("directory of sites");
-    let links: Vec<(String, String)> =
-        hosts.iter().map(|h| (format!("http://{h}/"), h.clone())).collect();
+    let links: Vec<(String, String)> = hosts
+        .iter()
+        .map(|h| (format!("http://{h}/"), h.clone()))
+        .collect();
     pb.link_list(&links);
-    SurfacePage { host: "dir.sim".into(), path: "/".into(), html: pb.build() }
+    SurfacePage {
+        host: "dir.sim".into(),
+        path: "/".into(),
+        html: pb.build(),
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +239,10 @@ mod tests {
                 }
             }
         }
-        assert!(price_like.len() >= 2, "want ≥2 price synonyms in corpus, got {price_like:?}");
+        assert!(
+            price_like.len() >= 2,
+            "want ≥2 price synonyms in corpus, got {price_like:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ use rand::Rng;
 pub fn car_makes() -> Vec<(&'static str, Vec<&'static str>)> {
     vec![
         ("honda", vec!["civic", "accord", "pilot", "odyssey"]),
-        ("ford", vec!["focus", "fiesta", "mustang", "explorer", "taurus"]),
+        (
+            "ford",
+            vec!["focus", "fiesta", "mustang", "explorer", "taurus"],
+        ),
         ("toyota", vec!["corolla", "camry", "prius", "tacoma"]),
         ("bmw", vec!["320", "325", "530", "x5"]),
         ("chevrolet", vec!["malibu", "impala", "tahoe", "cavalier"]),
@@ -40,25 +43,61 @@ pub fn car_models() -> Vec<&'static str> {
 /// Cuisines for restaurant-style sites.
 pub fn cuisines() -> Vec<&'static str> {
     vec![
-        "italian", "mexican", "chinese", "thai", "indian", "french", "japanese", "greek",
-        "vietnamese", "korean", "ethiopian", "spanish", "turkish", "lebanese", "peruvian",
+        "italian",
+        "mexican",
+        "chinese",
+        "thai",
+        "indian",
+        "french",
+        "japanese",
+        "greek",
+        "vietnamese",
+        "korean",
+        "ethiopian",
+        "spanish",
+        "turkish",
+        "lebanese",
+        "peruvian",
     ]
 }
 
 /// Job categories for employment sites.
 pub fn job_titles() -> Vec<&'static str> {
     vec![
-        "engineer", "nurse", "teacher", "accountant", "electrician", "plumber", "analyst",
-        "designer", "manager", "technician", "librarian", "chef", "mechanic", "pharmacist",
-        "paralegal", "surveyor",
+        "engineer",
+        "nurse",
+        "teacher",
+        "accountant",
+        "electrician",
+        "plumber",
+        "analyst",
+        "designer",
+        "manager",
+        "technician",
+        "librarian",
+        "chef",
+        "mechanic",
+        "pharmacist",
+        "paralegal",
+        "surveyor",
     ]
 }
 
 /// Book genres for library sites.
 pub fn book_genres() -> Vec<&'static str> {
     vec![
-        "mystery", "romance", "biography", "history", "fantasy", "poetry", "thriller",
-        "science", "travel", "cooking", "philosophy", "economics",
+        "mystery",
+        "romance",
+        "biography",
+        "history",
+        "fantasy",
+        "poetry",
+        "thriller",
+        "science",
+        "travel",
+        "cooking",
+        "philosophy",
+        "economics",
     ]
 }
 
@@ -68,19 +107,45 @@ pub fn media_categories() -> Vec<(&'static str, Vec<&'static str>)> {
     vec![
         (
             "movies",
-            vec!["noir", "western", "matinee", "premiere", "documentary", "trilogy", "sequel"],
+            vec![
+                "noir",
+                "western",
+                "matinee",
+                "premiere",
+                "documentary",
+                "trilogy",
+                "sequel",
+            ],
         ),
         (
             "music",
-            vec!["sonata", "quartet", "remix", "ballad", "symphony", "acoustic", "chorale"],
+            vec![
+                "sonata", "quartet", "remix", "ballad", "symphony", "acoustic", "chorale",
+            ],
         ),
         (
             "software",
-            vec!["compiler", "debugger", "spreadsheet", "firewall", "antivirus", "editor", "kernel"],
+            vec![
+                "compiler",
+                "debugger",
+                "spreadsheet",
+                "firewall",
+                "antivirus",
+                "editor",
+                "kernel",
+            ],
         ),
         (
             "games",
-            vec!["arcade", "puzzle", "platformer", "strategy", "roguelike", "simulation", "pinball"],
+            vec![
+                "arcade",
+                "puzzle",
+                "platformer",
+                "strategy",
+                "roguelike",
+                "simulation",
+                "pinball",
+            ],
         ),
     ]
 }
@@ -89,16 +154,32 @@ pub fn media_categories() -> Vec<(&'static str, Vec<&'static str>)> {
 /// "rules and regulations, survey results" on portals with no SEO budget).
 pub fn gov_doc_types() -> Vec<&'static str> {
     vec![
-        "regulation", "ordinance", "statute", "permit", "census", "survey", "bulletin",
-        "advisory", "assessment", "resolution",
+        "regulation",
+        "ordinance",
+        "statute",
+        "permit",
+        "census",
+        "survey",
+        "bulletin",
+        "advisory",
+        "assessment",
+        "resolution",
     ]
 }
 
 /// University departments (for the fortuitous-query scenario, paper §3.2).
 pub fn departments() -> Vec<&'static str> {
     vec![
-        "csail", "mathematics", "physics", "chemistry", "biology", "economics", "linguistics",
-        "history", "architecture", "aeronautics",
+        "csail",
+        "mathematics",
+        "physics",
+        "chemistry",
+        "biology",
+        "economics",
+        "linguistics",
+        "history",
+        "architecture",
+        "aeronautics",
     ]
 }
 
@@ -108,7 +189,9 @@ pub fn us_cities() -> Vec<String> {
         "spring", "oak", "maple", "river", "lake", "cedar", "pine", "fair", "green", "west",
         "east", "north", "clay", "mill", "stone", "bridge", "ash", "elm", "fox", "deer",
     ];
-    let suffixes = ["field", "ville", "ton", "wood", "port", "burg", "dale", "view", "ford", "haven"];
+    let suffixes = [
+        "field", "ville", "ton", "wood", "port", "burg", "dale", "view", "ford", "haven",
+    ];
     let mut out = Vec::with_capacity(prefixes.len() * suffixes.len());
     for p in prefixes {
         for s in suffixes {
@@ -131,15 +214,47 @@ pub fn us_zipcodes(seed: u64, n: usize) -> Vec<String> {
 
 /// Street-name parts for address text.
 pub fn streets() -> Vec<&'static str> {
-    vec!["main", "oak", "elm", "park", "washington", "lincoln", "market", "church", "walnut", "cherry"]
+    vec![
+        "main",
+        "oak",
+        "elm",
+        "park",
+        "washington",
+        "lincoln",
+        "market",
+        "church",
+        "walnut",
+        "cherry",
+    ]
 }
 
 /// Surnames for person names (professors, sellers, authors).
 pub fn surnames() -> Vec<&'static str> {
     vec![
-        "stonebraker", "codd", "gray", "ullman", "widom", "halevy", "madhavan", "chang",
-        "florescu", "ives", "doan", "franklin", "hellerstein", "dewitt", "bernstein", "abiteboul",
-        "naughton", "ramakrishnan", "garcia", "molina", "suciu", "tannen", "vianu", "chaudhuri",
+        "stonebraker",
+        "codd",
+        "gray",
+        "ullman",
+        "widom",
+        "halevy",
+        "madhavan",
+        "chang",
+        "florescu",
+        "ives",
+        "doan",
+        "franklin",
+        "hellerstein",
+        "dewitt",
+        "bernstein",
+        "abiteboul",
+        "naughton",
+        "ramakrishnan",
+        "garcia",
+        "molina",
+        "suciu",
+        "tannen",
+        "vianu",
+        "chaudhuri",
     ]
 }
 
@@ -189,7 +304,12 @@ pub fn sentence<R: Rng + ?Sized>(lexicon: &[String], n: usize, rng: &mut R) -> S
 pub fn make_model_map() -> FxHashMap<String, Vec<String>> {
     car_makes()
         .into_iter()
-        .map(|(m, models)| (m.to_string(), models.into_iter().map(str::to_string).collect()))
+        .map(|(m, models)| {
+            (
+                m.to_string(),
+                models.into_iter().map(str::to_string).collect(),
+            )
+        })
         .collect()
 }
 
@@ -213,7 +333,9 @@ mod tests {
         let b = us_zipcodes(7, 100);
         assert_eq!(a, b);
         assert_eq!(a.len(), 100);
-        assert!(a.iter().all(|z| z.len() == 5 && z.bytes().all(|c| c.is_ascii_digit())));
+        assert!(a
+            .iter()
+            .all(|z| z.len() == 5 && z.bytes().all(|c| c.is_ascii_digit())));
     }
 
     #[test]
@@ -227,7 +349,10 @@ mod tests {
         let fr = lexicon("fr", 50, 1);
         assert_ne!(en, fr);
         let overlap = en.iter().filter(|w| fr.contains(w)).count();
-        assert!(overlap < 10, "languages should be nearly disjoint, overlap={overlap}");
+        assert!(
+            overlap < 10,
+            "languages should be nearly disjoint, overlap={overlap}"
+        );
     }
 
     #[test]

@@ -12,11 +12,17 @@ use deepweb::surfacer::{analyze_page, Prober, Slot};
 use deepweb::webworld::{generate, Fetcher, WebConfig};
 
 fn main() {
-    let w = generate(&WebConfig { num_sites: 10, post_fraction: 0.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 10,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
     let mut rng = derive_rng(7, "coverage-example");
     for t in w.truth.sites.iter().take(5) {
         let url = Url::new(t.host.clone(), "/search");
-        let Ok(resp) = w.server.fetch(&url) else { continue };
+        let Ok(resp) = w.server.fetch(&url) else {
+            continue;
+        };
         let form = analyze_page(&url, &resp.html).remove(0);
         let slots: Vec<Slot> = form
             .fillable_inputs()

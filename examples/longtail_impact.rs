@@ -14,12 +14,18 @@ fn main() {
     let sys = DeepWebSystem::build(&quick_config(25));
     let wl = generate_workload(
         &sys.world,
-        &WorkloadConfig { distinct: 300, ..Default::default() },
+        &WorkloadConfig {
+            distinct: 300,
+            ..Default::default()
+        },
     );
     let mut rng = derive_rng(1, "longtail-example");
     let report = replay(&sys.index, &wl, 5000, 1, sys.options, &mut rng);
 
-    println!("replayed 5000 queries (Zipf stream over {} distinct)", wl.len());
+    println!(
+        "replayed 5000 queries (Zipf stream over {} distinct)",
+        wl.len()
+    );
     println!(
         "deep-web page was the top result for {} queries ({} tail, {} head)",
         report.with_deepweb_result, report.tail_with_deepweb, report.head_with_deepweb
@@ -29,7 +35,11 @@ fn main() {
     for frac in [0.1, 0.25, 0.5, 1.0] {
         let k = ((curve.len() as f64 * frac).ceil() as usize).clamp(1, curve.len().max(1));
         if !curve.is_empty() {
-            println!("  top {:>4.0}% of forms → {:>5.1}% of results", frac * 100.0, curve[k - 1] * 100.0);
+            println!(
+                "  top {:>4.0}% of forms → {:>5.1}% of results",
+                frac * 100.0,
+                curve[k - 1] * 100.0
+            );
         }
     }
     println!(

@@ -27,7 +27,11 @@ fn main() {
         stats.docs, stats.terms, stats.postings, sys.offline_requests
     );
 
-    for query in ["used honda civic", "italian restaurants", "regulation census"] {
+    for query in [
+        "used honda civic",
+        "italian restaurants",
+        "regulation census",
+    ] {
         println!("\nquery: {query:?}");
         for hit in sys.search(query, 3) {
             let doc = sys.index.doc(hit.doc);

@@ -9,7 +9,11 @@ use deepweb::tables::SemanticServer;
 use deepweb::webworld::{generate, WebConfig};
 
 fn main() {
-    let w = generate(&WebConfig { num_sites: 25, table_hosts: 15, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 25,
+        table_hosts: 15,
+        ..WebConfig::default()
+    });
     let mut srv = SemanticServer::new();
     let mut hosts = w.truth.table_hosts.clone();
     hosts.extend(w.truth.sites.iter().map(|t| t.host.clone()));
@@ -30,6 +34,12 @@ fn main() {
     for (a, p) in srv.autocomplete(&["make", "model"], 5) {
         println!("  {a:<16} P={p:.3}");
     }
-    println!("\nvalues_for(\"cuisine\"): {:?}", srv.values_for("cuisine", 8));
-    println!("properties_of(\"honda\"): {:?}", srv.properties_of("honda", 6));
+    println!(
+        "\nvalues_for(\"cuisine\"): {:?}",
+        srv.values_for("cuisine", 8)
+    );
+    println!(
+        "properties_of(\"honda\"): {:?}",
+        srv.properties_of("honda", 6)
+    );
 }

@@ -8,11 +8,15 @@
 //! cargo run --example vertical_search --release
 //! ```
 
-use deepweb::webworld::{generate, WebConfig};
 use deepweb::vertical::{register_sources, VerticalEngine};
+use deepweb::webworld::{generate, WebConfig};
 
 fn main() {
-    let w = generate(&WebConfig { num_sites: 30, post_fraction: 0.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 30,
+        post_fraction: 0.0,
+        ..WebConfig::default()
+    });
     let hosts: Vec<String> = w.truth.sites.iter().map(|t| t.host.clone()).collect();
     let registry = register_sources(&w.server, &hosts);
     println!(
@@ -23,7 +27,11 @@ fn main() {
     );
     let engine = VerticalEngine::new(&w.server, registry);
 
-    for query in ["used honda civic", "senior nurse springfield", "sigmod innovations award mit professor"] {
+    for query in [
+        "used honda civic",
+        "senior nurse springfield",
+        "sigmod innovations award mit professor",
+    ] {
         w.server.reset_counts();
         let (hits, stats) = engine.answer(query, 3);
         println!(

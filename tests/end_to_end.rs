@@ -16,7 +16,10 @@ fn surfacing_pipeline_populates_index() {
     let kinds = |k: DocKind| sys.index.docs().iter().filter(|d| d.kind == k).count();
     assert!(kinds(DocKind::Surface) > 5, "surface pages indexed");
     assert!(kinds(DocKind::Surfaced) > 5, "surfaced pages indexed");
-    assert!(kinds(DocKind::Discovered) > 0, "link-discovered pages indexed");
+    assert!(
+        kinds(DocKind::Discovered) > 0,
+        "link-discovered pages indexed"
+    );
 }
 
 #[test]
@@ -54,7 +57,10 @@ fn tail_record_content_is_findable() {
             return;
         }
     }
-    assert!(checked > 0, "no surfaced record content findable via search");
+    assert!(
+        checked > 0,
+        "no surfaced record content findable via search"
+    );
 }
 
 #[test]
@@ -74,7 +80,13 @@ fn surfaced_urls_resolve_to_fresh_content() {
     // "when the user clicks on the URL, she will see fresh content" — every
     // indexed surfaced URL must still be servable.
     let mut checked = 0;
-    for d in sys.index.docs().iter().filter(|d| d.kind == DocKind::Surfaced).take(20) {
+    for d in sys
+        .index
+        .docs()
+        .iter()
+        .filter(|d| d.kind == DocKind::Surfaced)
+        .take(20)
+    {
         let resp = sys.world.server.fetch(&d.url);
         assert!(resp.is_ok(), "surfaced url {} no longer serves", d.url);
         checked += 1;

@@ -19,5 +19,8 @@ fn all_experiments_produce_tables() {
     total_tables += ex::e11_annotations::run(Scale::Smoke).0.len();
     total_tables += ex::e12_extraction::run(Scale::Smoke).0.len();
     total_tables += ex::e13_scenarios::run(Scale::Smoke).0.len();
-    assert!(total_tables >= 13, "every experiment renders at least one table");
+    assert!(
+        total_tables >= 13,
+        "every experiment renders at least one table"
+    );
 }

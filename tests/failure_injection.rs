@@ -25,8 +25,14 @@ impl Fetcher for HostileFetcher {
                        <p>a < b > c <table><tr><td>x"
                     .into(),
             }),
-            "empty.sim" => Ok(Response { status: 200, html: String::new() }),
-            _ => Err(Error::Http { status: 500, url: url.to_string() }),
+            "empty.sim" => Ok(Response {
+                status: 200,
+                html: String::new(),
+            }),
+            _ => Err(Error::Http {
+                status: 500,
+                url: url.to_string(),
+            }),
         }
     }
 }
@@ -56,7 +62,11 @@ fn malformed_form_pages_analyzed_without_panic() {
 #[test]
 fn post_only_web_surfaces_nothing_but_reports() {
     use deepweb::webworld::{generate, WebConfig};
-    let w = generate(&WebConfig { num_sites: 6, post_fraction: 1.0, ..WebConfig::default() });
+    let w = generate(&WebConfig {
+        num_sites: 6,
+        post_fraction: 1.0,
+        ..WebConfig::default()
+    });
     let outcome = crawl_and_surface(
         &w.server,
         &[Url::new("dir.sim", "/")],

@@ -6,8 +6,38 @@
 //! so one batch takes roughly a millisecond, then reports per-iteration
 //! min/median/mean across `sample_size` samples. Results are printed to
 //! stdout; there is no HTML report, statistical regression, or plotting.
+//!
+//! Machine-readable output: when the `CRITERION_JSON` environment variable
+//! names a file, every benchmark appends one JSON line
+//! `{"bench_id":…,"min_ns":…,"median_ns":…,"mean_ns":…,"samples":…}` to it
+//! (append mode, so `cargo bench` runs — one process per bench binary —
+//! accumulate into a single artifact, the `BENCH_<date>.json` trajectory
+//! files in CI). [`Criterion::final_summary`] additionally prints a per-run
+//! summary table of everything measured by the current process.
 
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's measured statistics (per-iteration nanoseconds).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id as passed to `bench_function`.
+    pub bench_id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Every result measured by this process, in run order — the registry
+/// `final_summary` prints. Global because `criterion_group!` constructs one
+/// `Criterion` per group but the summary covers the whole run.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
 /// Benchmark driver. Collects configuration and runs benchmark functions.
 #[derive(Debug)]
@@ -18,7 +48,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
     }
 }
 
@@ -41,17 +74,106 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: Vec::new(), config: BenchConfig {
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-        }};
+        let mut b = Bencher {
+            samples: Vec::new(),
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+            },
+        };
         f(&mut b);
-        b.report(id);
+        match b.result(id) {
+            Some(result) => {
+                println!(
+                    "{:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+                    result.bench_id,
+                    fmt_ns(result.min_ns),
+                    fmt_ns(result.median_ns),
+                    fmt_ns(result.mean_ns),
+                    result.samples
+                );
+                if let Some(path) = json_path() {
+                    append_json_line(&path, &result);
+                }
+                RESULTS
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(result);
+            }
+            None => println!("{id:<40} (no samples — iter was never called)"),
+        }
         self
     }
 
-    /// Called by `criterion_main!` after all groups have run.
-    pub fn final_summary(&self) {}
+    /// Called by `criterion_main!` after all groups have run: print a
+    /// summary table of every benchmark this process measured (one artifact
+    /// for humans; the `CRITERION_JSON` file is the one for tools, flushed
+    /// line-by-line as benches complete).
+    pub fn final_summary(&self) {
+        let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+        if results.is_empty() {
+            return;
+        }
+        println!();
+        println!("summary ({} benchmarks)", results.len());
+        println!(
+            "{:<40} {:>12} {:>12} {:>12} {:>9}",
+            "bench_id", "min", "median", "mean", "samples"
+        );
+        for r in results.iter() {
+            println!(
+                "{:<40} {:>12} {:>12} {:>12} {:>9}",
+                r.bench_id,
+                fmt_ns(r.min_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.mean_ns),
+                r.samples
+            );
+        }
+        if let Some(path) = json_path() {
+            println!("(json lines appended to {path})");
+        }
+    }
+}
+
+fn json_path() -> Option<String> {
+    std::env::var("CRITERION_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+/// Append one JSON line for `result`; I/O errors are reported to stderr but
+/// never fail the bench run.
+fn append_json_line(path: &str, result: &BenchResult) {
+    let line = format!(
+        "{{\"bench_id\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}\n",
+        escape_json(&result.bench_id),
+        result.min_ns,
+        result.median_ns,
+        result.mean_ns,
+        result.samples
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()).and_then(|()| f.flush()));
+    if let Err(e) = written {
+        eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -89,27 +211,25 @@ impl Bencher {
             for _ in 0..batch {
                 std::hint::black_box(routine());
             }
-            self.samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
     }
 
-    fn report(&self, id: &str) {
+    /// Reduce the samples to a [`BenchResult`]; `None` if `iter` never ran.
+    fn result(&self, id: &str) -> Option<BenchResult> {
         if self.samples.is_empty() {
-            println!("{id:<40} (no samples — iter was never called)");
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let min = sorted[0];
-        let median = sorted[sorted.len() / 2];
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        println!(
-            "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
-            fmt_ns(min),
-            fmt_ns(median),
-            fmt_ns(mean),
-            sorted.len()
-        );
+        Some(BenchResult {
+            bench_id: id.to_string(),
+            min_ns: sorted[0],
+            median_ns: sorted[sorted.len() / 2],
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            samples: sorted.len(),
+        })
     }
 }
 
@@ -149,12 +269,47 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define the bench entry point running each group in order.
+/// Define the bench entry point: run each group in order, then print the
+/// whole-run summary table.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::Criterion::default().final_summary();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain_id"), "plain_id");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn bench_function_records_into_registry_and_json() {
+        let dir = std::env::temp_dir().join(format!("criterion-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        std::env::set_var("CRITERION_JSON", &path);
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .bench_function("stub_smoke", |b| b.iter(|| black_box(1 + 1)));
+        std::env::remove_var("CRITERION_JSON");
+        let logged = RESULTS.lock().unwrap();
+        let rec = logged.iter().find(|r| r.bench_id == "stub_smoke").unwrap();
+        assert_eq!(rec.samples, 2);
+        assert!(rec.min_ns > 0.0 && rec.min_ns <= rec.mean_ns * 2.0);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench_id\":\"stub_smoke\""));
+        assert!(json.contains("\"samples\":2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

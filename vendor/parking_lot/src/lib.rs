@@ -1,9 +1,10 @@
 //! Minimal stand-in for the subset of `parking_lot` used by this workspace:
 //! `Mutex`/`RwLock` with non-poisoning guards, backed by `std::sync`.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+// Guard types are parking_lot's public vocabulary too; the stub re-exports
+// std's (non-poisoning acquisition happens in `lock`/`read`/`write`).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock()` never returns a poison error (matches the
 /// parking_lot API; a panicked holder just releases the lock).

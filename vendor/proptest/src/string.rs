@@ -68,8 +68,8 @@ impl RegexGen {
                                 return Err(format!("unsupported \\P{:?}", chars.get(i)));
                             }
                         }
-                        '.' | '\\' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?'
-                        | '/' | '-' => Element::Literal(c),
+                        '.' | '\\' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '/'
+                        | '-' => Element::Literal(c),
                         other => return Err(format!("unsupported escape \\{other}")),
                     }
                 }
@@ -181,7 +181,10 @@ fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), S
 }
 
 fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
-    let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
     let mut pick = rng.below(total);
     for &(lo, hi) in ranges {
         let span = hi as u64 - lo as u64 + 1;

@@ -12,14 +12,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config running `cases` successful cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
@@ -48,7 +54,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { state: h ^ 0x5EED_5EED_5EED_5EED }
+        TestRng {
+            state: h ^ 0x5EED_5EED_5EED_5EED,
+        }
     }
 
     /// Next 64 random bits.
