@@ -1,10 +1,13 @@
 //! E1 bench: regenerates the long-tail tables, then times query serving
-//! (the paper's ">1000 qps" headline is a serving-throughput claim).
+//! (the paper's ">1000 qps" headline is a serving-throughput claim) —
+//! single-query, then a Zipf batch through the broker at 1 vs 4 workers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};
+use deepweb_common::derive_rng;
 use deepweb_core::experiments::e01_longtail;
 use deepweb_core::{quick_config, DeepWebSystem};
+use deepweb_queries::{generate_workload, WorkloadConfig};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -13,6 +16,24 @@ fn bench(c: &mut Criterion) {
     let sys = DeepWebSystem::build(&quick_config(8));
     c.bench_function("e01_serve_query", |b| {
         b.iter(|| black_box(sys.search(black_box("used honda civic springfield"), 10)))
+    });
+    // Batched serving: same batch, sequential broker vs 4 workers. Output
+    // equality is enforced by the determinism tests; only wall-clock
+    // differs here (read the speedup off multi-core CI runners).
+    let wl = generate_workload(
+        &sys.world,
+        &WorkloadConfig {
+            distinct: 200,
+            ..Default::default()
+        },
+    );
+    let mut rng = derive_rng(23, "e01-bench-batch");
+    let batch = wl.sample_batch(256, &mut rng);
+    c.bench_function("e01_serve_batch_w1", |b| {
+        b.iter(|| black_box(sys.search_batch(&batch, 10, 1)))
+    });
+    c.bench_function("e01_serve_batch_w4", |b| {
+        b.iter(|| black_box(sys.search_batch(&batch, 10, 4)))
     });
 }
 

@@ -112,6 +112,18 @@ impl ThreadPool {
         out.sort_unstable_by_key(|&(i, _)| i);
         out.into_iter().map(|(_, u)| u).collect()
     }
+
+    /// Apply `f` to every index in `0..n`, in parallel, returning results in
+    /// index order — [`ThreadPool::map`] without materialising the inputs.
+    /// This is what batch serving uses to fan out over a borrowed slice of
+    /// queries without cloning them into the task queue.
+    pub fn map_indices<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.map((0..n).collect(), |_, i| f(i))
+    }
 }
 
 /// Pop from the worker's own queue, else steal from a neighbour. `None` only
@@ -228,6 +240,17 @@ mod tests {
         });
         assert_eq!(ran.load(Ordering::SeqCst), 40);
         assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indices_covers_range_in_order() {
+        let data = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        for workers in [1, 3, 8] {
+            let pool = ThreadPool::new(workers);
+            let out = pool.map_indices(data.len(), |i| data[i] * 10);
+            assert_eq!(out, data.iter().map(|x| x * 10).collect::<Vec<_>>());
+        }
+        assert!(ThreadPool::new(4).map_indices(0, |i| i).is_empty());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! serve keyword queries — the full loop the paper's production system runs.
 
 use deepweb_common::{ThreadPool, Url, DEFAULT_SEED};
-use deepweb_index::{search, Annotation, BatchDoc, DocKind, Hit, SearchIndex, SearchOptions};
+use deepweb_index::{
+    search, Annotation, BatchDoc, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions,
+};
 use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
 use deepweb_webworld::{generate, WebConfig, World};
 
@@ -138,6 +140,20 @@ impl DeepWebSystem {
     pub fn search_with(&self, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
         search(&self.index, query, k, opts)
     }
+
+    /// A concurrent serving broker over this system's index and options,
+    /// fanning out across `workers` pool threads (DESIGN.md §9).
+    pub fn broker(&self, workers: usize) -> QueryBroker<'_> {
+        QueryBroker::new(&self.index, ThreadPool::new(workers), self.options)
+    }
+
+    /// Serve a batch of queries concurrently over `workers` threads. One
+    /// result list per query, in batch order — byte-identical to calling
+    /// [`DeepWebSystem::search`] per query, at any worker count (the E1
+    /// ">1000 qps" serving path).
+    pub fn search_batch(&self, queries: &[String], k: usize, workers: usize) -> Vec<Vec<Hit>> {
+        self.broker(workers).search_batch(queries, k)
+    }
 }
 
 /// Default seed re-export for examples.
@@ -168,6 +184,30 @@ mod tests {
             let q = format!("{} {}", toks[0], toks[1]);
             let _ = sys.search(&q, 5);
         }
+    }
+
+    #[test]
+    fn search_batch_equals_sequential_serving() {
+        let sys = DeepWebSystem::build(&quick_config(6));
+        let queries: Vec<String> = [
+            "honda civic",
+            "used ford focus 1993",
+            "",
+            "restaurants springfield",
+            "zzz no such term",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let expected: Vec<Vec<Hit>> = queries.iter().map(|q| sys.search(q, 5)).collect();
+        for workers in [1, 2, 4] {
+            assert_eq!(
+                sys.search_batch(&queries, 5, workers),
+                expected,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(sys.broker(2).workers(), 2);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Concurrent query serving (DESIGN.md §9): a [`QueryBroker`] fans batches
+//! of queries across the work-stealing pool and scatter-gathers per-shard
+//! candidates for single queries — the paper's ">1000 queries per second"
+//! serving path (§3.2), built determinism-first.
+//!
+//! Both modes are byte-identical to the sequential [`search`] reference for
+//! every query:
+//!
+//! - **Batch mode** runs the sequential searcher itself on every query; only
+//!   *which thread* runs a query varies, and results are reassembled in
+//!   batch order.
+//! - **Scatter mode** splits a query's distinct terms by owning term shard,
+//!   computes each shard's candidate `(doc, contribution)` lists in parallel
+//!   with the same scoring kernel the sequential path uses, then folds the
+//!   candidates back **in query-term order** — the exact floating-point
+//!   accumulation order of the sequential searcher — before one
+//!   deterministic top-k selection.
+
+use crate::analysis::analyze_query;
+use crate::index::SearchIndex;
+use crate::searcher::{accumulate_term, apply_annotations, search, top_k_hits, Hit, SearchOptions};
+use deepweb_common::ids::DocId;
+use deepweb_common::{FxHashMap, ThreadPool};
+
+/// One term's scored candidates, tagged with the term's position in the
+/// query's distinct-term order (the gather key).
+type TermCandidates = (usize, Vec<(DocId, f64)>);
+
+/// A concurrent query-serving front end over one [`SearchIndex`].
+///
+/// The broker is `Sync`: one instance can be hammered from many OS threads
+/// at once (the index is immutable at serve time and the pool is scoped per
+/// call), which is exactly what the concurrency stress tests do.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryBroker<'a> {
+    index: &'a SearchIndex,
+    pool: ThreadPool,
+    opts: SearchOptions,
+}
+
+impl<'a> QueryBroker<'a> {
+    /// A broker over `index` serving with `pool` workers and `opts` scoring.
+    pub fn new(index: &'a SearchIndex, pool: ThreadPool, opts: SearchOptions) -> Self {
+        QueryBroker { index, pool, opts }
+    }
+
+    /// The served index.
+    pub fn index(&self) -> &'a SearchIndex {
+        self.index
+    }
+
+    /// Worker count of the serving pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Scoring options used for every query.
+    pub fn options(&self) -> SearchOptions {
+        self.opts
+    }
+
+    /// Serve a batch of queries concurrently, one result list per query, in
+    /// batch order. Each worker runs the sequential [`search`] unchanged, so
+    /// the result is byte-identical to calling it per query — at any worker
+    /// count.
+    pub fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<Hit>> {
+        self.pool.map_indices(queries.len(), |qi| {
+            search(self.index, &queries[qi], k, self.opts)
+        })
+    }
+
+    /// Serve one query by scattering its distinct terms across the postings'
+    /// term shards, computing per-shard candidate lists in parallel, and
+    /// gathering with a deterministic merge (query-term accumulation order,
+    /// then top-k with the explicit score-desc / doc-id-asc tie-break).
+    ///
+    /// Byte-identical to [`search`] for any worker count and any shard
+    /// count, enforced by unit tests and the serving proptest.
+    pub fn search_scatter(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = analyze_query(query);
+        if terms.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let postings = self.index.postings();
+        let avg_len = postings.avg_doc_len().max(1.0);
+        let uniq = crate::searcher::unique_terms(&terms);
+        // Scatter: group distinct-term indices by owning shard. Grouping is
+        // a pure function of term text, so the fan-out is stable.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); postings.num_shards()];
+        for (ti, term) in uniq.iter().enumerate() {
+            groups[postings.shard_for(term)].push(ti);
+        }
+        groups.retain(|g| !g.is_empty());
+        let opts = self.opts;
+        let uniq_ref = &uniq;
+        let per_group: Vec<Vec<TermCandidates>> = self.pool.map(groups, move |_, group| {
+            group
+                .into_iter()
+                .map(|ti| {
+                    let mut cands: Vec<(DocId, f64)> = Vec::new();
+                    accumulate_term(postings, uniq_ref[ti], opts.bm25, avg_len, |doc, c| {
+                        cands.push((doc, c))
+                    });
+                    (ti, cands)
+                })
+                .collect()
+        });
+        // Gather: reorder candidate lists back to query-term order, then
+        // fold — the same `scores[doc] += c` sequence the sequential path
+        // executes, so every f64 comes out bit-identical.
+        let mut by_term: Vec<Vec<(DocId, f64)>> = (0..uniq.len()).map(|_| Vec::new()).collect();
+        for group in per_group {
+            for (ti, cands) in group {
+                by_term[ti] = cands;
+            }
+        }
+        let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
+        for cands in by_term {
+            for (doc, c) in cands {
+                *scores.entry(doc).or_insert(0.0) += c;
+            }
+        }
+        if opts.use_annotations {
+            apply_annotations(self.index, &terms, &mut scores);
+        }
+        top_k_hits(scores, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docstore::DocKind;
+    use deepweb_common::Url;
+
+    fn build(shards: usize) -> SearchIndex {
+        let mut idx = SearchIndex::with_shards(shards);
+        let docs = [
+            ("a.sim", "honda civics", "1993 honda civic great mileage"),
+            (
+                "b.sim",
+                "ford focus listings",
+                "used ford focus 1993 low price",
+            ),
+            (
+                "c.sim",
+                "cooking blog",
+                "recipes and stories and ford trivia",
+            ),
+            (
+                "d.sim",
+                "car digest",
+                "honda accord versus ford focus review",
+            ),
+        ];
+        for (host, title, text) in docs {
+            idx.add(
+                Url::new(host, "/p"),
+                title.into(),
+                text.into(),
+                DocKind::Surface,
+                None,
+                vec![],
+            );
+        }
+        idx
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_any_worker_count() {
+        let idx = build(8);
+        let queries: Vec<String> = [
+            "honda civic",
+            "used ford focus 1993",
+            "recipes",
+            "",
+            "zzz nothing",
+            "ford honda review",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = SearchOptions::default();
+        let expected: Vec<Vec<Hit>> = queries.iter().map(|q| search(&idx, q, 3, opts)).collect();
+        for workers in [1, 2, 4, 8] {
+            let broker = QueryBroker::new(&idx, ThreadPool::new(workers), opts);
+            assert_eq!(broker.search_batch(&queries, 3), expected, "w={workers}");
+        }
+    }
+
+    #[test]
+    fn scatter_matches_sequential_for_any_shard_and_worker_count() {
+        for shards in [1, 2, 8, 19] {
+            let idx = build(shards);
+            for workers in [1, 2, 4] {
+                let broker =
+                    QueryBroker::new(&idx, ThreadPool::new(workers), SearchOptions::default());
+                for q in ["honda civic", "used ford focus 1993", "ford", "", "zzz"] {
+                    assert_eq!(
+                        broker.search_scatter(q, 10),
+                        search(&idx, q, 10, SearchOptions::default()),
+                        "shards={shards} workers={workers} q={q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_respects_annotations() {
+        let mut idx = SearchIndex::with_shards(8);
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "honda civics".into(),
+            "1993 honda civic mentions the ford focus".into(),
+            DocKind::Surfaced,
+            None,
+            vec![crate::docstore::Annotation {
+                key: "make".into(),
+                value: "honda".into(),
+            }],
+        );
+        idx.add(
+            Url::new("b.sim", "/2"),
+            "ford focus".into(),
+            "used ford focus 1993".into(),
+            DocKind::Surfaced,
+            None,
+            vec![crate::docstore::Annotation {
+                key: "make".into(),
+                value: "ford".into(),
+            }],
+        );
+        let opts = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
+        let broker = QueryBroker::new(&idx, ThreadPool::new(2), opts);
+        let q = "used ford focus 1993";
+        assert_eq!(broker.search_scatter(q, 10), search(&idx, q, 10, opts));
+        assert_eq!(
+            broker.search_batch(&[q.to_string()], 10)[0],
+            search(&idx, q, 10, opts)
+        );
+    }
+
+    #[test]
+    fn top_k_ties_across_shards_break_by_doc_id() {
+        // Two docs, one term each, identical tf and doc length: their BM25
+        // scores are exactly equal. Pick term names that land in different
+        // shards so the tie is genuinely cross-shard, then assert the merge
+        // prefers the lower doc id at every k.
+        let mut idx = SearchIndex::with_shards(8);
+        let probe = SearchIndex::with_shards(8);
+        let shard = |t: &str| probe.postings().shard_for(t);
+        let words = [
+            "alpha", "bravo", "carol", "delta", "echo1", "fox", "golf", "hotel",
+        ];
+        let (w1, w2) = {
+            let mut found = ("alpha", "bravo");
+            'outer: for a in words {
+                for b in words {
+                    if a != b && shard(a) != shard(b) {
+                        found = (a, b);
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        assert_ne!(shard(w1), shard(w2), "need a cross-shard pair");
+        idx.add(
+            Url::new("a.sim", "/1"),
+            String::new(),
+            w1.to_string(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        idx.add(
+            Url::new("b.sim", "/2"),
+            String::new(),
+            w2.to_string(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        let broker = QueryBroker::new(&idx, ThreadPool::new(2), SearchOptions::default());
+        let q = format!("{w1} {w2}");
+        let full = broker.search_scatter(&q, 10);
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[0].score, full[1].score, "scores must tie exactly");
+        assert_eq!(full[0].doc, DocId(0), "tie breaks to the lower doc id");
+        // k=1 keeps the same winner: the heap eviction tie-break agrees
+        // with the final sort's.
+        let top1 = broker.search_scatter(&q, 1);
+        assert_eq!(top1, vec![full[0]]);
+        assert_eq!(search(&idx, &q, 1, SearchOptions::default()), top1);
+    }
+}

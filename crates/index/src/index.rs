@@ -4,7 +4,7 @@
 
 use crate::analysis::analyze;
 use crate::docstore::{Annotation, DocKind, DocStore, StoredDoc};
-use crate::postings::Postings;
+use crate::postings::{Postings, ShardedPostings};
 use deepweb_common::ids::{DocId, SiteId};
 use deepweb_common::{FxHashMap, FxHashSet, ThreadPool, Url};
 
@@ -26,19 +26,32 @@ pub struct BatchDoc {
     pub annotations: Vec<Annotation>,
 }
 
-/// An in-memory search index.
+/// An in-memory search index. Postings are term-hash sharded
+/// ([`ShardedPostings`]) so the concurrent serving path can scatter query
+/// terms across shards; the shard count is a build-time layout choice that
+/// never changes ranking (DESIGN.md §9).
 #[derive(Default, Clone, Debug)]
 pub struct SearchIndex {
     docs: DocStore,
-    postings: Postings,
+    postings: ShardedPostings,
     by_url: FxHashMap<String, DocId>,
     facet_values: FxHashMap<String, FxHashSet<String>>,
 }
 
 impl SearchIndex {
-    /// Create an empty index.
+    /// Create an empty index with the default term-shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty index with an explicit term-shard count (clamped to
+    /// ≥ 1). Ranking is shard-count independent; this only tunes how wide
+    /// the broker's scatter path can fan out.
+    pub fn with_shards(shards: usize) -> Self {
+        SearchIndex {
+            postings: ShardedPostings::new(shards),
+            ..Self::default()
+        }
     }
 
     /// Add a document. Returns the existing id if the URL was already
@@ -81,8 +94,8 @@ impl SearchIndex {
     /// The batch is deduplicated sequentially (URL identity, first occurrence
     /// wins), split into contiguous shards of fresh documents, analysed and
     /// indexed into per-shard postings in parallel, then merged in shard
-    /// order via [`Postings::absorb`] — so the resulting index is identical
-    /// to the sequential loop for any worker count.
+    /// order via [`ShardedPostings::absorb`] — so the resulting index is
+    /// identical to the sequential loop for any worker count.
     pub fn add_batch(&mut self, pool: &ThreadPool, batch: Vec<BatchDoc>) -> Vec<DocId> {
         // 1. Sequential dedup + id assignment in batch order.
         let mut ids = Vec::with_capacity(batch.len());
@@ -175,8 +188,8 @@ impl SearchIndex {
         self.docs.get(id)
     }
 
-    /// The postings lists.
-    pub fn postings(&self) -> &Postings {
+    /// The term-hash sharded postings.
+    pub fn postings(&self) -> &ShardedPostings {
         &self.postings
     }
 

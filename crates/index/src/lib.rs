@@ -12,13 +12,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod broker;
 pub mod docstore;
 pub mod index;
 pub mod postings;
 pub mod searcher;
 pub mod snippet;
 
+pub use broker::QueryBroker;
 pub use docstore::{Annotation, DocKind, DocStore, StoredDoc};
 pub use index::{BatchDoc, IndexStats, SearchIndex};
-pub use searcher::{search, Bm25Params, Hit, SearchOptions};
+pub use postings::{Posting, Postings, ShardedPostings};
+pub use searcher::{search, top_k_hits, Bm25Params, Hit, SearchOptions};
 pub use snippet::snippet;

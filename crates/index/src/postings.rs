@@ -3,9 +3,21 @@
 //! Postings are kept sorted by doc id (documents are appended in id order, so
 //! this is free) and term frequencies are u32. No positions — snippets re-scan
 //! stored text, which is cheaper than positional postings at this scale.
+//!
+//! Two layouts live here: the flat [`Postings`] (the contiguous build unit
+//! the parallel index builder produces per doc range) and the serving-side
+//! [`ShardedPostings`], which partitions the term dictionary by term hash so
+//! concurrent readers touch disjoint shards and a broker can scatter a
+//! query's terms across shards (DESIGN.md §9).
 
 use deepweb_common::ids::DocId;
-use deepweb_common::Interner;
+use deepweb_common::{shard_of, Interner};
+
+/// BM25 inverse document frequency, shared by both postings layouts — one
+/// copy of the formula so a tuning change can never diverge them.
+fn bm25_idf(num_docs: f64, df: f64) -> f64 {
+    ((num_docs - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
 
 /// One posting: a document and the term's frequency in it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,9 +114,7 @@ impl Postings {
 
     /// BM25 inverse document frequency of `term`.
     pub fn idf(&self, term: &str) -> f64 {
-        let n = self.num_docs() as f64;
-        let df = self.df(term) as f64;
-        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+        bm25_idf(self.num_docs() as f64, self.df(term) as f64)
     }
 
     /// Append a shard's postings built over doc-local ids `0..shard.num_docs()`:
@@ -145,6 +155,211 @@ impl Postings {
             merged.absorb(shard);
         }
         merged
+    }
+}
+
+/// Default number of term-hash shards for [`ShardedPostings`].
+///
+/// Fixed (not derived from the machine) so the index layout — and therefore
+/// the canonical scoring order — is identical on every host and at every
+/// worker count.
+pub const DEFAULT_TERM_SHARDS: usize = 8;
+
+/// One term-hash shard: its own interner plus the postings lists of exactly
+/// the terms hashing to it. Doc lengths are global, so shards hold no
+/// per-document state.
+#[derive(Default, Clone, Debug)]
+struct TermShard {
+    terms: Interner,
+    lists: Vec<Vec<Posting>>,
+}
+
+impl TermShard {
+    fn push(&mut self, term: &str, posting: Posting) {
+        let sym = self.terms.intern(term);
+        if sym.0 as usize == self.lists.len() {
+            self.lists.push(Vec::new());
+        }
+        self.lists[sym.0 as usize].push(posting);
+    }
+
+    fn postings(&self, term: &str) -> &[Posting] {
+        match self.terms.get(term) {
+            Some(sym) => &self.lists[sym.0 as usize],
+            None => &[],
+        }
+    }
+}
+
+/// Postings partitioned by term hash (`shard_of`, fixed seed — stable across
+/// runs and platforms), the layout the concurrent serving path reads.
+///
+/// Every term lives in exactly one shard, so point lookups route directly
+/// and a query broker can scatter the distinct terms of a query across
+/// shards with no cross-shard coordination. Whole-dictionary reads go
+/// through [`ShardedPostings::iter_terms`], a merged iterator that yields a
+/// shard-count-independent order.
+///
+/// Determinism: shard assignment is a pure function of the term, and within
+/// a shard both interning order and each list's doc order replay the global
+/// document-arrival order restricted to that shard — whether documents are
+/// added one by one ([`ShardedPostings::add_document`]) or absorbed from
+/// contiguous doc-range build shards in range order
+/// ([`ShardedPostings::absorb`]). Two builds of the same corpus are
+/// therefore byte-identical, at any worker count.
+#[derive(Clone, Debug)]
+pub struct ShardedPostings {
+    shards: Vec<TermShard>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl Default for ShardedPostings {
+    fn default() -> Self {
+        ShardedPostings::new(DEFAULT_TERM_SHARDS)
+    }
+}
+
+impl ShardedPostings {
+    /// Empty postings with `shards` term-hash shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedPostings {
+            shards: (0..shards.max(1)).map(|_| TermShard::default()).collect(),
+            doc_len: Vec::new(),
+            total_len: 0,
+        }
+    }
+
+    /// Number of term shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `term` (pure function of the term text).
+    pub fn shard_for(&self, term: &str) -> usize {
+        shard_of(term, self.shards.len())
+    }
+
+    /// Add a document's term multiset. `doc` must be the next id in sequence
+    /// (postings stay doc-sorted for free, exactly like [`Postings`]).
+    pub fn add_document(&mut self, doc: DocId, terms: &[String]) {
+        assert_eq!(
+            doc.as_usize(),
+            self.doc_len.len(),
+            "documents must be added in id order"
+        );
+        self.doc_len.push(terms.len() as u32);
+        self.total_len += terms.len() as u64;
+        let mut counts: deepweb_common::FxHashMap<&str, u32> = deepweb_common::FxHashMap::default();
+        for t in terms {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut items: Vec<(&str, u32)> = counts.into_iter().collect();
+        items.sort_unstable();
+        for (term, tf) in items {
+            let shard = self.shard_for(term);
+            self.shards[shard].push(term, Posting { doc, tf });
+        }
+    }
+
+    /// Absorb a contiguous doc-range build shard (a flat [`Postings`] over
+    /// doc-local ids `0..shard.num_docs()`); its documents become ids
+    /// `self.num_docs()..` here.
+    ///
+    /// Build shards must be absorbed in range order. The flat shard's
+    /// interner records global first-appearance order within its range, so
+    /// walking it routes each (term, posting) to its term shard in exactly
+    /// the order the sequential [`ShardedPostings::add_document`] path would
+    /// have — same interning order, same doc-sorted lists.
+    pub fn absorb(&mut self, shard: Postings) {
+        let offset = self.doc_len.len() as u32;
+        let num_shards = self.shards.len();
+        self.total_len += shard.total_len;
+        self.doc_len.extend_from_slice(&shard.doc_len);
+        for (local_sym, term) in shard.terms.iter() {
+            // Intern once per term, then bulk-extend its list — not once per
+            // posting (this runs on every parallel index build's merge).
+            let target = &mut self.shards[shard_of(term, num_shards)];
+            let sym = target.terms.intern(term);
+            if sym.0 as usize == target.lists.len() {
+                target.lists.push(Vec::new());
+            }
+            target.lists[sym.0 as usize].extend(shard.lists[local_sym.0 as usize].iter().map(
+                |p| Posting {
+                    doc: DocId(p.doc.0 + offset),
+                    tf: p.tf,
+                },
+            ));
+        }
+    }
+
+    /// Postings for a term (empty if unseen) — a single-shard point lookup.
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.shards[self.shard_for(term)].postings(term)
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Number of distinct terms (sum over shards; shards are disjoint).
+    pub fn num_terms(&self) -> usize {
+        self.shards.iter().map(|s| s.terms.len()).sum()
+    }
+
+    /// Length (token count) of a document.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_len[doc.as_usize()]
+    }
+
+    /// Mean document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Total number of postings entries (index size proxy).
+    pub fn num_postings(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lists.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// BM25 inverse document frequency of `term`.
+    pub fn idf(&self, term: &str) -> f64 {
+        bm25_idf(self.num_docs() as f64, self.df(term) as f64)
+    }
+
+    /// Terms owned by one shard, in that shard's interning order.
+    pub fn shard_terms(&self, shard: usize) -> impl Iterator<Item = &str> {
+        self.shards[shard].terms.iter().map(|(_, t)| t)
+    }
+
+    /// Merged whole-dictionary read path: every `(term, postings)` pair,
+    /// lexicographically sorted — the same sequence for any shard count, so
+    /// dictionary scans stay deterministic under resharding.
+    pub fn iter_terms(&self) -> impl Iterator<Item = (&str, &[Posting])> {
+        let mut merged: Vec<(&str, &[Posting])> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.terms
+                    .iter()
+                    .map(|(sym, t)| (t, s.lists[sym.0 as usize].as_slice()))
+            })
+            .collect();
+        merged.sort_unstable_by_key(|&(t, _)| t);
+        merged.into_iter()
     }
 }
 
@@ -249,5 +464,141 @@ mod tests {
                 tf: 1
             }]
         );
+    }
+
+    // --- ShardedPostings ---
+
+    fn sharded_sample(shards: usize) -> ShardedPostings {
+        let mut p = ShardedPostings::new(shards);
+        p.add_document(DocId(0), &["honda".into(), "civic".into(), "honda".into()]);
+        p.add_document(DocId(1), &["ford".into(), "focus".into()]);
+        p.add_document(DocId(2), &["honda".into(), "accord".into()]);
+        p
+    }
+
+    #[test]
+    fn sharded_matches_flat_stats_and_lookups() {
+        let flat = sample();
+        for shards in [1, 2, 8, 32] {
+            let p = sharded_sample(shards);
+            assert_eq!(p.num_docs(), flat.num_docs());
+            assert_eq!(p.num_terms(), flat.num_terms());
+            assert_eq!(p.num_postings(), flat.num_postings());
+            assert_eq!(p.doc_len(DocId(0)), flat.doc_len(DocId(0)));
+            assert!((p.avg_doc_len() - flat.avg_doc_len()).abs() < 1e-15);
+            for term in ["honda", "civic", "ford", "focus", "accord", "tesla"] {
+                assert_eq!(p.postings(term), flat.postings(term), "term {term:?}");
+                assert!((p.idf(term) - flat.idf(term)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_answer_lookups() {
+        // 5 distinct terms over 32 shards: most shards are empty. Lookups,
+        // stats and the merged iterator must all survive that.
+        let p = sharded_sample(32);
+        let empty_shards = (0..p.num_shards())
+            .filter(|&s| p.shard_terms(s).count() == 0)
+            .count();
+        assert!(empty_shards >= 32 - 5, "only {empty_shards} empty shards");
+        assert!(p.postings("absent").is_empty());
+        assert_eq!(p.df("absent"), 0);
+        assert_eq!(p.num_terms(), 5);
+        // An entirely empty sharded postings is also fine.
+        let e = ShardedPostings::new(4);
+        assert_eq!(e.num_docs(), 0);
+        assert_eq!(e.avg_doc_len(), 0.0);
+        assert!(e.postings("x").is_empty());
+        assert_eq!(e.iter_terms().count(), 0);
+    }
+
+    #[test]
+    fn single_doc_shard() {
+        let mut p = ShardedPostings::new(4);
+        p.add_document(DocId(0), &["lonely".into()]);
+        assert_eq!(p.num_docs(), 1);
+        assert_eq!(
+            p.postings("lonely"),
+            &[Posting {
+                doc: DocId(0),
+                tf: 1
+            }]
+        );
+        // Exactly one shard holds the term; the other three are empty.
+        let owner = p.shard_for("lonely");
+        for s in 0..p.num_shards() {
+            let n = p.shard_terms(s).count();
+            assert_eq!(n, usize::from(s == owner), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn every_term_lives_in_exactly_one_shard() {
+        let p = sharded_sample(8);
+        for term in ["honda", "civic", "ford", "focus", "accord"] {
+            let holders: Vec<usize> = (0..p.num_shards())
+                .filter(|&s| p.shard_terms(s).any(|t| t == term))
+                .collect();
+            assert_eq!(holders, vec![p.shard_for(term)], "term {term:?}");
+        }
+    }
+
+    #[test]
+    fn merged_iterator_is_shard_count_independent() {
+        let reference: Vec<(String, Vec<Posting>)> = sharded_sample(1)
+            .iter_terms()
+            .map(|(t, l)| (t.to_string(), l.to_vec()))
+            .collect();
+        assert_eq!(reference.len(), 5);
+        assert!(
+            reference.windows(2).all(|w| w[0].0 < w[1].0),
+            "merged iteration must be sorted"
+        );
+        for shards in [2, 3, 8, 17] {
+            let got: Vec<(String, Vec<Posting>)> = sharded_sample(shards)
+                .iter_terms()
+                .map(|(t, l)| (t.to_string(), l.to_vec()))
+                .collect();
+            assert_eq!(got, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_absorb_equals_sequential_adds() {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["honda".into(), "civic".into(), "honda".into()],
+            vec!["ford".into(), "focus".into()],
+            vec!["honda".into(), "accord".into()],
+            vec!["zip".into(), "ford".into()],
+            vec!["accord".into()],
+        ];
+        for shards in [1, 2, 8] {
+            let mut sequential = ShardedPostings::new(shards);
+            for (i, terms) in docs.iter().enumerate() {
+                sequential.add_document(DocId(i as u32), terms);
+            }
+            let mut absorbed = ShardedPostings::new(shards);
+            for range in [0..2, 2..3, 3..5] {
+                let mut build = Postings::new();
+                for (local, terms) in docs[range].iter().enumerate() {
+                    build.add_document(DocId(local as u32), terms);
+                }
+                absorbed.absorb(build);
+            }
+            // Byte-identical, interning order included.
+            assert_eq!(
+                format!("{sequential:?}"),
+                format!("{absorbed:?}"),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sharded_out_of_order_docs_rejected() {
+        let mut p = ShardedPostings::new(4);
+        p.add_document(DocId(1), &["x".into()]);
     }
 }

@@ -9,8 +9,9 @@
 
 use crate::analysis::analyze_query;
 use crate::index::SearchIndex;
+use crate::postings::ShardedPostings;
 use deepweb_common::ids::DocId;
-use deepweb_common::FxHashMap;
+use deepweb_common::{FxHashMap, FxHashSet};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -74,33 +75,46 @@ impl PartialOrd for HeapEntry {
 const ANNOTATION_BOOST: f64 = 1.5;
 const ANNOTATION_CONFLICT_PENALTY: f64 = 8.0;
 
-/// Execute `query` over `index`, returning the top `k` hits (score desc,
-/// doc id asc for ties).
-pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
-    let terms = analyze_query(query);
-    if terms.is_empty() || k == 0 {
-        return Vec::new();
+/// Distinct query terms in first-occurrence order — the canonical scoring
+/// order every serving path (sequential, batched, scattered) folds term
+/// contributions in, so floating-point accumulation is bit-identical
+/// everywhere.
+pub(crate) fn unique_terms(terms: &[String]) -> Vec<&str> {
+    let mut seen: FxHashSet<&str> = FxHashSet::default();
+    terms
+        .iter()
+        .map(String::as_str)
+        .filter(|t| seen.insert(t))
+        .collect()
+}
+
+/// Emit one term's BM25 contribution for every posting of `term`, in doc-id
+/// order. This is the single scoring kernel: the sequential searcher
+/// accumulates straight into its score map, while the broker's scatter path
+/// collects `(doc, contribution)` candidates per shard — both run this exact
+/// function, so their floating-point values are bit-identical.
+pub(crate) fn accumulate_term(
+    postings: &ShardedPostings,
+    term: &str,
+    bm25: Bm25Params,
+    avg_len: f64,
+    mut emit: impl FnMut(DocId, f64),
+) {
+    let idf = postings.idf(term);
+    for p in postings.postings(term) {
+        let dl = postings.doc_len(p.doc) as f64;
+        let tf = p.tf as f64;
+        let denom = tf + bm25.k1 * (1.0 - bm25.b + bm25.b * dl / avg_len);
+        emit(p.doc, idf * tf * (bm25.k1 + 1.0) / denom);
     }
-    let postings = index.postings();
-    let avg_len = postings.avg_doc_len().max(1.0);
-    let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
-    let mut seen = std::collections::BTreeSet::new();
-    for term in &terms {
-        if !seen.insert(term.clone()) {
-            continue; // duplicate query term
-        }
-        let idf = postings.idf(term);
-        for p in postings.postings(term) {
-            let dl = postings.doc_len(p.doc) as f64;
-            let tf = p.tf as f64;
-            let denom = tf + opts.bm25.k1 * (1.0 - opts.bm25.b + opts.bm25.b * dl / avg_len);
-            *scores.entry(p.doc).or_insert(0.0) += idf * tf * (opts.bm25.k1 + 1.0) / denom;
-        }
-    }
-    if opts.use_annotations {
-        apply_annotations(index, &terms, &mut scores);
-    }
-    // Top-k via a bounded min-heap.
+}
+
+/// Deterministic top-k selection over a score map: score descending, doc id
+/// ascending on ties. The tie-break is explicit at both stages — the bounded
+/// heap's eviction order and the final sort — so the result never depends on
+/// the score map's iteration order, and concurrent serving paths that build
+/// the same map in a different order return byte-identical hits.
+pub fn top_k_hits(scores: FxHashMap<DocId, f64>, k: usize) -> Vec<Hit> {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (doc, score) in scores {
         heap.push(HeapEntry(score, doc.0));
@@ -124,7 +138,33 @@ pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -
     hits
 }
 
-fn apply_annotations(index: &SearchIndex, terms: &[String], scores: &mut FxHashMap<DocId, f64>) {
+/// Execute `query` over `index`, returning the top `k` hits (score desc,
+/// doc id asc for ties). This is the sequential reference path every
+/// concurrent serving mode is tested against.
+pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
+    let terms = analyze_query(query);
+    if terms.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let postings = index.postings();
+    let avg_len = postings.avg_doc_len().max(1.0);
+    let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
+    for term in unique_terms(&terms) {
+        accumulate_term(postings, term, opts.bm25, avg_len, |doc, c| {
+            *scores.entry(doc).or_insert(0.0) += c;
+        });
+    }
+    if opts.use_annotations {
+        apply_annotations(index, &terms, &mut scores);
+    }
+    top_k_hits(scores, k)
+}
+
+pub(crate) fn apply_annotations(
+    index: &SearchIndex,
+    terms: &[String],
+    scores: &mut FxHashMap<DocId, f64>,
+) {
     let docs = index.docs();
     let facet_values = index.facet_values();
     for (doc, score) in scores.iter_mut() {

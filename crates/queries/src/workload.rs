@@ -43,6 +43,22 @@ impl Workload {
             .collect()
     }
 
+    /// Sample one serving batch: the texts of `size` Zipf-drawn queries, in
+    /// arrival order — the unit of work a front end hands a `QueryBroker`.
+    pub fn sample_batch(&self, size: usize, rng: &mut StdRng) -> Vec<String> {
+        self.stream(size, rng)
+            .into_iter()
+            .map(|id| self.query(id).text.clone())
+            .collect()
+    }
+
+    /// Sample `count` consecutive serving batches of `size` queries each
+    /// from one continuous Zipf stream (so head queries repeat across
+    /// batches, as they would in production traffic).
+    pub fn sample_batches(&self, count: usize, size: usize, rng: &mut StdRng) -> Vec<Vec<String>> {
+        (0..count).map(|_| self.sample_batch(size, rng)).collect()
+    }
+
     /// Query by id.
     pub fn query(&self, id: QueryId) -> &Query {
         &self.queries[id.as_usize()]
@@ -200,6 +216,31 @@ mod tests {
             "head share {}",
             head_hits as f64 / 5000.0
         );
+    }
+
+    #[test]
+    fn sample_batches_draw_real_queries_from_one_stream() {
+        let w = world();
+        let wl = generate_workload(
+            &w,
+            &WorkloadConfig {
+                distinct: 80,
+                ..Default::default()
+            },
+        );
+        let mut rng = derive_rng(9, "batches");
+        let batches = wl.sample_batches(5, 16, &mut rng);
+        assert_eq!(batches.len(), 5);
+        assert!(batches.iter().all(|b| b.len() == 16));
+        let known: std::collections::BTreeSet<&str> =
+            wl.queries.iter().map(|q| q.text.as_str()).collect();
+        for text in batches.iter().flatten() {
+            assert!(known.contains(text.as_str()), "unknown query {text:?}");
+        }
+        // Same seed replays the same batches; continuing the stream differs.
+        let mut rng2 = derive_rng(9, "batches");
+        assert_eq!(wl.sample_batches(5, 16, &mut rng2), batches);
+        assert_ne!(wl.sample_batch(16, &mut rng2), batches[0]);
     }
 
     #[test]

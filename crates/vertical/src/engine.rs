@@ -197,11 +197,15 @@ impl<'a> VerticalEngine<'a> {
                 }
             }
         }
+        // Fully explicit ordering (score desc, host asc, text asc): two hits
+        // from the same source can tie on score, and ranking must never
+        // lean on insertion order to separate them.
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.host.cmp(&b.host))
+                .then_with(|| a.text.cmp(&b.text))
         });
         hits.truncate(k);
         (hits, stats)

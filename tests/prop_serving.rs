@@ -1,0 +1,81 @@
+//! Property tests for concurrent serving: for random webworlds and random
+//! query batches, `search_batch` at any worker count returns identical
+//! `Vec<Hit>` to per-query sequential `search()`; and ranking is invariant
+//! under the postings' term-shard count.
+
+use deepweb::common::{derive_rng, ThreadPool, Url};
+use deepweb::index::{search, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions};
+use deepweb::queries::{generate_workload, WorkloadConfig};
+use deepweb::{quick_config, DeepWebSystem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random world, random Zipf batch: batched and scattered serving are
+    /// byte-identical to the sequential reference at w ∈ {1, 2, 4}.
+    #[test]
+    fn random_world_batches_serve_identically(
+        seed in 1u64..10_000,
+        num_sites in 2usize..6,
+        distinct in 20usize..60,
+        batch_size in 5usize..40,
+        stream_seed in 0u64..1_000,
+    ) {
+        let mut cfg = quick_config(num_sites);
+        cfg.web.seed = seed;
+        let sys = DeepWebSystem::build(&cfg);
+        let wl = generate_workload(&sys.world, &WorkloadConfig {
+            distinct,
+            ..Default::default()
+        });
+        let mut rng = derive_rng(stream_seed, "prop-serving");
+        let batch = wl.sample_batch(batch_size, &mut rng);
+        let expected: Vec<Vec<Hit>> = batch.iter().map(|q| sys.search(q, 10)).collect();
+        // Failing cases report the generated inputs via the proptest
+        // harness' input header (the stub has two-arg asserts only).
+        for workers in [1usize, 2, 4] {
+            prop_assert_eq!(&sys.search_batch(&batch, 10, workers), &expected);
+            let broker = sys.broker(workers);
+            for (q, want) in batch.iter().zip(&expected) {
+                prop_assert_eq!(&broker.search_scatter(q, 10), want);
+            }
+        }
+    }
+
+    /// Random tiny corpora: ranking is invariant under the term-shard count
+    /// (the shard layout is a serving detail, never a ranking input).
+    #[test]
+    fn ranking_is_shard_count_invariant(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,5}", 1..8),
+            1..15,
+        ),
+        query_words in prop::collection::vec("[a-z]{1,5}", 1..4),
+        shards in 1usize..12,
+    ) {
+        let build = |shard_count: usize| {
+            let mut idx = SearchIndex::with_shards(shard_count);
+            for (i, words) in docs.iter().enumerate() {
+                idx.add(
+                    Url::new("w.sim", format!("/d{i}")),
+                    String::new(),
+                    words.join(" "),
+                    DocKind::Surface,
+                    None,
+                    vec![],
+                );
+            }
+            idx
+        };
+        let reference = build(1);
+        let sharded = build(shards);
+        let query = query_words.join(" ");
+        let opts = SearchOptions::default();
+        let want = search(&reference, &query, 5, opts);
+        prop_assert_eq!(&search(&sharded, &query, 5, opts), &want);
+        // The scatter path agrees too, even when most shards are empty.
+        let broker = QueryBroker::new(&sharded, ThreadPool::new(2), opts);
+        prop_assert_eq!(&broker.search_scatter(&query, 5), &want);
+    }
+}
