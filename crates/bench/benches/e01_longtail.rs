@@ -1,6 +1,8 @@
 //! E1 bench: regenerates the long-tail tables, then times query serving
 //! (the paper's ">1000 qps" headline is a serving-throughput claim) —
-//! single-query, then a Zipf batch through the broker at 1 vs 4 workers.
+//! single-query (the interned, allocation-free kernel with a per-thread
+//! scratch), then a Zipf batch through the broker at 1 vs 4 vs auto workers
+//! (each batch worker reuses one `QueryScratch`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};
@@ -34,6 +36,12 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("e01_serve_batch_w4", |b| {
         b.iter(|| black_box(sys.search_batch(&batch, 10, 4)))
+    });
+    // Auto-sized broker (workers = 0): resolves to the machine's available
+    // parallelism, and the pool's core clamp means it never pays spawn/steal
+    // overhead on boxes with fewer cores than workers.
+    c.bench_function("e01_serve_batch_w0_auto", |b| {
+        b.iter(|| black_box(sys.search_batch(&batch, 10, 0)))
     });
 }
 

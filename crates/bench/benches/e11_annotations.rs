@@ -1,5 +1,7 @@
 //! E11 bench: regenerates the annotation table, then times annotation-aware
-//! vs plain scoring.
+//! vs plain scoring. Both run the interned `TermId` kernel against the
+//! per-thread reusable scratch, so `e11_plain_bm25` tracks the steady-state
+//! zero-allocation serving cost on a usedcars-heavy index.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};

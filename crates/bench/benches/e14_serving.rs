@@ -1,8 +1,10 @@
 //! E14 bench (e06-style): concurrent sharded query serving. First prints a
 //! measured-qps table for the broker at 1/2/4 workers on one Zipf batch
 //! (the E1 ">1000 qps" claim, now with a concurrency axis), then times the
-//! serving kernels: whole batches at each worker count and the per-shard
-//! scatter path for a single query.
+//! serving kernels: whole batches at each worker count (each worker reusing
+//! one `QueryScratch` across its share of the batch), the auto-sized pool
+//! (`workers = 0`), and the per-shard `TermId` scatter path for a single
+//! query.
 //!
 //! Like `e06_pipeline_*`, the speedup must be read off multi-core CI
 //! runners; output equality between every path is enforced by the serving
@@ -55,6 +57,9 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("e14_serve_batch_w4", |b| {
         b.iter(|| black_box(sys.search_batch(&batch, 10, 4)))
+    });
+    c.bench_function("e14_serve_batch_w0_auto", |b| {
+        b.iter(|| black_box(sys.search_batch(&batch, 10, 0)))
     });
     // Intra-query scatter-gather over term shards (single query).
     let broker = sys.broker(4);

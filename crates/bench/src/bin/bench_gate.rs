@@ -1,0 +1,361 @@
+//! Bench-regression gate: compare a fresh `CRITERION_JSON` dump against the
+//! committed `BENCH_*.json` baseline and fail when a gated bench's median
+//! regressed beyond the tolerance.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_2026-07-28.json --fresh BENCH_fresh.json \
+//!     [--tolerance 0.25] [--ids e01_serve_query,e11_plain_bm25] \
+//!     [--report bench-gate-report.txt]
+//! ```
+//!
+//! Input is the vendored criterion stub's line-oriented JSON (one object per
+//! bench: `bench_id`, `min_ns`, `median_ns`, `mean_ns`, `samples`), parsed
+//! here with a purpose-built scanner so the gate stays dependency-free.
+//!
+//! Exit status: `0` when every gated id present in both files is within
+//! tolerance; `1` when any gated id regressed or is missing from the fresh
+//! run (a silently dropped bench must not pass the gate). Ids missing from
+//! the *baseline* are reported as new and skipped — committing the baseline
+//! is a deliberate act, the gate never requires it.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Serving-path benches gated by default: the ids the interned-dictionary /
+/// zero-allocation kernel work is accountable for.
+const DEFAULT_GATED_IDS: &[&str] = &[
+    "e01_serve_query",
+    "e01_serve_batch_w1",
+    "e01_serve_batch_w4",
+    "e11_plain_bm25",
+    "e11_annotation_aware",
+    "e14_serve_batch_w1",
+    "e14_serve_batch_w2",
+    "e14_serve_batch_w4",
+    "e14_scatter_single_query",
+];
+
+/// One parsed bench line.
+#[derive(Clone, Debug, PartialEq)]
+struct BenchLine {
+    bench_id: String,
+    median_ns: f64,
+}
+
+/// Extract the string value of `"key":"..."` from a JSON line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extract the numeric value of `"key":<number>` from a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_bench_lines(content: &str) -> Vec<BenchLine> {
+    content
+        .lines()
+        .filter_map(|line| {
+            Some(BenchLine {
+                bench_id: json_str_field(line, "bench_id")?,
+                median_ns: json_num_field(line, "median_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Last-entry-wins lookup (a re-run bench appends a fresh line; the newest
+/// measurement is the one that counts).
+fn median_of(lines: &[BenchLine], id: &str) -> Option<f64> {
+    lines
+        .iter()
+        .rev()
+        .find(|l| l.bench_id == id)
+        .map(|l| l.median_ns)
+}
+
+struct GateArgs {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+    ids: Vec<String>,
+    report: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<GateArgs, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 0.25;
+    let mut ids: Vec<String> = DEFAULT_GATED_IDS.iter().map(|s| s.to_string()).collect();
+    let mut report = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?
+            }
+            "--ids" => {
+                ids = value("--ids")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--report" => report = Some(value("--report")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(GateArgs {
+        baseline: baseline.ok_or("--baseline is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        tolerance,
+        ids,
+        report,
+    })
+}
+
+/// Run the gate over parsed baseline/fresh lines; returns the rendered
+/// report and whether the gate passed.
+fn run_gate(
+    baseline: &[BenchLine],
+    fresh: &[BenchLine],
+    ids: &[String],
+    tolerance: f64,
+) -> (String, bool) {
+    let mut report = String::new();
+    let mut failures = 0usize;
+    let _ = writeln!(
+        report,
+        "bench-regression gate (tolerance: fail if fresh median > baseline median * {:.2})",
+        1.0 + tolerance
+    );
+    let _ = writeln!(
+        report,
+        "{:<28} {:>14} {:>14} {:>9}  verdict",
+        "bench_id", "baseline (ns)", "fresh (ns)", "delta"
+    );
+    for id in ids {
+        let base = median_of(baseline, id);
+        let new = median_of(fresh, id);
+        let line = match (base, new) {
+            (Some(b), Some(n)) => {
+                let delta = n / b - 1.0;
+                let verdict = if delta > tolerance {
+                    failures += 1;
+                    "REGRESSED"
+                } else if delta < 0.0 {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                format!(
+                    "{id:<28} {b:>14.1} {n:>14.1} {:>+8.1}%  {verdict}",
+                    delta * 100.0
+                )
+            }
+            (None, Some(n)) => {
+                format!(
+                    "{id:<28} {:>14} {n:>14.1} {:>9}  new (no baseline, skipped)",
+                    "-", "-"
+                )
+            }
+            (Some(b), None) => {
+                failures += 1;
+                format!(
+                    "{id:<28} {b:>14.1} {:>14} {:>9}  MISSING from fresh run",
+                    "-", "-"
+                )
+            }
+            (None, None) => {
+                failures += 1;
+                format!(
+                    "{id:<28} {:>14} {:>14} {:>9}  MISSING from both files",
+                    "-", "-", "-"
+                )
+            }
+        };
+        let _ = writeln!(report, "{line}");
+    }
+    let _ = writeln!(
+        report,
+        "gate: {}",
+        if failures == 0 {
+            "PASS".to_string()
+        } else {
+            format!("FAIL ({failures} gated bench(es) regressed or missing)")
+        }
+    );
+    (report, failures == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(base_raw), Some(fresh_raw)) = (read(&args.baseline), read(&args.fresh)) else {
+        return ExitCode::FAILURE;
+    };
+    let baseline = parse_bench_lines(&base_raw);
+    let fresh = parse_bench_lines(&fresh_raw);
+    let (report, pass) = run_gate(&baseline, &fresh, &args.ids, args.tolerance);
+    print!("{report}");
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("bench_gate: cannot write report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"bench_id\":\"e01_serve_query\",\"min_ns\":1500.0,\"median_ns\":1579.7,\"mean_ns\":1647.7,\"samples\":20}\n",
+        "{\"bench_id\":\"e11_plain_bm25\",\"min_ns\":21000.0,\"median_ns\":22474.4,\"mean_ns\":22596.9,\"samples\":20}\n",
+    );
+
+    #[test]
+    fn parses_stub_json_lines() {
+        let lines = parse_bench_lines(SAMPLE);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].bench_id, "e01_serve_query");
+        assert!((lines[0].median_ns - 1579.7).abs() < 1e-9);
+        assert_eq!(median_of(&lines, "e11_plain_bm25"), Some(22474.4));
+        assert_eq!(median_of(&lines, "absent"), None);
+    }
+
+    #[test]
+    fn rerun_lines_take_the_last_measurement() {
+        let twice = format!(
+            "{SAMPLE}{}",
+            "{\"bench_id\":\"e01_serve_query\",\"min_ns\":1.0,\"median_ns\":999.0,\"mean_ns\":1.0,\"samples\":20}\n"
+        );
+        let lines = parse_bench_lines(&twice);
+        assert_eq!(median_of(&lines, "e01_serve_query"), Some(999.0));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_improvement() {
+        let baseline = parse_bench_lines(SAMPLE);
+        let fresh = vec![
+            BenchLine {
+                bench_id: "e01_serve_query".into(),
+                median_ns: 1579.7 * 1.20, // +20% < 25% tolerance
+            },
+            BenchLine {
+                bench_id: "e11_plain_bm25".into(),
+                median_ns: 10_000.0, // improvement
+            },
+        ];
+        let ids = vec!["e01_serve_query".to_string(), "e11_plain_bm25".to_string()];
+        let (report, pass) = run_gate(&baseline, &fresh, &ids, 0.25);
+        assert!(pass, "{report}");
+        assert!(report.contains("improved"));
+        assert!(report.contains("PASS"));
+    }
+
+    #[test]
+    fn gate_fails_beyond_tolerance() {
+        let baseline = parse_bench_lines(SAMPLE);
+        let fresh = vec![BenchLine {
+            bench_id: "e01_serve_query".into(),
+            median_ns: 1579.7 * 1.30,
+        }];
+        let ids = vec!["e01_serve_query".to_string()];
+        let (report, pass) = run_gate(&baseline, &fresh, &ids, 0.25);
+        assert!(!pass, "{report}");
+        assert!(report.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn gate_fails_when_gated_bench_missing_from_fresh() {
+        let baseline = parse_bench_lines(SAMPLE);
+        let ids = vec!["e01_serve_query".to_string()];
+        let (report, pass) = run_gate(&baseline, &[], &ids, 0.25);
+        assert!(!pass);
+        assert!(report.contains("MISSING from fresh run"));
+    }
+
+    #[test]
+    fn new_bench_without_baseline_is_skipped() {
+        let fresh = vec![BenchLine {
+            bench_id: "e99_new".into(),
+            median_ns: 1.0,
+        }];
+        let ids = vec!["e99_new".to_string()];
+        let (report, pass) = run_gate(&[], &fresh, &ids, 0.25);
+        assert!(pass, "{report}");
+        assert!(report.contains("new (no baseline, skipped)"));
+    }
+
+    #[test]
+    fn args_parse_and_default() {
+        let a = parse_args(&[
+            "--baseline".into(),
+            "b.json".into(),
+            "--fresh".into(),
+            "f.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(a.tolerance, 0.25);
+        assert_eq!(a.ids.len(), DEFAULT_GATED_IDS.len());
+        let b = parse_args(&[
+            "--baseline".into(),
+            "b".into(),
+            "--fresh".into(),
+            "f".into(),
+            "--tolerance".into(),
+            "0.5".into(),
+            "--ids".into(),
+            "x,y".into(),
+            "--report".into(),
+            "r.txt".into(),
+        ])
+        .unwrap();
+        assert_eq!(b.tolerance, 0.5);
+        assert_eq!(b.ids, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(b.report.as_deref(), Some("r.txt"));
+        assert!(parse_args(&["--fresh".into(), "f".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

@@ -51,6 +51,10 @@ id_type!(
     /// A query in a generated workload.
     QueryId
 );
+id_type!(
+    /// An interned index term (see [`crate::intern::TermDict`]).
+    TermId
+);
 
 #[cfg(test)]
 mod tests {

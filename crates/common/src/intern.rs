@@ -5,16 +5,19 @@
 //! hashing, and cheap equality.
 
 use crate::fxhash::FxHashMap;
+use crate::ids::TermId;
 
 /// An interned string handle. `Sym(0)` is the first interned string.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Sym(pub u32);
 
-/// An append-only string interner.
+/// An append-only string interner for generic symbols (attribute names,
+/// schema labels). A thin wrapper over [`TermDict`] — one interning
+/// implementation, two handle types ([`Sym`] here, [`TermId`] for index
+/// terms).
 #[derive(Default, Clone, Debug)]
 pub struct Interner {
-    by_name: FxHashMap<String, Sym>,
-    names: Vec<String>,
+    dict: TermDict,
 }
 
 impl Interner {
@@ -25,18 +28,12 @@ impl Interner {
 
     /// Intern `s`, returning its symbol (existing or fresh).
     pub fn intern(&mut self, s: &str) -> Sym {
-        if let Some(&sym) = self.by_name.get(s) {
-            return sym;
-        }
-        let sym = Sym(self.names.len() as u32);
-        self.names.push(s.to_owned());
-        self.by_name.insert(s.to_owned(), sym);
-        sym
+        Sym(self.dict.intern(s).0)
     }
 
     /// Look up a symbol without interning.
     pub fn get(&self, s: &str) -> Option<Sym> {
-        self.by_name.get(s).copied()
+        self.dict.get(s).map(|id| Sym(id.0))
     }
 
     /// Resolve a symbol back to its string.
@@ -44,10 +41,72 @@ impl Interner {
     /// # Panics
     /// Panics if `sym` was not produced by this interner.
     pub fn resolve(&self, sym: Sym) -> &str {
-        &self.names[sym.0 as usize]
+        self.dict.resolve(TermId(sym.0))
     }
 
     /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.dict.is_empty()
+    }
+
+    /// Iterate `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.dict.iter().map(|(id, s)| (Sym(id.0), s))
+    }
+}
+
+/// The index's term dictionary: an append-only map from term text to a dense
+/// [`TermId`], plus a sorted-dictionary view for whole-dictionary reads.
+///
+/// This is the one place term strings are stored; everything downstream of it
+/// (postings lists, shard routing, the query kernel) keys by `TermId`, so the
+/// serving hot path hashes a query term exactly once and then works with
+/// `u32` indices. Ids are assigned in first-appearance order, which is what
+/// makes the parallel index build's id remapping deterministic (absorbing
+/// doc-range shards in range order replays the sequential interning order —
+/// DESIGN.md §10).
+#[derive(Default, Clone, Debug)]
+pub struct TermDict {
+    by_name: FxHashMap<String, TermId>,
+    names: Vec<String>,
+}
+
+impl TermDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(term) {
+            return id;
+        }
+        let id = TermId(self.names.len() as u32);
+        self.names.push(term.to_owned());
+        self.by_name.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Look up a term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_name.get(term).copied()
+    }
+
+    /// Resolve an id back to its term text.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn resolve(&self, id: TermId) -> &str {
+        &self.names[id.as_usize()]
+    }
+
+    /// Number of distinct terms.
     pub fn len(&self) -> usize {
         self.names.len()
     }
@@ -57,12 +116,22 @@ impl Interner {
         self.names.is_empty()
     }
 
-    /// Iterate `(Sym, &str)` pairs in interning order.
-    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+    /// Iterate `(TermId, term)` pairs in id (first-appearance) order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
         self.names
             .iter()
             .enumerate()
-            .map(|(i, s)| (Sym(i as u32), s.as_str()))
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+
+    /// The sorted-dictionary view: `(TermId, term)` pairs in lexicographic
+    /// term order — the shard-count- and interning-order-independent sequence
+    /// whole-dictionary scans iterate.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (TermId, &str)> {
+        let mut ids: Vec<u32> = (0..self.names.len() as u32).collect();
+        ids.sort_unstable_by_key(|&i| self.names[i as usize].as_str());
+        ids.into_iter()
+            .map(|i| (TermId(i), self.names[i as usize].as_str()))
     }
 }
 
@@ -104,5 +173,42 @@ mod tests {
         i.intern("b");
         let v: Vec<&str> = i.iter().map(|(_, s)| s).collect();
         assert_eq!(v, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn termdict_roundtrip_and_idempotence() {
+        let mut d = TermDict::new();
+        let a = d.intern("honda");
+        let b = d.intern("honda");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.resolve(a), "honda");
+        assert_eq!(d.get("honda"), Some(a));
+        assert!(d.get("ford").is_none());
+    }
+
+    #[test]
+    fn termdict_ids_are_first_appearance_order() {
+        let mut d = TermDict::new();
+        assert_eq!(d.intern("zebra"), TermId(0));
+        assert_eq!(d.intern("apple"), TermId(1));
+        assert_eq!(d.intern("zebra"), TermId(0));
+        let in_id_order: Vec<&str> = d.iter().map(|(_, t)| t).collect();
+        assert_eq!(in_id_order, vec!["zebra", "apple"]);
+    }
+
+    #[test]
+    fn termdict_sorted_view_is_lexicographic() {
+        let mut d = TermDict::new();
+        for t in ["zip", "accord", "ford", "civic"] {
+            d.intern(t);
+        }
+        let sorted: Vec<&str> = d.iter_sorted().map(|(_, t)| t).collect();
+        assert_eq!(sorted, vec!["accord", "civic", "ford", "zip"]);
+        // Ids in the sorted view still resolve to the right strings.
+        for (id, t) in d.iter_sorted() {
+            assert_eq!(d.resolve(id), t);
+        }
+        assert_eq!(TermDict::new().iter_sorted().count(), 0);
     }
 }

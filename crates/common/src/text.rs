@@ -7,6 +7,8 @@
 //! rendering and page analysis) agree on token boundaries.
 
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::TermId;
+use crate::intern::TermDict;
 
 /// English-ish stopwords that the keyword selectors must not propose as form
 /// probes and that the index down-weights.
@@ -21,14 +23,31 @@ pub fn is_stopword(t: &str) -> bool {
     STOPWORDS.contains(&t)
 }
 
+/// Iterate over the raw (case-preserving) alphanumeric token slices of
+/// `text` — the allocation-free half of [`tokenize`]. Every yielded slice is
+/// a run of ASCII alphanumerics; callers that need the canonical lowercase
+/// form write it into a reusable buffer with [`lower_into`] instead of
+/// allocating a `String` per token (the serving hot path does exactly that).
+pub fn raw_tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|s| !s.is_empty())
+}
+
+/// Write the canonical (ASCII-lowercased) form of a [`raw_tokens`] slice into
+/// `buf`, reusing its capacity: one bulk copy, then in-place lowercasing
+/// (exact because raw tokens are ASCII-alphanumeric by construction).
+pub fn lower_into(buf: &mut String, raw: &str) {
+    buf.clear();
+    buf.push_str(raw);
+    buf.make_ascii_lowercase();
+}
+
 /// Iterate over lowercase alphanumeric tokens of `text`.
 ///
 /// Hyphens and underscores split tokens; digits are kept (prices, years and
 /// zip codes are first-class tokens in deep-web pages).
 pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
-    text.split(|c: char| !c.is_ascii_alphanumeric())
-        .filter(|s| !s.is_empty())
-        .map(|s| s.to_ascii_lowercase())
+    raw_tokens(text).map(|s| s.to_ascii_lowercase())
 }
 
 /// Tokenize into a vector (convenience for tests and small strings).
@@ -55,10 +74,18 @@ pub fn distinct_terms(text: &str) -> FxHashSet<String> {
 /// Used for two things: (1) the index's IDF weights, (2) the surfacer's
 /// "most characteristic terms of a site" seed selection, which scores a
 /// site's terms by TF·IDF against the web-wide background.
+///
+/// Terms are interned into a [`TermDict`] so the counts live in a flat
+/// `Vec<u32>` instead of a string-keyed map — the surfacer's keyword
+/// selection probes this table once per candidate term per round, and the
+/// lookup is one hash plus an index.
 #[derive(Default, Clone, Debug)]
 pub struct DfTable {
     docs: u64,
-    df: FxHashMap<String, u32>,
+    dict: TermDict,
+    df: Vec<u32>,
+    seen: FxHashSet<TermId>,
+    buf: String,
 }
 
 impl DfTable {
@@ -67,11 +94,24 @@ impl DfTable {
         Self::default()
     }
 
-    /// Add one document's distinct terms.
+    /// Add one document's distinct terms. Tokens stream through one recycled
+    /// lowercase buffer (the same discipline as the query scratch); only a
+    /// term's *first ever* appearance allocates, inside the dictionary.
     pub fn add_document(&mut self, text: &str) {
         self.docs += 1;
-        for t in distinct_terms(text) {
-            *self.df.entry(t).or_insert(0) += 1;
+        self.seen.clear();
+        for raw in raw_tokens(text) {
+            lower_into(&mut self.buf, raw);
+            if is_stopword(&self.buf) {
+                continue;
+            }
+            let id = self.dict.intern(&self.buf);
+            if id.as_usize() == self.df.len() {
+                self.df.push(0);
+            }
+            if self.seen.insert(id) {
+                self.df[id.as_usize()] += 1;
+            }
         }
     }
 
@@ -82,7 +122,10 @@ impl DfTable {
 
     /// Document frequency of `term`.
     pub fn df(&self, term: &str) -> u32 {
-        self.df.get(term).copied().unwrap_or(0)
+        self.dict
+            .get(term)
+            .map(|id| self.df[id.as_usize()])
+            .unwrap_or(0)
     }
 
     /// Smoothed inverse document frequency of `term`.

@@ -131,7 +131,8 @@ impl DeepWebSystem {
         }
     }
 
-    /// Serve a keyword query.
+    /// Serve a keyword query. Runs the allocation-free scoring kernel
+    /// against a per-thread reusable scratch (DESIGN.md §10).
     pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
         search(&self.index, query, k, self.options)
     }
@@ -143,14 +144,16 @@ impl DeepWebSystem {
 
     /// A concurrent serving broker over this system's index and options,
     /// fanning out across `workers` pool threads (DESIGN.md §9).
+    /// `workers = 0` means auto: size the pool to the machine.
     pub fn broker(&self, workers: usize) -> QueryBroker<'_> {
         QueryBroker::new(&self.index, ThreadPool::new(workers), self.options)
     }
 
-    /// Serve a batch of queries concurrently over `workers` threads. One
-    /// result list per query, in batch order — byte-identical to calling
-    /// [`DeepWebSystem::search`] per query, at any worker count (the E1
-    /// ">1000 qps" serving path).
+    /// Serve a batch of queries concurrently over `workers` threads
+    /// (`0` = auto). One result list per query, in batch order —
+    /// byte-identical to calling [`DeepWebSystem::search`] per query, at any
+    /// worker count (the E1 ">1000 qps" serving path). Each worker reuses
+    /// one query scratch for its whole share of the batch.
     pub fn search_batch(&self, queries: &[String], k: usize, workers: usize) -> Vec<Vec<Hit>> {
         self.broker(workers).search_batch(queries, k)
     }

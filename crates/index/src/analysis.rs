@@ -1,5 +1,12 @@
 //! Query/document analysis for the index: shared tokenisation plus term
 //! statistics containers.
+//!
+//! These are the *allocating* entry points (one `String` per token), used at
+//! index-build time and by snippets. The serving hot path tokenises into
+//! recycled buffers instead — see `QueryScratch::analyze` in
+//! [`crate::searcher`] — but both sides agree exactly on token boundaries,
+//! lowercasing and the stopword list, which is what keeps scratch-based
+//! serving byte-identical to this reference analysis.
 
 use deepweb_common::text::{is_stopword, tokenize};
 

@@ -1,26 +1,31 @@
-//! Concurrent query serving (DESIGN.md §9): a [`QueryBroker`] fans batches
-//! of queries across the work-stealing pool and scatter-gathers per-shard
-//! candidates for single queries — the paper's ">1000 queries per second"
-//! serving path (§3.2), built determinism-first.
+//! Concurrent query serving (DESIGN.md §9–§10): a [`QueryBroker`] fans
+//! batches of queries across the work-stealing pool and scatter-gathers
+//! per-shard candidates for single queries — the paper's ">1000 queries per
+//! second" serving path (§3.2), built determinism-first.
 //!
 //! Both modes are byte-identical to the sequential [`search`] reference for
 //! every query:
 //!
-//! - **Batch mode** runs the sequential searcher itself on every query; only
+//! - **Batch mode** runs the sequential scoring kernel itself on every query,
+//!   each worker folding into its own reusable [`QueryScratch`] (one scratch
+//!   per *worker*, not per query — the allocation-free steady state); only
 //!   *which thread* runs a query varies, and results are reassembled in
 //!   batch order.
-//! - **Scatter mode** splits a query's distinct terms by owning term shard,
-//!   computes each shard's candidate `(doc, contribution)` lists in parallel
-//!   with the same scoring kernel the sequential path uses, then folds the
-//!   candidates back **in query-term order** — the exact floating-point
-//!   accumulation order of the sequential searcher — before one
-//!   deterministic top-k selection.
+//! - **Scatter mode** resolves a query's distinct terms to [`TermId`]s,
+//!   splits them by owning term shard (a pure function of the id), computes
+//!   each shard's candidate `(doc, contribution)` lists in parallel with the
+//!   same scoring kernel the sequential path uses, then folds the candidates
+//!   back **in query-term order** — the exact floating-point accumulation
+//!   order of the sequential searcher — before one deterministic top-k
+//!   selection.
 
-use crate::analysis::analyze_query;
 use crate::index::SearchIndex;
-use crate::searcher::{accumulate_term, apply_annotations, search, top_k_hits, Hit, SearchOptions};
-use deepweb_common::ids::DocId;
-use deepweb_common::{FxHashMap, ThreadPool};
+use crate::searcher::{
+    accumulate_term, apply_annotations, search_with_scratch, top_k_hits, with_thread_scratch, Hit,
+    QueryScratch, SearchOptions,
+};
+use deepweb_common::ids::{DocId, TermId};
+use deepweb_common::ThreadPool;
 
 /// One term's scored candidates, tagged with the term's position in the
 /// query's distinct-term order (the gather key).
@@ -60,13 +65,15 @@ impl<'a> QueryBroker<'a> {
     }
 
     /// Serve a batch of queries concurrently, one result list per query, in
-    /// batch order. Each worker runs the sequential [`search`] unchanged, so
-    /// the result is byte-identical to calling it per query — at any worker
-    /// count.
+    /// batch order. Each worker runs the sequential scoring kernel against
+    /// its own reusable [`QueryScratch`], so the result is byte-identical to
+    /// calling [`search`] per query — at any worker count — while scratch
+    /// allocation stays per-worker, not per-query.
     pub fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<Hit>> {
-        self.pool.map_indices(queries.len(), |qi| {
-            search(self.index, &queries[qi], k, self.opts)
-        })
+        self.pool
+            .map_indices_init(queries.len(), QueryScratch::new, |scratch, qi| {
+                search_with_scratch(self.index, &queries[qi], k, self.opts, scratch)
+            })
     }
 
     /// Serve one query by scattering its distinct terms across the postings'
@@ -77,28 +84,35 @@ impl<'a> QueryBroker<'a> {
     /// Byte-identical to [`search`] for any worker count and any shard
     /// count, enforced by unit tests and the serving proptest.
     pub fn search_scatter(&self, query: &str, k: usize) -> Vec<Hit> {
-        let terms = analyze_query(query);
-        if terms.is_empty() || k == 0 {
+        with_thread_scratch(|scratch| self.scatter_with_scratch(query, k, scratch))
+    }
+
+    fn scatter_with_scratch(&self, query: &str, k: usize, scratch: &mut QueryScratch) -> Vec<Hit> {
+        scratch.analyze(query);
+        let n_terms = scratch.terms().len();
+        if n_terms == 0 || k == 0 {
             return Vec::new();
         }
         let postings = self.index.postings();
         let avg_len = postings.avg_doc_len().max(1.0);
-        let uniq = crate::searcher::unique_terms(&terms);
-        // Scatter: group distinct-term indices by owning shard. Grouping is
-        // a pure function of term text, so the fan-out is stable.
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); postings.num_shards()];
-        for (ti, term) in uniq.iter().enumerate() {
-            groups[postings.shard_for(term)].push(ti);
+        // Resolve each distinct term to its id once (unknown terms have no
+        // postings and drop out without disturbing the accumulation order),
+        // then scatter: group term indices by owning shard — a pure function
+        // of the id, so the fan-out is stable.
+        let mut groups: Vec<Vec<(usize, TermId)>> = vec![Vec::new(); postings.num_shards()];
+        for (ti, term) in scratch.terms().iter().enumerate() {
+            if let Some(id) = postings.term_id(term) {
+                groups[postings.shard_of_id(id)].push((ti, id));
+            }
         }
         groups.retain(|g| !g.is_empty());
         let opts = self.opts;
-        let uniq_ref = &uniq;
         let per_group: Vec<Vec<TermCandidates>> = self.pool.map(groups, move |_, group| {
             group
                 .into_iter()
-                .map(|ti| {
+                .map(|(ti, id)| {
                     let mut cands: Vec<(DocId, f64)> = Vec::new();
-                    accumulate_term(postings, uniq_ref[ti], opts.bm25, avg_len, |doc, c| {
+                    accumulate_term(postings, id, opts.bm25, avg_len, |doc, c| {
                         cands.push((doc, c))
                     });
                     (ti, cands)
@@ -108,22 +122,22 @@ impl<'a> QueryBroker<'a> {
         // Gather: reorder candidate lists back to query-term order, then
         // fold — the same `scores[doc] += c` sequence the sequential path
         // executes, so every f64 comes out bit-identical.
-        let mut by_term: Vec<Vec<(DocId, f64)>> = (0..uniq.len()).map(|_| Vec::new()).collect();
+        let mut by_term: Vec<Vec<(DocId, f64)>> = (0..n_terms).map(|_| Vec::new()).collect();
         for group in per_group {
             for (ti, cands) in group {
                 by_term[ti] = cands;
             }
         }
-        let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
+        scratch.prepare(postings.num_docs());
         for cands in by_term {
             for (doc, c) in cands {
-                *scores.entry(doc).or_insert(0.0) += c;
+                scratch.add(doc, c);
             }
         }
         if opts.use_annotations {
-            apply_annotations(self.index, &terms, &mut scores);
+            apply_annotations(self.index, scratch);
         }
-        top_k_hits(scores, k)
+        top_k_hits(scratch, k)
     }
 }
 
@@ -131,6 +145,7 @@ impl<'a> QueryBroker<'a> {
 mod tests {
     use super::*;
     use crate::docstore::DocKind;
+    use crate::searcher::search;
     use deepweb_common::Url;
 
     fn build(shards: usize) -> SearchIndex {
@@ -247,32 +262,21 @@ mod tests {
     #[test]
     fn top_k_ties_across_shards_break_by_doc_id() {
         // Two docs, one term each, identical tf and doc length: their BM25
-        // scores are exactly equal. Pick term names that land in different
+        // scores are exactly equal. With id-hash routing, the two terms get
+        // ids 0 and 1; find a shard count where those ids route to different
         // shards so the tie is genuinely cross-shard, then assert the merge
         // prefers the lower doc id at every k.
-        let mut idx = SearchIndex::with_shards(8);
-        let probe = SearchIndex::with_shards(8);
-        let shard = |t: &str| probe.postings().shard_for(t);
-        let words = [
-            "alpha", "bravo", "carol", "delta", "echo1", "fox", "golf", "hotel",
-        ];
-        let (w1, w2) = {
-            let mut found = ("alpha", "bravo");
-            'outer: for a in words {
-                for b in words {
-                    if a != b && shard(a) != shard(b) {
-                        found = (a, b);
-                        break 'outer;
-                    }
-                }
-            }
-            found
-        };
-        assert_ne!(shard(w1), shard(w2), "need a cross-shard pair");
+        let shards = (2..64)
+            .find(|&n| {
+                crate::postings::term_shard(TermId(0), n)
+                    != crate::postings::term_shard(TermId(1), n)
+            })
+            .expect("some shard count separates ids 0 and 1");
+        let mut idx = SearchIndex::with_shards(shards);
         idx.add(
             Url::new("a.sim", "/1"),
             String::new(),
-            w1.to_string(),
+            "alpha".to_string(),
             DocKind::Surface,
             None,
             vec![],
@@ -280,21 +284,27 @@ mod tests {
         idx.add(
             Url::new("b.sim", "/2"),
             String::new(),
-            w2.to_string(),
+            "bravo".to_string(),
             DocKind::Surface,
             None,
             vec![],
         );
+        let p = idx.postings();
+        assert_ne!(
+            p.shard_for("alpha"),
+            p.shard_for("bravo"),
+            "need a cross-shard pair"
+        );
         let broker = QueryBroker::new(&idx, ThreadPool::new(2), SearchOptions::default());
-        let q = format!("{w1} {w2}");
-        let full = broker.search_scatter(&q, 10);
+        let q = "alpha bravo";
+        let full = broker.search_scatter(q, 10);
         assert_eq!(full.len(), 2);
         assert_eq!(full[0].score, full[1].score, "scores must tie exactly");
         assert_eq!(full[0].doc, DocId(0), "tie breaks to the lower doc id");
         // k=1 keeps the same winner: the heap eviction tie-break agrees
         // with the final sort's.
-        let top1 = broker.search_scatter(&q, 1);
+        let top1 = broker.search_scatter(q, 1);
         assert_eq!(top1, vec![full[0]]);
-        assert_eq!(search(&idx, &q, 1, SearchOptions::default()), top1);
+        assert_eq!(search(&idx, q, 1, SearchOptions::default()), top1);
     }
 }

@@ -22,6 +22,6 @@ pub mod snippet;
 pub use broker::QueryBroker;
 pub use docstore::{Annotation, DocKind, DocStore, StoredDoc};
 pub use index::{BatchDoc, IndexStats, SearchIndex};
-pub use postings::{Posting, Postings, ShardedPostings};
-pub use searcher::{search, top_k_hits, Bm25Params, Hit, SearchOptions};
+pub use postings::{term_shard, Posting, Postings, ShardedPostings};
+pub use searcher::{search, search_with_scratch, Bm25Params, Hit, QueryScratch, SearchOptions};
 pub use snippet::snippet;

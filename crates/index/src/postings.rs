@@ -4,19 +4,33 @@
 //! this is free) and term frequencies are u32. No positions — snippets re-scan
 //! stored text, which is cheaper than positional postings at this scale.
 //!
-//! Two layouts live here: the flat [`Postings`] (the contiguous build unit
-//! the parallel index builder produces per doc range) and the serving-side
-//! [`ShardedPostings`], which partitions the term dictionary by term hash so
-//! concurrent readers touch disjoint shards and a broker can scatter a
-//! query's terms across shards (DESIGN.md §9).
+//! Both layouts key postings by an interned [`TermId`] out of a single
+//! [`TermDict`]: a query term is hashed exactly once (the dictionary lookup)
+//! and every structure after that — posting lists, document frequencies,
+//! shard routing — is a flat `Vec` index. The flat [`Postings`] is the
+//! contiguous build unit the parallel index builder produces per doc range;
+//! the serving-side [`ShardedPostings`] additionally partitions the term-id
+//! space by id hash so a broker can scatter a query's terms across shards
+//! (DESIGN.md §9–§10).
 
-use deepweb_common::ids::DocId;
-use deepweb_common::{shard_of, Interner};
+use deepweb_common::ids::{DocId, TermId};
+use deepweb_common::{fxhash64, TermDict};
 
 /// BM25 inverse document frequency, shared by both postings layouts — one
 /// copy of the formula so a tuning change can never diverge them.
 fn bm25_idf(num_docs: f64, df: f64) -> f64 {
     ((num_docs - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
+
+/// The term shard owning an interned term: a pure function of the
+/// [`TermId`] (FxHash with a fixed seed — stable across runs and platforms).
+///
+/// Routing by id instead of by term text means the shard of a term never
+/// needs a second string hash; and because id assignment is itself
+/// deterministic (global first-appearance order), the layout is byte-identical
+/// across builds at any worker count.
+pub fn term_shard(id: TermId, shards: usize) -> usize {
+    (fxhash64(&id.0) % shards.max(1) as u64) as usize
 }
 
 /// One posting: a document and the term's frequency in it.
@@ -28,13 +42,71 @@ pub struct Posting {
     pub tf: u32,
 }
 
-/// The postings lists plus document lengths.
+/// Intern one document's tokens and append its per-term postings: ids are
+/// assigned in first-appearance order over the raw token stream (the
+/// discipline the parallel build's deterministic id remap replays), then tf
+/// is aggregated by sorting the small id buffer and run-length counting —
+/// no string-keyed map, no per-document allocation in steady state.
+///
+/// This is the **single** indexing kernel both [`Postings`] and
+/// [`ShardedPostings`] run, so the sequential-vs-parallel byte-identity
+/// contract can never be broken by the two layouts drifting apart.
+fn index_document(
+    dict: &mut TermDict,
+    lists: &mut Vec<Vec<Posting>>,
+    scratch: &mut Vec<TermId>,
+    doc: DocId,
+    terms: &[String],
+) {
+    scratch.clear();
+    for t in terms {
+        scratch.push(dict.intern(t));
+    }
+    lists.resize_with(dict.len(), Vec::new);
+    scratch.sort_unstable();
+    let mut i = 0;
+    while i < scratch.len() {
+        let id = scratch[i];
+        let mut j = i + 1;
+        while j < scratch.len() && scratch[j] == id {
+            j += 1;
+        }
+        lists[id.as_usize()].push(Posting {
+            doc,
+            tf: (j - i) as u32,
+        });
+        i = j;
+    }
+    scratch.clear();
+}
+
+/// Re-intern a build shard's dictionary — walked in shard-local id order,
+/// i.e. the shard's first-appearance order — into `dict`, appending each
+/// term's postings with doc ids shifted by `offset`. The shared id-remap
+/// kernel behind both `absorb` impls (determinism argument: DESIGN.md §10).
+fn absorb_shard(dict: &mut TermDict, lists: &mut Vec<Vec<Posting>>, shard: &Postings, offset: u32) {
+    for (local_id, term) in shard.dict.iter() {
+        let id = dict.intern(term);
+        if id.as_usize() == lists.len() {
+            lists.push(Vec::new());
+        }
+        lists[id.as_usize()].extend(shard.lists[local_id.as_usize()].iter().map(|p| Posting {
+            doc: DocId(p.doc.0 + offset),
+            tf: p.tf,
+        }));
+    }
+}
+
+/// The postings lists plus document lengths, keyed by [`TermId`].
 #[derive(Default, Clone, Debug)]
 pub struct Postings {
-    terms: Interner,
+    dict: TermDict,
     lists: Vec<Vec<Posting>>,
     doc_len: Vec<u32>,
     total_len: u64,
+    /// Per-document interning scratch; always empty between calls (so two
+    /// structurally equal indexes also compare equal via `Debug`).
+    scratch: Vec<TermId>,
 }
 
 impl Postings {
@@ -53,29 +125,41 @@ impl Postings {
         );
         self.doc_len.push(terms.len() as u32);
         self.total_len += terms.len() as u64;
-        // Aggregate tf within the document first.
-        let mut counts: deepweb_common::FxHashMap<&str, u32> = deepweb_common::FxHashMap::default();
-        for t in terms {
-            *counts.entry(t.as_str()).or_insert(0) += 1;
-        }
-        // Stable iteration: sort by term so interning order is deterministic.
-        let mut items: Vec<(&str, u32)> = counts.into_iter().collect();
-        items.sort_unstable();
-        for (term, tf) in items {
-            let sym = self.terms.intern(term);
-            if sym.0 as usize == self.lists.len() {
-                self.lists.push(Vec::new());
-            }
-            self.lists[sym.0 as usize].push(Posting { doc, tf });
-        }
+        index_document(
+            &mut self.dict,
+            &mut self.lists,
+            &mut self.scratch,
+            doc,
+            terms,
+        );
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Id of a term, if it has been indexed.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Postings for an interned term.
+    pub fn postings_id(&self, id: TermId) -> &[Posting] {
+        &self.lists[id.as_usize()]
     }
 
     /// Postings for a term (empty if unseen).
     pub fn postings(&self, term: &str) -> &[Posting] {
-        match self.terms.get(term) {
-            Some(sym) => &self.lists[sym.0 as usize],
+        match self.dict.get(term) {
+            Some(id) => self.postings_id(id),
             None => &[],
         }
+    }
+
+    /// Document frequency of an interned term.
+    pub fn df_id(&self, id: TermId) -> usize {
+        self.lists[id.as_usize()].len()
     }
 
     /// Document frequency of a term.
@@ -90,7 +174,7 @@ impl Postings {
 
     /// Number of distinct terms.
     pub fn num_terms(&self) -> usize {
-        self.terms.len()
+        self.dict.len()
     }
 
     /// Length (token count) of a document.
@@ -112,6 +196,11 @@ impl Postings {
         self.lists.iter().map(Vec::len).sum()
     }
 
+    /// BM25 inverse document frequency of an interned term.
+    pub fn idf_id(&self, id: TermId) -> f64 {
+        bm25_idf(self.num_docs() as f64, self.df_id(id) as f64)
+    }
+
     /// BM25 inverse document frequency of `term`.
     pub fn idf(&self, term: &str) -> f64 {
         bm25_idf(self.num_docs() as f64, self.df(term) as f64)
@@ -120,12 +209,12 @@ impl Postings {
     /// Append a shard's postings built over doc-local ids `0..shard.num_docs()`:
     /// the shard's documents become ids `self.num_docs()..` here.
     ///
-    /// Merge discipline (determinism argument, DESIGN.md §8): shards hold
+    /// Merge discipline (determinism argument, DESIGN.md §8/§10): shards hold
     /// *contiguous* document ranges, and shards are absorbed in range order.
-    /// A shard's interner records terms in first-appearance order within the
-    /// shard (documents in order, terms sorted within a document — exactly
-    /// what [`Postings::add_document`] does), so folding shard interners in
-    /// shard order reproduces the sequential build's interning order, and
+    /// A shard's dictionary records terms in first-appearance order within the
+    /// shard (documents in order, tokens in document order — exactly what
+    /// [`Postings::add_document`] does), so folding shard dictionaries in
+    /// shard order reproduces the sequential build's id assignment, and
     /// concatenating each term's per-shard lists reproduces its doc-sorted
     /// postings. The result is identical to adding every document
     /// sequentially.
@@ -133,18 +222,7 @@ impl Postings {
         let offset = self.doc_len.len() as u32;
         self.total_len += shard.total_len;
         self.doc_len.extend_from_slice(&shard.doc_len);
-        for (local_sym, term) in shard.terms.iter() {
-            let sym = self.terms.intern(term);
-            if sym.0 as usize == self.lists.len() {
-                self.lists.push(Vec::new());
-            }
-            self.lists[sym.0 as usize].extend(shard.lists[local_sym.0 as usize].iter().map(|p| {
-                Posting {
-                    doc: DocId(p.doc.0 + offset),
-                    tf: p.tf,
-                }
-            }));
-        }
+        absorb_shard(&mut self.dict, &mut self.lists, &shard, offset);
     }
 
     /// Merge shards of contiguous document ranges, in order, into one
@@ -158,60 +236,37 @@ impl Postings {
     }
 }
 
-/// Default number of term-hash shards for [`ShardedPostings`].
+/// Default number of term shards for [`ShardedPostings`].
 ///
 /// Fixed (not derived from the machine) so the index layout — and therefore
 /// the canonical scoring order — is identical on every host and at every
 /// worker count.
 pub const DEFAULT_TERM_SHARDS: usize = 8;
 
-/// One term-hash shard: its own interner plus the postings lists of exactly
-/// the terms hashing to it. Doc lengths are global, so shards hold no
-/// per-document state.
-#[derive(Default, Clone, Debug)]
-struct TermShard {
-    terms: Interner,
-    lists: Vec<Vec<Posting>>,
-}
-
-impl TermShard {
-    fn push(&mut self, term: &str, posting: Posting) {
-        let sym = self.terms.intern(term);
-        if sym.0 as usize == self.lists.len() {
-            self.lists.push(Vec::new());
-        }
-        self.lists[sym.0 as usize].push(posting);
-    }
-
-    fn postings(&self, term: &str) -> &[Posting] {
-        match self.terms.get(term) {
-            Some(sym) => &self.lists[sym.0 as usize],
-            None => &[],
-        }
-    }
-}
-
-/// Postings partitioned by term hash (`shard_of`, fixed seed — stable across
-/// runs and platforms), the layout the concurrent serving path reads.
+/// Postings partitioned by term-id hash ([`term_shard`]), the layout the
+/// concurrent serving path reads.
 ///
-/// Every term lives in exactly one shard, so point lookups route directly
-/// and a query broker can scatter the distinct terms of a query across
-/// shards with no cross-shard coordination. Whole-dictionary reads go
-/// through [`ShardedPostings::iter_terms`], a merged iterator that yields a
-/// shard-count-independent order.
+/// The partition is *virtual*: there is one global [`TermDict`] and one flat
+/// list vector indexed by [`TermId`], and a term's shard is a pure function
+/// of its id. Every term lives in exactly one shard, so point lookups route
+/// directly (one dictionary hash, then flat indexes all the way down) and a
+/// query broker can scatter the distinct terms of a query across shards with
+/// no cross-shard coordination. Whole-dictionary reads go through
+/// [`ShardedPostings::iter_terms`], the dictionary's sorted view, which
+/// yields a shard-count-independent order.
 ///
-/// Determinism: shard assignment is a pure function of the term, and within
-/// a shard both interning order and each list's doc order replay the global
-/// document-arrival order restricted to that shard — whether documents are
-/// added one by one ([`ShardedPostings::add_document`]) or absorbed from
-/// contiguous doc-range build shards in range order
-/// ([`ShardedPostings::absorb`]). Two builds of the same corpus are
-/// therefore byte-identical, at any worker count.
+/// Determinism: id assignment is global first-appearance order — whether
+/// documents are added one by one ([`ShardedPostings::add_document`]) or
+/// absorbed from contiguous doc-range build shards in range order
+/// ([`ShardedPostings::absorb`]) — and shard routing is a pure function of
+/// the id. Two builds of the same corpus are therefore byte-identical, at
+/// any worker count, and the shard count never influences ranking.
 #[derive(Clone, Debug)]
 pub struct ShardedPostings {
-    shards: Vec<TermShard>,
-    doc_len: Vec<u32>,
-    total_len: u64,
+    /// The one physical layout: sharding is a pure view over it, so the
+    /// build unit and the serving layout can never drift apart.
+    inner: Postings,
+    num_shards: usize,
 }
 
 impl Default for ShardedPostings {
@@ -221,45 +276,48 @@ impl Default for ShardedPostings {
 }
 
 impl ShardedPostings {
-    /// Empty postings with `shards` term-hash shards (clamped to ≥ 1).
+    /// Empty postings with `shards` term shards (clamped to ≥ 1).
     pub fn new(shards: usize) -> Self {
         ShardedPostings {
-            shards: (0..shards.max(1)).map(|_| TermShard::default()).collect(),
-            doc_len: Vec::new(),
-            total_len: 0,
+            inner: Postings::new(),
+            num_shards: shards.max(1),
         }
     }
 
     /// Number of term shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.num_shards
     }
 
-    /// The shard owning `term` (pure function of the term text).
+    /// The term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        self.inner.dict()
+    }
+
+    /// Id of a term, if it has been indexed. This is the single string hash
+    /// on the serving path; everything downstream indexes by the id.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.inner.term_id(term)
+    }
+
+    /// The shard owning an interned term (pure function of the id).
+    pub fn shard_of_id(&self, id: TermId) -> usize {
+        term_shard(id, self.num_shards)
+    }
+
+    /// The shard owning `term`. Unknown terms have no postings anywhere and
+    /// report shard 0 (any shard answers the lookup with "empty").
     pub fn shard_for(&self, term: &str) -> usize {
-        shard_of(term, self.shards.len())
+        match self.term_id(term) {
+            Some(id) => self.shard_of_id(id),
+            None => 0,
+        }
     }
 
     /// Add a document's term multiset. `doc` must be the next id in sequence
     /// (postings stay doc-sorted for free, exactly like [`Postings`]).
     pub fn add_document(&mut self, doc: DocId, terms: &[String]) {
-        assert_eq!(
-            doc.as_usize(),
-            self.doc_len.len(),
-            "documents must be added in id order"
-        );
-        self.doc_len.push(terms.len() as u32);
-        self.total_len += terms.len() as u64;
-        let mut counts: deepweb_common::FxHashMap<&str, u32> = deepweb_common::FxHashMap::default();
-        for t in terms {
-            *counts.entry(t.as_str()).or_insert(0) += 1;
-        }
-        let mut items: Vec<(&str, u32)> = counts.into_iter().collect();
-        items.sort_unstable();
-        for (term, tf) in items {
-            let shard = self.shard_for(term);
-            self.shards[shard].push(term, Posting { doc, tf });
-        }
+        self.inner.add_document(doc, terms);
     }
 
     /// Absorb a contiguous doc-range build shard (a flat [`Postings`] over
@@ -267,99 +325,85 @@ impl ShardedPostings {
     /// `self.num_docs()..` here.
     ///
     /// Build shards must be absorbed in range order. The flat shard's
-    /// interner records global first-appearance order within its range, so
-    /// walking it routes each (term, posting) to its term shard in exactly
-    /// the order the sequential [`ShardedPostings::add_document`] path would
-    /// have — same interning order, same doc-sorted lists.
+    /// dictionary records first-appearance order within its range, so walking
+    /// it in id order re-interns every term into the global dictionary in
+    /// exactly the order the sequential [`ShardedPostings::add_document`]
+    /// path would have — same id assignment, same doc-sorted lists.
     pub fn absorb(&mut self, shard: Postings) {
-        let offset = self.doc_len.len() as u32;
-        let num_shards = self.shards.len();
-        self.total_len += shard.total_len;
-        self.doc_len.extend_from_slice(&shard.doc_len);
-        for (local_sym, term) in shard.terms.iter() {
-            // Intern once per term, then bulk-extend its list — not once per
-            // posting (this runs on every parallel index build's merge).
-            let target = &mut self.shards[shard_of(term, num_shards)];
-            let sym = target.terms.intern(term);
-            if sym.0 as usize == target.lists.len() {
-                target.lists.push(Vec::new());
-            }
-            target.lists[sym.0 as usize].extend(shard.lists[local_sym.0 as usize].iter().map(
-                |p| Posting {
-                    doc: DocId(p.doc.0 + offset),
-                    tf: p.tf,
-                },
-            ));
-        }
+        self.inner.absorb(shard);
     }
 
-    /// Postings for a term (empty if unseen) — a single-shard point lookup.
+    /// Postings for an interned term — a flat index, no hashing.
+    pub fn postings_id(&self, id: TermId) -> &[Posting] {
+        self.inner.postings_id(id)
+    }
+
+    /// Postings for a term (empty if unseen) — one dictionary hash.
     pub fn postings(&self, term: &str) -> &[Posting] {
-        self.shards[self.shard_for(term)].postings(term)
+        self.inner.postings(term)
+    }
+
+    /// Document frequency of an interned term.
+    pub fn df_id(&self, id: TermId) -> usize {
+        self.inner.df_id(id)
     }
 
     /// Document frequency of a term.
     pub fn df(&self, term: &str) -> usize {
-        self.postings(term).len()
+        self.inner.df(term)
     }
 
     /// Number of indexed documents.
     pub fn num_docs(&self) -> usize {
-        self.doc_len.len()
+        self.inner.num_docs()
     }
 
-    /// Number of distinct terms (sum over shards; shards are disjoint).
+    /// Number of distinct terms.
     pub fn num_terms(&self) -> usize {
-        self.shards.iter().map(|s| s.terms.len()).sum()
+        self.inner.num_terms()
     }
 
     /// Length (token count) of a document.
     pub fn doc_len(&self, doc: DocId) -> u32 {
-        self.doc_len[doc.as_usize()]
+        self.inner.doc_len(doc)
     }
 
     /// Mean document length.
     pub fn avg_doc_len(&self) -> f64 {
-        if self.doc_len.is_empty() {
-            0.0
-        } else {
-            self.total_len as f64 / self.doc_len.len() as f64
-        }
+        self.inner.avg_doc_len()
     }
 
     /// Total number of postings entries (index size proxy).
     pub fn num_postings(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lists.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.inner.num_postings()
+    }
+
+    /// BM25 inverse document frequency of an interned term.
+    pub fn idf_id(&self, id: TermId) -> f64 {
+        self.inner.idf_id(id)
     }
 
     /// BM25 inverse document frequency of `term`.
     pub fn idf(&self, term: &str) -> f64 {
-        bm25_idf(self.num_docs() as f64, self.df(term) as f64)
+        self.inner.idf(term)
     }
 
-    /// Terms owned by one shard, in that shard's interning order.
+    /// Terms owned by one shard, in id (first-appearance) order.
     pub fn shard_terms(&self, shard: usize) -> impl Iterator<Item = &str> {
-        self.shards[shard].terms.iter().map(|(_, t)| t)
+        self.dict()
+            .iter()
+            .filter(move |&(id, _)| self.shard_of_id(id) == shard)
+            .map(|(_, t)| t)
     }
 
     /// Merged whole-dictionary read path: every `(term, postings)` pair,
-    /// lexicographically sorted — the same sequence for any shard count, so
-    /// dictionary scans stay deterministic under resharding.
+    /// lexicographically sorted (the dictionary's sorted view) — the same
+    /// sequence for any shard count, so dictionary scans stay deterministic
+    /// under resharding.
     pub fn iter_terms(&self) -> impl Iterator<Item = (&str, &[Posting])> {
-        let mut merged: Vec<(&str, &[Posting])> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.terms
-                    .iter()
-                    .map(|(sym, t)| (t, s.lists[sym.0 as usize].as_slice()))
-            })
-            .collect();
-        merged.sort_unstable_by_key(|&(t, _)| t);
-        merged.into_iter()
+        self.dict()
+            .iter_sorted()
+            .map(|(id, t)| (t, self.inner.postings_id(id)))
     }
 }
 
@@ -395,6 +439,17 @@ mod tests {
             }
         );
         assert!(p.postings("tesla").is_empty());
+    }
+
+    #[test]
+    fn term_ids_assigned_in_first_appearance_order() {
+        let p = sample();
+        assert_eq!(p.term_id("honda"), Some(TermId(0)));
+        assert_eq!(p.term_id("civic"), Some(TermId(1)));
+        assert_eq!(p.term_id("ford"), Some(TermId(2)));
+        assert_eq!(p.term_id("tesla"), None);
+        assert_eq!(p.postings_id(TermId(0)), p.postings("honda"));
+        assert_eq!(p.dict().resolve(TermId(1)), "civic");
     }
 
     #[test]
@@ -494,6 +549,21 @@ mod tests {
     }
 
     #[test]
+    fn id_routing_is_stable_and_in_range() {
+        let p = sharded_sample(8);
+        for term in ["honda", "civic", "ford", "focus", "accord"] {
+            let id = p.term_id(term).unwrap();
+            let s = p.shard_of_id(id);
+            assert!(s < p.num_shards());
+            assert_eq!(s, p.shard_for(term), "routing must agree with lookup");
+            assert_eq!(s, term_shard(id, 8), "routing is the pure id function");
+        }
+        // Unknown terms report shard 0 and empty postings.
+        assert_eq!(p.shard_for("tesla"), 0);
+        assert!(p.postings("tesla").is_empty());
+    }
+
+    #[test]
     fn empty_shards_answer_lookups() {
         // 5 distinct terms over 32 shards: most shards are empty. Lookups,
         // stats and the merged iterator must all survive that.
@@ -586,7 +656,7 @@ mod tests {
                 }
                 absorbed.absorb(build);
             }
-            // Byte-identical, interning order included.
+            // Byte-identical, id assignment included.
             assert_eq!(
                 format!("{sequential:?}"),
                 format!("{absorbed:?}"),

@@ -6,12 +6,24 @@
 //! is a known value of the same facet gets demoted. This is exactly what
 //! rescues the "used ford focus 1993" example from the Honda Civic page whose
 //! free text merely mentions the Ford Focus.
+//!
+//! ## The zero-allocation kernel
+//!
+//! The scoring kernel runs against a reusable [`QueryScratch`]: lowercased
+//! query terms are written into recycled `String` buffers, scores accumulate
+//! in a dense `Vec<f64>` indexed by doc id (with a touched-list for sparse
+//! reset), and top-k selection reuses one bounded heap. In steady state a
+//! query allocates nothing but its result `Vec<Hit>`. The plain [`search`]
+//! entry point keeps one scratch per thread; the batch broker keeps one per
+//! worker (DESIGN.md §10). Scratch reuse can never change results — the
+//! scratch is fully reset between queries and equality with fresh-scratch
+//! calls is enforced by unit and property tests.
 
-use crate::analysis::analyze_query;
 use crate::index::SearchIndex;
 use crate::postings::ShardedPostings;
-use deepweb_common::ids::DocId;
-use deepweb_common::{FxHashMap, FxHashSet};
+use deepweb_common::ids::{DocId, TermId};
+use deepweb_common::text::{is_stopword, lower_into, raw_tokens};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -75,33 +87,95 @@ impl PartialOrd for HeapEntry {
 const ANNOTATION_BOOST: f64 = 1.5;
 const ANNOTATION_CONFLICT_PENALTY: f64 = 8.0;
 
-/// Distinct query terms in first-occurrence order — the canonical scoring
-/// order every serving path (sequential, batched, scattered) folds term
-/// contributions in, so floating-point accumulation is bit-identical
-/// everywhere.
-pub(crate) fn unique_terms(terms: &[String]) -> Vec<&str> {
-    let mut seen: FxHashSet<&str> = FxHashSet::default();
-    terms
-        .iter()
-        .map(String::as_str)
-        .filter(|t| seen.insert(t))
-        .collect()
+/// Reusable per-worker state for the query kernel: recycled term buffers, a
+/// dense score accumulator with sparse reset, and the top-k heap.
+///
+/// One scratch serves any number of queries over any number of indexes; it
+/// is fully reset by [`top_k_hits`] (or the early-exit paths), and results
+/// are byte-identical to using a fresh scratch per query. `Default`/`new`
+/// give an empty scratch that sizes itself lazily on first use.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Recycled token buffers; `terms[..n_terms]` are the query's distinct
+    /// lowercased non-stopword terms in first-occurrence order — the
+    /// canonical scoring order every serving path folds contributions in.
+    terms: Vec<String>,
+    n_terms: usize,
+    /// Dense score accumulator indexed by doc id. Invariant between queries:
+    /// all zeros (only entries listed in `touched` are ever non-zero, and
+    /// top-k selection zeroes them while draining).
+    scores: Vec<f64>,
+    /// Docs with a non-zero accumulated score, in first-touch order.
+    touched: Vec<DocId>,
+    /// Bounded top-k heap (root = worst kept hit).
+    heap: BinaryHeap<HeapEntry>,
 }
 
-/// Emit one term's BM25 contribution for every posting of `term`, in doc-id
-/// order. This is the single scoring kernel: the sequential searcher
-/// accumulates straight into its score map, while the broker's scatter path
-/// collects `(doc, contribution)` candidates per shard — both run this exact
-/// function, so their floating-point values are bit-identical.
+impl QueryScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenise `text` into the scratch: distinct lowercased non-stopword
+    /// terms in first-occurrence order, written into recycled buffers.
+    /// Duplicate skipping is a linear scan — queries have a handful of terms,
+    /// and it avoids a hash set entirely.
+    pub(crate) fn analyze(&mut self, text: &str) {
+        self.n_terms = 0;
+        for raw in raw_tokens(text) {
+            if self.n_terms == self.terms.len() {
+                self.terms.push(String::new());
+            }
+            lower_into(&mut self.terms[self.n_terms], raw);
+            let tok = &self.terms[self.n_terms];
+            if is_stopword(tok) || self.terms[..self.n_terms].iter().any(|t| t == tok) {
+                continue;
+            }
+            self.n_terms += 1;
+        }
+    }
+
+    /// The analysed query terms (distinct, first-occurrence order).
+    pub(crate) fn terms(&self) -> &[String] {
+        &self.terms[..self.n_terms]
+    }
+
+    /// Ensure the dense score vector covers `num_docs` documents. Newly
+    /// exposed entries are zero, preserving the all-zeros invariant.
+    pub(crate) fn prepare(&mut self, num_docs: usize) {
+        if self.scores.len() < num_docs {
+            self.scores.resize(num_docs, 0.0);
+        }
+    }
+
+    /// Accumulate one contribution for `doc` — the exact `scores[doc] += c`
+    /// fold every serving path shares. BM25 contributions are strictly
+    /// positive, so 0.0 doubles as the "untouched" marker.
+    #[inline]
+    pub(crate) fn add(&mut self, doc: DocId, c: f64) {
+        let s = &mut self.scores[doc.as_usize()];
+        if *s == 0.0 {
+            self.touched.push(doc);
+        }
+        *s += c;
+    }
+}
+
+/// Emit one term's BM25 contribution for every posting of the interned term
+/// `id`, in doc-id order. This is the single scoring kernel: the sequential
+/// searcher accumulates straight into its scratch, while the broker's
+/// scatter path collects `(doc, contribution)` candidates per shard — both
+/// run this exact function, so their floating-point values are bit-identical.
 pub(crate) fn accumulate_term(
     postings: &ShardedPostings,
-    term: &str,
+    id: TermId,
     bm25: Bm25Params,
     avg_len: f64,
     mut emit: impl FnMut(DocId, f64),
 ) {
-    let idf = postings.idf(term);
-    for p in postings.postings(term) {
+    let idf = postings.idf_id(id);
+    for p in postings.postings_id(id) {
         let dl = postings.doc_len(p.doc) as f64;
         let tf = p.tf as f64;
         let denom = tf + bm25.k1 * (1.0 - bm25.b + bm25.b * dl / avg_len);
@@ -109,21 +183,31 @@ pub(crate) fn accumulate_term(
     }
 }
 
-/// Deterministic top-k selection over a score map: score descending, doc id
-/// ascending on ties. The tie-break is explicit at both stages — the bounded
-/// heap's eviction order and the final sort — so the result never depends on
-/// the score map's iteration order, and concurrent serving paths that build
-/// the same map in a different order return byte-identical hits.
-pub fn top_k_hits(scores: FxHashMap<DocId, f64>, k: usize) -> Vec<Hit> {
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    for (doc, score) in scores {
+/// Fold accumulated scores down to the top `k` hits and reset the scratch
+/// for the next query: score descending, doc id ascending on ties. The
+/// tie-break is explicit at both stages — the bounded heap's eviction order
+/// and the final sort — so the result never depends on accumulation order,
+/// and every serving path returns byte-identical hits.
+pub(crate) fn top_k_hits(scratch: &mut QueryScratch, k: usize) -> Vec<Hit> {
+    let QueryScratch {
+        scores,
+        touched,
+        heap,
+        ..
+    } = scratch;
+    heap.clear();
+    for &doc in touched.iter() {
+        // Zero the entry while draining: the scratch's between-queries
+        // invariant (all scores zero) is restored exactly here.
+        let score = std::mem::replace(&mut scores[doc.as_usize()], 0.0);
         heap.push(HeapEntry(score, doc.0));
         if heap.len() > k {
             heap.pop();
         }
     }
+    touched.clear();
     let mut hits: Vec<Hit> = heap
-        .into_iter()
+        .drain()
         .map(|HeapEntry(s, d)| Hit {
             doc: DocId(d),
             score: s,
@@ -138,64 +222,105 @@ pub fn top_k_hits(scores: FxHashMap<DocId, f64>, k: usize) -> Vec<Hit> {
     hits
 }
 
+thread_local! {
+    /// Per-thread scratch backing the plain [`search`] entry point, so the
+    /// reference path is itself allocation-free in steady state without
+    /// threading a scratch through every caller.
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// Run `f` against this thread's scratch (shared with [`search`]; never
+/// held across a call that could re-enter the searcher).
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// Execute `query` over `index`, returning the top `k` hits (score desc,
 /// doc id asc for ties). This is the sequential reference path every
-/// concurrent serving mode is tested against.
+/// concurrent serving mode is tested against. Uses a per-thread
+/// [`QueryScratch`]; callers that manage their own workers (the broker) pass
+/// one explicitly via [`search_with_scratch`].
 pub fn search(index: &SearchIndex, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
-    let terms = analyze_query(query);
-    if terms.is_empty() || k == 0 {
+    with_thread_scratch(|s| search_with_scratch(index, query, k, opts, s))
+}
+
+/// [`search`] against a caller-provided scratch. Reusing one scratch across
+/// any mix of queries, k values and indexes is byte-identical to fresh
+/// scratches (enforced by `tests/serving.rs` and the serving proptests).
+pub fn search_with_scratch(
+    index: &SearchIndex,
+    query: &str,
+    k: usize,
+    opts: SearchOptions,
+    scratch: &mut QueryScratch,
+) -> Vec<Hit> {
+    scratch.analyze(query);
+    if scratch.n_terms == 0 || k == 0 {
         return Vec::new();
     }
     let postings = index.postings();
     let avg_len = postings.avg_doc_len().max(1.0);
-    let mut scores: FxHashMap<DocId, f64> = FxHashMap::default();
-    for term in unique_terms(&terms) {
-        accumulate_term(postings, term, opts.bm25, avg_len, |doc, c| {
-            *scores.entry(doc).or_insert(0.0) += c;
+    scratch.prepare(postings.num_docs());
+    for ti in 0..scratch.n_terms {
+        // Unknown terms have no postings and contribute nothing; skipping
+        // them preserves the exact accumulation sequence.
+        let Some(id) = postings.term_id(&scratch.terms[ti]) else {
+            continue;
+        };
+        accumulate_term(postings, id, opts.bm25, avg_len, |doc, c| {
+            scratch.add(doc, c)
         });
     }
     if opts.use_annotations {
-        apply_annotations(index, &terms, &mut scores);
+        apply_annotations(index, scratch);
     }
-    top_k_hits(scores, k)
+    top_k_hits(scratch, k)
 }
 
-pub(crate) fn apply_annotations(
-    index: &SearchIndex,
-    terms: &[String],
-    scores: &mut FxHashMap<DocId, f64>,
-) {
-    let docs = index.docs();
+/// Apply annotation boosts/penalties to every touched doc in the scratch.
+/// Per-doc adjustments are independent, so iteration order cannot affect the
+/// result.
+pub(crate) fn apply_annotations(index: &SearchIndex, scratch: &mut QueryScratch) {
+    let terms = &scratch.terms[..scratch.n_terms];
+    for &doc in &scratch.touched {
+        scratch.scores[doc.as_usize()] += annotation_boost(index, terms, doc);
+    }
+}
+
+/// The annotation adjustment for one document: +[`ANNOTATION_BOOST`] per
+/// facet value the query names in full, -[`ANNOTATION_CONFLICT_PENALTY`] per
+/// facet where a query token is a *known value* of that facet but this page
+/// is annotated with a different one. `terms` only needs to support
+/// membership tests, so the scratch's distinct-term slice works unchanged.
+pub(crate) fn annotation_boost(index: &SearchIndex, terms: &[String], doc: DocId) -> f64 {
+    let stored = index.docs().get(doc);
+    if stored.annotations.is_empty() {
+        return 0.0;
+    }
     let facet_values = index.facet_values();
-    for (doc, score) in scores.iter_mut() {
-        let stored = docs.get(*doc);
-        if stored.annotations.is_empty() {
+    let mut boost = 0.0;
+    for ann in &stored.annotations {
+        let value_tokens: Vec<&str> = ann.value.split_whitespace().collect();
+        if value_tokens.is_empty() {
             continue;
         }
-        let mut boost = 0.0;
-        for ann in &stored.annotations {
-            let value_tokens: Vec<&str> = ann.value.split_whitespace().collect();
-            if value_tokens.is_empty() {
-                continue;
-            }
-            if value_tokens.iter().all(|vt| terms.iter().any(|t| t == vt)) {
-                // Query explicitly names this facet value: structured match.
-                boost += ANNOTATION_BOOST;
-            } else {
-                // Conflict: a query token is a *known value* of this same
-                // facet, but this page is annotated with a different value.
-                let conflicting = terms.iter().any(|t| {
-                    facet_values
-                        .get(&ann.key)
-                        .is_some_and(|vals| vals.contains(t) && !value_tokens.contains(&t.as_str()))
-                });
-                if conflicting {
-                    boost -= ANNOTATION_CONFLICT_PENALTY;
-                }
+        if value_tokens.iter().all(|vt| terms.iter().any(|t| t == vt)) {
+            // Query explicitly names this facet value: structured match.
+            boost += ANNOTATION_BOOST;
+        } else {
+            // Conflict: a query token is a *known value* of this same
+            // facet, but this page is annotated with a different value.
+            let conflicting = terms.iter().any(|t| {
+                facet_values
+                    .get(&ann.key)
+                    .is_some_and(|vals| vals.contains(t) && !value_tokens.contains(&t.as_str()))
+            });
+            if conflicting {
+                boost -= ANNOTATION_CONFLICT_PENALTY;
             }
         }
-        *score += boost;
     }
+    boost
 }
 
 #[cfg(test)]
@@ -296,5 +421,65 @@ mod tests {
     fn unknown_terms_no_hits() {
         let idx = build();
         assert!(search(&idx, "zzzzz", 10, SearchOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn scratch_analyze_dedups_in_first_occurrence_order() {
+        let mut s = QueryScratch::new();
+        s.analyze("The Ford ford FOCUS focus 1993 ford");
+        assert_eq!(s.terms(), ["ford", "focus", "1993"]);
+        // Reuse shrinks as well as grows.
+        s.analyze("honda");
+        assert_eq!(s.terms(), ["honda"]);
+        s.analyze("");
+        assert!(s.terms().is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh() {
+        let idx = build();
+        let mut reused = QueryScratch::new();
+        let queries = [
+            "ford focus",
+            "honda civic",
+            "used ford focus 1993",
+            "",
+            "zzzzz",
+            "recipes stories",
+        ];
+        for opts in [
+            SearchOptions::default(),
+            SearchOptions {
+                use_annotations: true,
+                ..Default::default()
+            },
+        ] {
+            for k in [0, 1, 2, 10] {
+                for q in queries {
+                    let a = search_with_scratch(&idx, q, k, opts, &mut reused);
+                    let b = search_with_scratch(&idx, q, k, opts, &mut QueryScratch::new());
+                    assert_eq!(a, b, "q={q:?} k={k}");
+                    assert_eq!(a, search(&idx, q, k, opts), "q={q:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_invariant_restored_between_queries() {
+        let idx = build();
+        let mut s = QueryScratch::new();
+        let _ = search_with_scratch(
+            &idx,
+            "ford focus honda",
+            10,
+            SearchOptions::default(),
+            &mut s,
+        );
+        assert!(s.touched.is_empty(), "touched list must be drained");
+        assert!(
+            s.scores.iter().all(|&x| x == 0.0),
+            "dense scores must be re-zeroed"
+        );
     }
 }

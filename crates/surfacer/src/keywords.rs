@@ -108,15 +108,15 @@ pub fn iterative_probing(
         }
     }
 
-    let keywords = greedy_diverse(&productive, cfg.max_keywords);
-    let mut covered: FxHashSet<u32> = FxHashSet::default();
-    for kw in &keywords {
-        if let Some((_, recs, _)) = productive.iter().find(|(k, _, _)| k == kw) {
-            covered.extend(recs.iter().copied());
-        }
-    }
+    // The greedy selection hands back indices into `productive` plus the
+    // covered-record union it already maintained for gain scoring — no
+    // re-search of the productive list, no second union pass.
+    let (chosen, covered) = greedy_diverse_indices(&productive, cfg.max_keywords);
     KeywordSelection {
-        keywords,
+        keywords: chosen
+            .into_iter()
+            .map(|i| productive[i].0.clone())
+            .collect(),
         covered_records: covered.len(),
         candidates_tried: tried.len(),
         probes_used: prober.requests() - start_requests,
@@ -125,12 +125,14 @@ pub fn iterative_probing(
 
 /// Greedy max-cover selection: keep adding the keyword that covers the most
 /// yet-uncovered records; when record ids are unavailable, prefer new result
-/// signatures (diversity of result pages).
-fn greedy_diverse(
+/// signatures (diversity of result pages). Returns indices into `productive`
+/// in greedy-cover order (no keyword cloning until the caller decides) and
+/// the union of records the selection covers.
+fn greedy_diverse_indices(
     productive: &[(String, FxHashSet<u32>, u64)],
     max_keywords: usize,
-) -> Vec<String> {
-    let mut chosen: Vec<String> = Vec::new();
+) -> (Vec<usize>, FxHashSet<u32>) {
+    let mut chosen: Vec<usize> = Vec::new();
     let mut covered: FxHashSet<u32> = FxHashSet::default();
     let mut seen_sigs: FxHashSet<u64> = FxHashSet::default();
     let mut remaining: Vec<usize> = (0..productive.len()).collect();
@@ -151,12 +153,12 @@ fn greedy_diverse(
             break;
         }
         let idx = remaining.remove(best_pos);
-        let (kw, recs, sig) = &productive[idx];
+        let (_, recs, sig) = &productive[idx];
         covered.extend(recs.iter().copied());
         seen_sigs.insert(*sig);
-        chosen.push(kw.clone());
+        chosen.push(idx);
     }
-    chosen
+    (chosen, covered)
 }
 
 /// Probe a fixed keyword list and report the records covered — used by the
@@ -334,9 +336,10 @@ mod tests {
             ("b".to_string(), mk(&[1, 2, 3, 4]), 20),
             ("c".to_string(), mk(&[5]), 30),
         ];
-        let sel = greedy_diverse(&productive, 2);
-        assert_eq!(sel[0], "b");
-        assert_eq!(sel[1], "c");
+        let (indices, covered) = greedy_diverse_indices(&productive, 2);
+        let sel: Vec<&str> = indices.iter().map(|&i| productive[i].0.as_str()).collect();
+        assert_eq!(sel, ["b", "c"]);
+        assert_eq!(covered.len(), 5); // {1,2,3,4} ∪ {5}
     }
 
     #[test]

@@ -162,6 +162,7 @@ impl<'a> VerticalEngine<'a> {
         let routed = self.route(query);
         stats.sources_routed = routed.len();
         let qtokens: Vec<String> = tokenize(query).collect();
+        let mut matched = vec![false; qtokens.len()];
         let mut hits: Vec<VerticalHit> = Vec::new();
         for source in routed {
             let reform = Self::reformulate(source, query);
@@ -180,13 +181,20 @@ impl<'a> VerticalEngine<'a> {
                 continue;
             };
             let doc = Document::parse(&resp.html);
-            // Wrapper: each record row/listing becomes a hit.
+            // Wrapper: each record row/listing becomes a hit. Overlap streams
+            // the row's tokens against a reusable per-query-token match mask
+            // instead of materialising a token vector per row; each query
+            // token (duplicates included, as before) counts once if present.
             for row_text in extract_result_rows(&doc) {
-                let row_tokens: Vec<String> = tokenize(&row_text).collect();
-                let overlap = qtokens
-                    .iter()
-                    .filter(|t| row_tokens.iter().any(|r| r == *t))
-                    .count();
+                matched.iter_mut().for_each(|m| *m = false);
+                for tok in tokenize(&row_text) {
+                    for (mi, q) in qtokens.iter().enumerate() {
+                        if !matched[mi] && *q == tok {
+                            matched[mi] = true;
+                        }
+                    }
+                }
+                let overlap = matched.iter().filter(|&&m| m).count();
                 if overlap > 0 {
                     hits.push(VerticalHit {
                         host: source.form.host.clone(),

@@ -1,0 +1,93 @@
+//! Property tests for the interned term dictionary and the id-keyed postings
+//! layer (DESIGN.md §10): `TermDict` intern/resolve round-trips, and the
+//! `ShardedPostings` whole-dictionary view (`iter_terms`) is identical to a
+//! straightforward string-keyed model of the same corpus — i.e. interning is
+//! invisible to every read path.
+
+use deepweb::common::ids::DocId;
+use deepweb::common::TermDict;
+use deepweb::index::{Posting, ShardedPostings};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning any word list round-trips: `intern` is idempotent, ids are
+    /// dense and first-appearance ordered, `resolve` inverts `intern`, and
+    /// `get` agrees with `intern` without mutating.
+    #[test]
+    fn termdict_intern_resolve_roundtrip(words in prop::collection::vec("[a-z0-9]{1,8}", 1..60)) {
+        let mut dict = TermDict::new();
+        let ids: Vec<_> = words.iter().map(|w| dict.intern(w)).collect();
+        // Resolve inverts intern.
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(dict.resolve(*id), w.as_str());
+            prop_assert_eq!(dict.get(w), Some(*id));
+        }
+        // Idempotence: a second pass assigns no new ids.
+        let len = dict.len();
+        let again: Vec<_> = words.iter().map(|w| dict.intern(w)).collect();
+        prop_assert_eq!(&again, &ids);
+        prop_assert_eq!(dict.len(), len);
+        // Ids are dense 0..len in first-appearance order.
+        let mut distinct_in_order: Vec<&str> = Vec::new();
+        for w in &words {
+            if !distinct_in_order.contains(&w.as_str()) {
+                distinct_in_order.push(w);
+            }
+        }
+        prop_assert_eq!(dict.len(), distinct_in_order.len());
+        let by_id: Vec<&str> = dict.iter().map(|(_, t)| t).collect();
+        prop_assert_eq!(by_id, distinct_in_order);
+        // The sorted view is a permutation of the dictionary in strict
+        // lexicographic order.
+        let sorted: Vec<&str> = dict.iter_sorted().map(|(_, t)| t).collect();
+        prop_assert_eq!(sorted.len(), dict.len());
+        prop_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// `iter_terms` over the interned postings is identical — same term
+    /// order, same postings — to a string-keyed model built from the same
+    /// documents: interning changed the storage key, not any observable
+    /// output. Holds at any shard count (routing is virtual).
+    #[test]
+    fn iter_terms_matches_string_model_pre_interning(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-z]{1,4}", 1..10),
+            1..12,
+        ),
+        shards in 1usize..10,
+    ) {
+        let mut postings = ShardedPostings::new(shards);
+        // The pre-interning model: term -> sorted (doc, tf) list, exactly
+        // what the old string-keyed layout stored, in the lexicographic
+        // order the old merged iterator yielded.
+        let mut model: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
+        for (i, words) in docs.iter().enumerate() {
+            let doc = DocId(i as u32);
+            let terms: Vec<String> = words.clone();
+            postings.add_document(doc, &terms);
+            let mut tf: BTreeMap<&String, u32> = BTreeMap::new();
+            for w in words {
+                *tf.entry(w).or_insert(0) += 1;
+            }
+            for (w, tf) in tf {
+                model.entry(w.clone()).or_default().push(Posting { doc, tf });
+            }
+        }
+        let got: Vec<(String, Vec<Posting>)> = postings
+            .iter_terms()
+            .map(|(t, l)| (t.to_string(), l.to_vec()))
+            .collect();
+        let want: Vec<(String, Vec<Posting>)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+        // Point lookups agree with the dictionary view.
+        for (t, l) in postings.iter_terms() {
+            prop_assert_eq!(postings.postings(t), l);
+            let id = postings.term_id(t).expect("indexed term must resolve");
+            prop_assert_eq!(postings.postings_id(id), l);
+            prop_assert!(postings.shard_of_id(id) < postings.num_shards());
+        }
+    }
+}

@@ -4,7 +4,10 @@
 //! under the postings' term-shard count.
 
 use deepweb::common::{derive_rng, ThreadPool, Url};
-use deepweb::index::{search, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions};
+use deepweb::index::{
+    search, search_with_scratch, DocKind, Hit, QueryBroker, QueryScratch, SearchIndex,
+    SearchOptions,
+};
 use deepweb::queries::{generate_workload, WorkloadConfig};
 use deepweb::{quick_config, DeepWebSystem};
 use proptest::prelude::*;
@@ -40,6 +43,15 @@ proptest! {
             for (q, want) in batch.iter().zip(&expected) {
                 prop_assert_eq!(&broker.search_scatter(q, 10), want);
             }
+        }
+        // One reused scratch across the whole batch is byte-identical to the
+        // reference (the broker's per-worker scratch lifecycle in miniature).
+        let mut scratch = QueryScratch::new();
+        for (q, want) in batch.iter().zip(&expected) {
+            prop_assert_eq!(
+                &search_with_scratch(&sys.index, q, 10, sys.options, &mut scratch),
+                want
+            );
         }
     }
 

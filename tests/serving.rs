@@ -7,7 +7,7 @@
 //! results.
 
 use deepweb::common::derive_rng;
-use deepweb::index::Hit;
+use deepweb::index::{search_with_scratch, Hit, QueryScratch};
 use deepweb::queries::{generate_workload, WorkloadConfig};
 use deepweb::{quick_config, DeepWebSystem};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,6 +105,39 @@ fn broker_survives_8_threads_of_interleaved_batches() {
         }
     });
     assert_eq!(served.load(Ordering::SeqCst), 8 * 4 * 48);
+}
+
+/// One `QueryScratch` reused across 100 mixed queries (workload + edge
+/// cases, varying k, plain and annotation-aware) must return byte-identical
+/// hits to a fresh scratch per call and to the `search()` reference — the
+/// scratch lifecycle can never leak state between queries.
+#[test]
+fn scratch_reused_across_100_mixed_queries_is_byte_identical() {
+    let sys = build_system(8);
+    let mut queries = workload_batch(&sys, 120, 94, "serving-scratch-reuse");
+    queries.push(String::new());
+    queries.push("the of and".into());
+    queries.push("zzzzzz qqqqqq".into());
+    queries.push("used honda civic springfield".into());
+    queries.push("used ford focus 1993".into());
+    queries.push("HONDA honda HoNdA".into());
+    assert_eq!(queries.len(), 100);
+    let mut reused = QueryScratch::new();
+    for (i, q) in queries.iter().enumerate() {
+        // Vary k and options across the stream so the reused scratch sees
+        // heap shrinkage, early exits (k = 0) and the annotations path.
+        let k = [0, 1, 5, 10][i % 4];
+        let mut opts = sys.options;
+        opts.use_annotations = i % 3 == 0;
+        let with_reused = search_with_scratch(&sys.index, q, k, opts, &mut reused);
+        let with_fresh = search_with_scratch(&sys.index, q, k, opts, &mut QueryScratch::new());
+        assert_eq!(with_reused, with_fresh, "query #{i} {q:?} k={k}");
+        assert_eq!(
+            with_reused,
+            sys.search_with(q, k, opts),
+            "query #{i} {q:?} k={k} diverges from the reference path"
+        );
+    }
 }
 
 /// Regression for ranking determinism across builds: two independent builds
