@@ -6,7 +6,13 @@
 //! bench_gate --baseline BENCH_2026-07-28.json --fresh BENCH_fresh.json \
 //!     [--tolerance 0.25] [--ids e01_serve_query,e11_plain_bm25] \
 //!     [--report bench-gate-report.txt]
+//! bench_gate --baseline-dir baselines/ --fresh BENCH_fresh.json ...
 //! ```
+//!
+//! With `--baseline-dir`, the gate itself selects the newest committed
+//! baseline among the directory's `BENCH_*.json` files, using an explicit,
+//! locale-independent tie-break (see [`select_newest_baseline`]) instead of
+//! whatever order a shell `sort` or `read_dir` happens to produce.
 //!
 //! Input is the vendored criterion stub's line-oriented JSON (one object per
 //! bench: `bench_id`, `min_ns`, `median_ns`, `mean_ns`, `samples`), parsed
@@ -84,8 +90,91 @@ fn median_of(lines: &[BenchLine], id: &str) -> Option<f64> {
         .map(|l| l.median_ns)
 }
 
+/// Pick the newest baseline among `BENCH_*.json` file names.
+///
+/// "Newest" is the greatest matching name under [`natural_cmp`] — byte
+/// order except that digit runs compare as numbers. That rule is explicit
+/// and total: the embedded ISO date (`BENCH_YYYY-MM-DD…`) makes it date
+/// order; when two baselines share a date the suffixed re-record wins
+/// (`BENCH_2026-07-28_pr4.json` over `BENCH_2026-07-28.json`, because `_`
+/// sorts after `.`) and a later numeric suffix beats an earlier one even
+/// across digit-count boundaries (`_pr10` over `_pr9`, where plain byte
+/// order would pick `_pr9`). Always, on every platform — unlike a
+/// locale-driven shell `sort` where `LC_COLLATE` may weigh punctuation
+/// differently, or a raw directory order.
+///
+/// Only dated names qualify: the character after `BENCH_` must be a digit,
+/// so an undated fresh dump (`BENCH_fresh.json`, whose lowercase `f` would
+/// out-sort every date) sharing the directory can never be mistaken for
+/// the committed baseline.
+fn select_newest_baseline<'a>(names: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    names
+        .into_iter()
+        .filter(|n| {
+            n.starts_with("BENCH_")
+                && n.ends_with(".json")
+                && n.as_bytes().get(6).is_some_and(u8::is_ascii_digit)
+        })
+        .max_by(|a, b| natural_cmp(a, b))
+}
+
+/// Total order on names: maximal digit runs compare numerically (longer
+/// run of significant digits = greater; leading zeros break ties byte-wise
+/// so the order stays total), everything else compares byte-wise.
+fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let run = |s: &[u8], mut k: usize| {
+                let start = k;
+                while k < s.len() && s[k].is_ascii_digit() {
+                    k += 1;
+                }
+                (start, k)
+            };
+            let (ai, ae) = run(a, i);
+            let (bi, be) = run(b, j);
+            fn strip(s: &[u8]) -> &[u8] {
+                let mut k = 0;
+                while k + 1 < s.len() && s[k] == b'0' {
+                    k += 1;
+                }
+                &s[k..]
+            }
+            let (da, db) = (strip(&a[ai..ae]), strip(&b[bi..be]));
+            let ord = da.len().cmp(&db.len()).then_with(|| da.cmp(db));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            // Equal values (possibly differing in leading zeros): fall back
+            // to the raw runs so e.g. "07" vs "7" still orders totally.
+            let ord = a[ai..ae].cmp(&b[bi..be]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            (i, j) = (ae, be);
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            (i, j) = (i + 1, j + 1);
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
+
+/// Where the baseline comes from: an explicit file, or the newest
+/// `BENCH_*.json` of a directory ([`select_newest_baseline`]).
+enum BaselineSource {
+    File(String),
+    Dir(String),
+}
+
 struct GateArgs {
-    baseline: String,
+    baseline: BaselineSource,
     fresh: String,
     tolerance: f64,
     ids: Vec<String>,
@@ -94,6 +183,7 @@ struct GateArgs {
 
 fn parse_args(args: &[String]) -> Result<GateArgs, String> {
     let mut baseline = None;
+    let mut baseline_dir = None;
     let mut fresh = None;
     let mut tolerance = 0.25;
     let mut ids: Vec<String> = DEFAULT_GATED_IDS.iter().map(|s| s.to_string()).collect();
@@ -107,6 +197,7 @@ fn parse_args(args: &[String]) -> Result<GateArgs, String> {
         };
         match arg.as_str() {
             "--baseline" => baseline = Some(value("--baseline")?),
+            "--baseline-dir" => baseline_dir = Some(value("--baseline-dir")?),
             "--fresh" => fresh = Some(value("--fresh")?),
             "--tolerance" => {
                 tolerance = value("--tolerance")?
@@ -124,13 +215,35 @@ fn parse_args(args: &[String]) -> Result<GateArgs, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    let baseline = match (baseline, baseline_dir) {
+        (Some(file), None) => BaselineSource::File(file),
+        (None, Some(dir)) => BaselineSource::Dir(dir),
+        (Some(_), Some(_)) => return Err("--baseline and --baseline-dir are exclusive".into()),
+        (None, None) => return Err("--baseline or --baseline-dir is required".into()),
+    };
     Ok(GateArgs {
-        baseline: baseline.ok_or("--baseline is required")?,
+        baseline,
         fresh: fresh.ok_or("--fresh is required")?,
         tolerance,
         ids,
         report,
     })
+}
+
+/// Resolve a [`BaselineSource`] to a concrete file path.
+fn resolve_baseline(source: &BaselineSource) -> Result<String, String> {
+    match source {
+        BaselineSource::File(f) => Ok(f.clone()),
+        BaselineSource::Dir(dir) => {
+            let names: Vec<String> = std::fs::read_dir(dir)
+                .map_err(|e| format!("cannot read --baseline-dir {dir}: {e}"))?
+                .filter_map(|entry| Some(entry.ok()?.file_name().to_str()?.to_string()))
+                .collect();
+            let chosen = select_newest_baseline(names.iter().map(String::as_str))
+                .ok_or_else(|| format!("no BENCH_*.json baseline in {dir}"))?;
+            Ok(format!("{dir}/{chosen}"))
+        }
+    }
 }
 
 /// Run the gate over parsed baseline/fresh lines; returns the rendered
@@ -216,6 +329,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let baseline_path = match resolve_baseline(&args.baseline) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let read = |path: &str| -> Option<String> {
         match std::fs::read_to_string(path) {
             Ok(c) => Some(c),
@@ -225,12 +345,13 @@ fn main() -> ExitCode {
             }
         }
     };
-    let (Some(base_raw), Some(fresh_raw)) = (read(&args.baseline), read(&args.fresh)) else {
+    let (Some(base_raw), Some(fresh_raw)) = (read(&baseline_path), read(&args.fresh)) else {
         return ExitCode::FAILURE;
     };
     let baseline = parse_bench_lines(&base_raw);
     let fresh = parse_bench_lines(&fresh_raw);
-    let (report, pass) = run_gate(&baseline, &fresh, &args.ids, args.tolerance);
+    let (mut report, pass) = run_gate(&baseline, &fresh, &args.ids, args.tolerance);
+    report = format!("baseline: {baseline_path}\n{report}");
     print!("{report}");
     if let Some(path) = &args.report {
         if let Err(e) = std::fs::write(path, &report) {
@@ -357,5 +478,112 @@ mod tests {
         assert_eq!(b.report.as_deref(), Some("r.txt"));
         assert!(parse_args(&["--fresh".into(), "f".into()]).is_err());
         assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn baseline_and_baseline_dir_are_exclusive() {
+        let both = parse_args(&[
+            "--baseline".into(),
+            "b".into(),
+            "--baseline-dir".into(),
+            "d".into(),
+            "--fresh".into(),
+            "f".into(),
+        ]);
+        assert!(both.is_err());
+        let dir_only = parse_args(&[
+            "--baseline-dir".into(),
+            "d".into(),
+            "--fresh".into(),
+            "f".into(),
+        ])
+        .unwrap();
+        assert!(matches!(dir_only.baseline, BaselineSource::Dir(d) if d == "d"));
+    }
+
+    #[test]
+    fn newest_baseline_same_date_tie_break_is_explicit() {
+        // The exact pair from the repo: a same-date re-record must win over
+        // the original, deterministically, whatever order the names arrive.
+        let a = ["BENCH_2026-07-28.json", "BENCH_2026-07-28_pr4.json"];
+        let b = ["BENCH_2026-07-28_pr4.json", "BENCH_2026-07-28.json"];
+        assert_eq!(
+            select_newest_baseline(a.iter().copied()),
+            Some("BENCH_2026-07-28_pr4.json")
+        );
+        assert_eq!(
+            select_newest_baseline(b.iter().copied()),
+            Some("BENCH_2026-07-28_pr4.json")
+        );
+        // And a later suffix beats an earlier one on the same date — also
+        // across digit-count boundaries, where byte order would invert.
+        assert_eq!(
+            select_newest_baseline(
+                ["BENCH_2026-07-28_pr5.json", "BENCH_2026-07-28_pr4.json"]
+                    .iter()
+                    .copied()
+            ),
+            Some("BENCH_2026-07-28_pr5.json")
+        );
+        assert_eq!(
+            select_newest_baseline(
+                ["BENCH_2026-07-28_pr9.json", "BENCH_2026-07-28_pr10.json"]
+                    .iter()
+                    .copied()
+            ),
+            Some("BENCH_2026-07-28_pr10.json")
+        );
+    }
+
+    #[test]
+    fn natural_cmp_orders_digit_runs_numerically() {
+        use std::cmp::Ordering;
+        assert_eq!(natural_cmp("pr9", "pr10"), Ordering::Less);
+        assert_eq!(natural_cmp("2026-07-28", "2026-08-01"), Ordering::Less);
+        assert_eq!(natural_cmp("a2b", "a2b"), Ordering::Equal);
+        assert_eq!(natural_cmp("a2", "a2b"), Ordering::Less);
+        // Leading zeros: equal value still orders totally and consistently.
+        assert_eq!(natural_cmp("a07", "a7"), Ordering::Less);
+        assert_eq!(natural_cmp("a07", "a8"), Ordering::Less);
+    }
+
+    #[test]
+    fn newest_baseline_prefers_later_dates_over_suffixes() {
+        let names = [
+            "BENCH_2026-07-28_pr4.json",
+            "BENCH_2026-08-01.json",
+            "BENCH_2025-12-31_zz.json",
+        ];
+        assert_eq!(
+            select_newest_baseline(names.iter().copied()),
+            Some("BENCH_2026-08-01.json")
+        );
+    }
+
+    #[test]
+    fn newest_baseline_ignores_non_matching_names() {
+        let names = ["notes.txt", "BENCH_fresh.json.tmp", "bench_2026.json"];
+        assert_eq!(select_newest_baseline(names.iter().copied()), None);
+        assert!(select_newest_baseline(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn newest_baseline_never_picks_an_undated_fresh_dump() {
+        // "BENCH_fresh.json" out-sorts every dated name byte-wise ('f' >
+        // any digit); the digit-after-prefix requirement keeps a fresh dump
+        // sharing the directory from gating against itself.
+        let names = [
+            "BENCH_fresh.json",
+            "BENCH_2026-07-28_pr4.json",
+            "BENCH_2026-07-28.json",
+        ];
+        assert_eq!(
+            select_newest_baseline(names.iter().copied()),
+            Some("BENCH_2026-07-28_pr4.json")
+        );
+        assert_eq!(
+            select_newest_baseline(["BENCH_fresh.json"].iter().copied()),
+            None
+        );
     }
 }

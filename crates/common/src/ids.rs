@@ -55,6 +55,11 @@ id_type!(
     /// An interned index term (see [`crate::intern::TermDict`]).
     TermId
 );
+id_type!(
+    /// An interned facet key (annotation name) in the search index's facet
+    /// vocabulary — the key side of annotation-aware scoring (paper §5.1).
+    FacetKeyId
+);
 
 #[cfg(test)]
 mod tests {

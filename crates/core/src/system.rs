@@ -90,6 +90,10 @@ impl DeepWebSystem {
                     DocOrigin::Discovered => DocKind::Discovered,
                 };
                 let site = world.server.site_by_host(&doc.host).map(|s| s.id);
+                // Stored values keep a lowercased display form; matching does
+                // not depend on it — the index analyses every annotation
+                // value through the text pipeline at ingest and matches by
+                // interned ids (DESIGN.md §12).
                 let annotations = doc
                     .annotations
                     .iter()

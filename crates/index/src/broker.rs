@@ -95,13 +95,15 @@ impl<'a> QueryBroker<'a> {
         }
         let postings = self.index.postings();
         let avg_len = postings.avg_doc_len().max(1.0);
-        // Resolve each distinct term to its id once (unknown terms have no
-        // postings and drop out without disturbing the accumulation order),
-        // then scatter: group term indices by owning shard — a pure function
-        // of the id, so the fan-out is stable.
+        // Resolve each distinct term to its id once via the scratch (the
+        // same resolved slice the annotation pass reads — unknown terms have
+        // no postings and drop out without disturbing the accumulation
+        // order), then scatter: group term indices by owning shard — a pure
+        // function of the id, so the fan-out is stable.
+        scratch.resolve(postings);
         let mut groups: Vec<Vec<(usize, TermId)>> = vec![Vec::new(); postings.num_shards()];
-        for (ti, term) in scratch.terms().iter().enumerate() {
-            if let Some(id) = postings.term_id(term) {
+        for (ti, id) in scratch.resolved_ids().iter().enumerate() {
+            if let Some(id) = *id {
                 groups[postings.shard_of_id(id)].push((ti, id));
             }
         }

@@ -1,6 +1,6 @@
 //! Stored documents: everything the serving layer needs to render a hit.
 
-use deepweb_common::ids::{DocId, SiteId};
+use deepweb_common::ids::{DocId, FacetKeyId, SiteId, TermId};
 use deepweb_common::Url;
 
 /// How a document entered the index (the paper's key distinction: surfaced
@@ -22,8 +22,24 @@ pub enum DocKind {
 pub struct Annotation {
     /// Facet name.
     pub key: String,
-    /// Facet value (already lowercased).
+    /// Facet value, as surfaced (display form; matching runs on the
+    /// analysed [`AnnotationIds`] the index derives at ingest).
     pub value: String,
+}
+
+/// The interned form of one [`Annotation`], computed once at index time: the
+/// facet key as a [`FacetKeyId`] and the value analysed through the shared
+/// `text` query pipeline (lowercased, punctuation-split, stopwords dropped —
+/// queries drop stopwords, so a value token kept here must be matchable)
+/// into global [`TermId`]s. This is what the annotation-aware scoring pass
+/// compares against the query's resolved ids — zero tokenisation and zero
+/// allocation at serve time.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnnotationIds {
+    /// Interned facet key.
+    pub key: FacetKeyId,
+    /// Analysed value tokens as global term ids, in value order.
+    pub terms: Vec<TermId>,
 }
 
 /// A stored document.
@@ -43,6 +59,9 @@ pub struct StoredDoc {
     pub site: Option<SiteId>,
     /// Structured annotations (empty for surface pages).
     pub annotations: Vec<Annotation>,
+    /// Pre-tokenised annotations, one per entry of `annotations`, interned
+    /// against the index's global term dictionary at ingest.
+    pub annotation_ids: Vec<AnnotationIds>,
 }
 
 /// Append-only document store.
@@ -57,7 +76,11 @@ impl DocStore {
         Self::default()
     }
 
-    /// Append a document, assigning its id.
+    /// Append a document, assigning its id. `annotation_ids` must be the
+    /// interned form of `annotations`, entry for entry (the index computes
+    /// both sides from one pass over the annotations; the length check runs
+    /// in release builds too — a mismatch would silently mis-score).
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
         url: Url,
@@ -66,7 +89,13 @@ impl DocStore {
         kind: DocKind,
         site: Option<SiteId>,
         annotations: Vec<Annotation>,
+        annotation_ids: Vec<AnnotationIds>,
     ) -> DocId {
+        assert_eq!(
+            annotations.len(),
+            annotation_ids.len(),
+            "annotation_ids must mirror annotations entry for entry"
+        );
         let id = DocId(self.docs.len() as u32);
         self.docs.push(StoredDoc {
             id,
@@ -76,6 +105,7 @@ impl DocStore {
             kind,
             site,
             annotations,
+            annotation_ids,
         });
         id
     }
@@ -115,6 +145,7 @@ mod tests {
             DocKind::Surface,
             None,
             vec![],
+            vec![],
         );
         assert_eq!(id, DocId(0));
         assert_eq!(ds.get(id).title, "t");
@@ -122,7 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn annotations_stored() {
+    fn annotations_stored_with_interned_form() {
         let mut ds = DocStore::new();
         let id = ds.push(
             Url::new("x.sim", "/r"),
@@ -134,8 +165,14 @@ mod tests {
                 key: "make".into(),
                 value: "honda".into(),
             }],
+            vec![AnnotationIds {
+                key: FacetKeyId(0),
+                terms: vec![TermId(7)],
+            }],
         );
         assert_eq!(ds.get(id).annotations[0].value, "honda");
+        assert_eq!(ds.get(id).annotation_ids[0].key, FacetKeyId(0));
+        assert_eq!(ds.get(id).annotation_ids[0].terms, vec![TermId(7)]);
         assert_eq!(ds.get(id).site, Some(SiteId(3)));
     }
 }

@@ -2,11 +2,11 @@
 //! deduplication (a crawler inserts the same URL only once — URL identity is
 //! the dedup key, as in real surfacing).
 
-use crate::analysis::analyze;
-use crate::docstore::{Annotation, DocKind, DocStore, StoredDoc};
+use crate::analysis::{analyze, analyze_query};
+use crate::docstore::{Annotation, AnnotationIds, DocKind, DocStore, StoredDoc};
 use crate::postings::{Postings, ShardedPostings};
-use deepweb_common::ids::{DocId, SiteId};
-use deepweb_common::{FxHashMap, FxHashSet, ThreadPool, Url};
+use deepweb_common::ids::{DocId, FacetKeyId, SiteId, TermId};
+use deepweb_common::{FxHashMap, FxHashSet, TermDict, ThreadPool, Url};
 
 /// One document of a batch insert (the argument list of [`SearchIndex::add`]
 /// as a struct, so batches can cross thread boundaries).
@@ -30,12 +30,22 @@ pub struct BatchDoc {
 /// ([`ShardedPostings`]) so the concurrent serving path can scatter query
 /// terms across shards; the shard count is a build-time layout choice that
 /// never changes ranking (DESIGN.md §9).
+///
+/// Annotations ride the same interned dictionary as body text (DESIGN.md
+/// §12): facet keys intern to [`FacetKeyId`]s, annotation values are
+/// analysed through the `text` pipeline at ingest and stored as
+/// pre-tokenised [`TermId`] slices on the docstore, and the facet
+/// vocabulary is an id-keyed set — the annotation-aware scoring pass is an
+/// id-set probe with zero per-query string work.
 #[derive(Default, Clone, Debug)]
 pub struct SearchIndex {
     docs: DocStore,
     postings: ShardedPostings,
     by_url: FxHashMap<String, DocId>,
-    facet_values: FxHashMap<String, FxHashSet<String>>,
+    /// Facet key text → [`FacetKeyId`], first-appearance order.
+    facet_keys: TermDict,
+    /// Facet → known analysed value tokens, both sides interned.
+    facet_values: FxHashMap<FacetKeyId, FxHashSet<TermId>>,
 }
 
 impl SearchIndex {
@@ -72,18 +82,57 @@ impl SearchIndex {
         // Index title + body (title terms matter for ranking).
         let mut terms = analyze(&title);
         terms.extend(analyze(&text));
-        for ann in &annotations {
-            for tok in ann.value.split_whitespace() {
-                self.facet_values
-                    .entry(ann.key.clone())
-                    .or_default()
-                    .insert(tok.to_string());
-            }
-        }
-        let id = self.docs.push(url, title, text, kind, site, annotations);
+        let id = DocId(self.docs.len() as u32);
+        // Canonical interning order per document: body terms first, then
+        // annotation value tokens — the order the parallel build's id remap
+        // replays (DESIGN.md §12).
         self.postings.add_document(id, &terms);
+        let annotation_ids = self.intern_annotations(&annotations);
+        self.docs
+            .push(url, title, text, kind, site, annotations, annotation_ids);
         self.by_url.insert(key, id);
         id
+    }
+
+    /// Analyse one document's annotations through the query-side `text`
+    /// pipeline (lowercased, punctuation-split, stopwords dropped — a value
+    /// token kept here must be *matchable*, and query analysis drops
+    /// stopwords, so "out of stock" must become `[out, stock]` for its
+    /// boost to ever fire), intern the value tokens into the global
+    /// dictionary and the key into the facet-key dictionary, and feed the
+    /// facet vocabulary. Must run directly after the document's body terms
+    /// were interned — that per-document order is the canonical one both
+    /// build paths replay.
+    fn intern_annotations(&mut self, annotations: &[Annotation]) -> Vec<AnnotationIds> {
+        annotations
+            .iter()
+            .map(|ann| {
+                let terms: Vec<TermId> = analyze_query(&ann.value)
+                    .iter()
+                    .map(|tok| self.postings.intern_term(tok))
+                    .collect();
+                self.record_annotation(&ann.key, terms)
+            })
+            .collect()
+    }
+
+    /// The shared annotation bookkeeping both build paths run per
+    /// annotation, so the facet vocabulary can never diverge between the
+    /// sequential and the parallel build: intern the facet key, feed the
+    /// analysed value-token ids into the vocabulary, and pair them up.
+    /// Only how the `terms` were produced differs between callers (direct
+    /// interning vs the absorb remap of shard-local ids).
+    fn record_annotation(&mut self, key: &str, terms: Vec<TermId>) -> AnnotationIds {
+        let key = self.intern_facet_key(key);
+        self.facet_values
+            .entry(key)
+            .or_default()
+            .extend(terms.iter().copied());
+        AnnotationIds { key, terms }
+    }
+
+    fn intern_facet_key(&mut self, key: &str) -> FacetKeyId {
+        FacetKeyId(self.facet_keys.intern(key).0)
     }
 
     /// Add a batch of documents with tokenisation and postings construction
@@ -116,7 +165,11 @@ impl SearchIndex {
         }
         // 2. Contiguous shards (≈4 per worker for stealing headroom), each
         // analysed into a doc-local postings shard in parallel. Split the
-        // owned vec — no re-cloning of document text.
+        // owned vec — no re-cloning of document text. Annotation values are
+        // analysed and interned into the shard-local dictionary in the same
+        // per-document order the sequential path uses (body terms, then
+        // annotations), so the absorb-time id remap replays the sequential
+        // interning order for them too.
         let shard_len = fresh.len().div_ceil(pool.workers().max(1) * 4).max(1);
         let mut shards: Vec<Vec<BatchDoc>> = Vec::new();
         while fresh.len() > shard_len {
@@ -126,26 +179,46 @@ impl SearchIndex {
         shards.push(fresh);
         let built = pool.map(shards, |_, shard: Vec<BatchDoc>| {
             let mut postings = Postings::new();
+            // Per doc, per annotation: the value's analysed tokens as
+            // shard-local term ids.
+            let mut ann_local: Vec<Vec<Vec<TermId>>> = Vec::with_capacity(shard.len());
             for (local, doc) in shard.iter().enumerate() {
                 let mut terms = analyze(&doc.title);
                 terms.extend(analyze(&doc.text));
                 postings.add_document(DocId(local as u32), &terms);
+                ann_local.push(
+                    doc.annotations
+                        .iter()
+                        .map(|ann| {
+                            analyze_query(&ann.value)
+                                .iter()
+                                .map(|tok| postings.intern_term(tok))
+                                .collect()
+                        })
+                        .collect(),
+                );
             }
-            (postings, shard)
+            (postings, shard, ann_local)
         });
         // 3. Deterministic merge in shard order + sequential store/facet
-        // bookkeeping (identical to what `add` does per document).
-        for (shard_postings, shard) in built {
-            self.postings.absorb(shard_postings);
-            for doc in shard {
-                for ann in &doc.annotations {
-                    for tok in ann.value.split_whitespace() {
-                        self.facet_values
-                            .entry(ann.key.clone())
-                            .or_default()
-                            .insert(tok.to_string());
-                    }
-                }
+        // bookkeeping (identical to what `add` does per document): absorb
+        // hands back the shard-local → global id remap, which rewrites the
+        // pre-tokenised annotation values into global ids.
+        for (shard_postings, shard, shard_ann_local) in built {
+            let remap = self.postings.absorb(shard_postings);
+            for (doc, ann_local) in shard.into_iter().zip(shard_ann_local) {
+                let annotation_ids: Vec<AnnotationIds> = doc
+                    .annotations
+                    .iter()
+                    .zip(ann_local)
+                    .map(|(ann, local_ids)| {
+                        let terms: Vec<TermId> = local_ids
+                            .into_iter()
+                            .map(|local| remap[local.as_usize()])
+                            .collect();
+                        self.record_annotation(&ann.key, terms)
+                    })
+                    .collect();
                 self.docs.push(
                     doc.url,
                     doc.title,
@@ -153,6 +226,7 @@ impl SearchIndex {
                     doc.kind,
                     doc.site,
                     doc.annotations,
+                    annotation_ids,
                 );
             }
         }
@@ -163,12 +237,16 @@ impl SearchIndex {
     /// Extend the facet vocabulary with externally observed values (e.g.
     /// the select options and JS dependency maps the crawler saw on forms).
     /// Conflict detection in annotation-aware scoring can then recognise a
-    /// facet value even when no surfaced page was annotated with it.
+    /// facet value even when no surfaced page was annotated with it. Values
+    /// go through the same analysis as annotation values at ingest
+    /// (lowercase, punctuation-split, stopwords dropped), so mixed-case or
+    /// punctuated vocabulary still matches analysed query terms.
     pub fn add_facet_values<I: IntoIterator<Item = String>>(&mut self, key: &str, values: I) {
-        let entry = self.facet_values.entry(key.to_string()).or_default();
+        let key = self.intern_facet_key(key);
+        let entry = self.facet_values.entry(key).or_default();
         for v in values {
-            for tok in v.to_ascii_lowercase().split_whitespace() {
-                entry.insert(tok.to_string());
+            for tok in analyze_query(&v) {
+                entry.insert(self.postings.intern_term(&tok));
             }
         }
     }
@@ -193,10 +271,31 @@ impl SearchIndex {
         &self.postings
     }
 
-    /// Facet → set of known values (from annotations), used by
-    /// annotation-aware scoring.
-    pub fn facet_values(&self) -> &FxHashMap<String, FxHashSet<String>> {
+    /// Facet → set of known analysed value tokens, both sides interned;
+    /// the structure annotation-aware scoring probes (one id-set lookup per
+    /// facet, one membership test per resolved query id).
+    pub fn facet_values(&self) -> &FxHashMap<FacetKeyId, FxHashSet<TermId>> {
         &self.facet_values
+    }
+
+    /// Id of a facet key, if any annotation or facet vocabulary used it.
+    pub fn facet_key_id(&self, key: &str) -> Option<FacetKeyId> {
+        self.facet_keys.get(key).map(|id| FacetKeyId(id.0))
+    }
+
+    /// True if `value_token` (one analysed token) is a known value of facet
+    /// `key` — the string-level view of the interned facet vocabulary, for
+    /// tests and reports.
+    pub fn facet_value_known(&self, key: &str, value_token: &str) -> bool {
+        let Some(key) = self.facet_key_id(key) else {
+            return false;
+        };
+        let Some(id) = self.postings.term_id(value_token) else {
+            return false;
+        };
+        self.facet_values
+            .get(&key)
+            .is_some_and(|vals| vals.contains(&id))
     }
 
     /// Number of documents.
@@ -304,8 +403,49 @@ mod tests {
                 value: "ford".into(),
             }],
         );
-        let vals = &idx.facet_values()["make"];
-        assert!(vals.contains("honda") && vals.contains("ford"));
+        assert!(idx.facet_value_known("make", "honda"));
+        assert!(idx.facet_value_known("make", "ford"));
+        assert!(!idx.facet_value_known("make", "tesla"));
+        assert!(!idx.facet_value_known("model", "honda"));
+        let key = idx.facet_key_id("make").expect("make interned");
+        assert_eq!(idx.facet_values()[&key].len(), 2);
+    }
+
+    #[test]
+    fn mixed_case_and_punctuated_facet_values_are_analysed() {
+        // Regression: raw values used to enter the vocabulary unanalysed, so
+        // "Honda" or "new-york" could never match a lowercased query term.
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "t".into(),
+            "x".into(),
+            DocKind::Surfaced,
+            Some(SiteId(0)),
+            vec![
+                Annotation {
+                    key: "make".into(),
+                    value: "Honda".into(),
+                },
+                Annotation {
+                    key: "city".into(),
+                    value: "New-York".into(),
+                },
+            ],
+        );
+        assert!(idx.facet_value_known("make", "honda"));
+        assert!(idx.facet_value_known("city", "new"));
+        assert!(idx.facet_value_known("city", "york"));
+        let doc = idx.doc(DocId(0));
+        assert_eq!(doc.annotation_ids.len(), 2);
+        // The stored id slices resolve back to the analysed tokens.
+        let city = &doc.annotation_ids[1];
+        let resolved: Vec<&str> = city
+            .terms
+            .iter()
+            .map(|&t| idx.postings().dict().resolve(t))
+            .collect();
+        assert_eq!(resolved, vec!["new", "york"]);
     }
 
     #[test]
@@ -350,10 +490,16 @@ mod tests {
                     "postings for {term:?} diverge at workers={workers}"
                 );
             }
-            assert_eq!(
-                parallel.facet_values()["make"],
-                pre_seq.facet_values()["make"]
-            );
+            // The whole interned facet layer replays identically: key ids,
+            // value-token ids, and every doc's pre-tokenised annotations.
+            assert_eq!(parallel.facet_values(), pre_seq.facet_values());
+            for (p, s) in parallel.docs().iter().zip(pre_seq.docs().iter()) {
+                assert_eq!(
+                    p.annotation_ids, s.annotation_ids,
+                    "doc {} annotation ids diverge at workers={workers}",
+                    p.id
+                );
+            }
         }
     }
 

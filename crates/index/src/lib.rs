@@ -20,7 +20,7 @@ pub mod searcher;
 pub mod snippet;
 
 pub use broker::QueryBroker;
-pub use docstore::{Annotation, DocKind, DocStore, StoredDoc};
+pub use docstore::{Annotation, AnnotationIds, DocKind, DocStore, StoredDoc};
 pub use index::{BatchDoc, IndexStats, SearchIndex};
 pub use postings::{term_shard, Posting, Postings, ShardedPostings};
 pub use searcher::{search, search_with_scratch, Bm25Params, Hit, QueryScratch, SearchOptions};

@@ -84,17 +84,31 @@ fn index_document(
 /// i.e. the shard's first-appearance order — into `dict`, appending each
 /// term's postings with doc ids shifted by `offset`. The shared id-remap
 /// kernel behind both `absorb` impls (determinism argument: DESIGN.md §10).
-fn absorb_shard(dict: &mut TermDict, lists: &mut Vec<Vec<Posting>>, shard: &Postings, offset: u32) {
+///
+/// Returns the remap table: `remap[local_id] = global_id` for every term of
+/// the shard's dictionary. The parallel index build uses it to rewrite the
+/// shard's pre-tokenised annotation ids into global ids — the annotation
+/// layer replays the sequential interning order exactly like postings do
+/// (DESIGN.md §12).
+fn absorb_shard(
+    dict: &mut TermDict,
+    lists: &mut Vec<Vec<Posting>>,
+    shard: &Postings,
+    offset: u32,
+) -> Vec<TermId> {
+    let mut remap = Vec::with_capacity(shard.dict.len());
     for (local_id, term) in shard.dict.iter() {
         let id = dict.intern(term);
-        if id.as_usize() == lists.len() {
-            lists.push(Vec::new());
+        if id.as_usize() >= lists.len() {
+            lists.resize_with(id.as_usize() + 1, Vec::new);
         }
         lists[id.as_usize()].extend(shard.lists[local_id.as_usize()].iter().map(|p| Posting {
             doc: DocId(p.doc.0 + offset),
             tf: p.tf,
         }));
+        remap.push(id);
     }
+    remap
 }
 
 /// The postings lists plus document lengths, keyed by [`TermId`].
@@ -137,6 +151,19 @@ impl Postings {
     /// The term dictionary.
     pub fn dict(&self) -> &TermDict {
         &self.dict
+    }
+
+    /// Intern a term into the dictionary without attaching postings (used
+    /// for annotation/facet value tokens, which must live in the same id
+    /// space as body terms so the query kernel resolves a term once for
+    /// both scoring and facet matching). Keeps the lists vector sized to
+    /// the dictionary, so a later [`Postings::absorb`] walk stays in step.
+    pub(crate) fn intern_term(&mut self, term: &str) -> TermId {
+        let id = self.dict.intern(term);
+        if self.lists.len() < self.dict.len() {
+            self.lists.resize_with(self.dict.len(), Vec::new);
+        }
+        id
     }
 
     /// Id of a term, if it has been indexed.
@@ -218,11 +245,14 @@ impl Postings {
     /// concatenating each term's per-shard lists reproduces its doc-sorted
     /// postings. The result is identical to adding every document
     /// sequentially.
-    pub fn absorb(&mut self, shard: Postings) {
+    ///
+    /// Returns the shard-local → global [`TermId`] remap table (see
+    /// [`absorb_shard`]); callers that carry no shard-local ids ignore it.
+    pub fn absorb(&mut self, shard: Postings) -> Vec<TermId> {
         let offset = self.doc_len.len() as u32;
         self.total_len += shard.total_len;
         self.doc_len.extend_from_slice(&shard.doc_len);
-        absorb_shard(&mut self.dict, &mut self.lists, &shard, offset);
+        absorb_shard(&mut self.dict, &mut self.lists, &shard, offset)
     }
 
     /// Merge shards of contiguous document ranges, in order, into one
@@ -300,6 +330,13 @@ impl ShardedPostings {
         self.inner.term_id(term)
     }
 
+    /// Intern a term without attaching postings (annotation/facet value
+    /// tokens ride the same global dictionary — see
+    /// [`Postings::intern_term`]).
+    pub(crate) fn intern_term(&mut self, term: &str) -> TermId {
+        self.inner.intern_term(term)
+    }
+
     /// The shard owning an interned term (pure function of the id).
     pub fn shard_of_id(&self, id: TermId) -> usize {
         term_shard(id, self.num_shards)
@@ -328,9 +365,10 @@ impl ShardedPostings {
     /// dictionary records first-appearance order within its range, so walking
     /// it in id order re-interns every term into the global dictionary in
     /// exactly the order the sequential [`ShardedPostings::add_document`]
-    /// path would have — same id assignment, same doc-sorted lists.
-    pub fn absorb(&mut self, shard: Postings) {
-        self.inner.absorb(shard);
+    /// path would have — same id assignment, same doc-sorted lists. Returns
+    /// the shard-local → global id remap (see [`Postings::absorb`]).
+    pub fn absorb(&mut self, shard: Postings) -> Vec<TermId> {
+        self.inner.absorb(shard)
     }
 
     /// Postings for an interned term — a flat index, no hashing.

@@ -101,6 +101,10 @@ pub struct QueryScratch {
     /// canonical scoring order every serving path folds contributions in.
     terms: Vec<String>,
     n_terms: usize,
+    /// Resolved ids of `terms[..n_terms]`, filled by [`QueryScratch::resolve`]
+    /// — one dictionary hash per term per query, shared by scoring and the
+    /// annotation pass (`None` = term unknown to the index).
+    ids: Vec<Option<TermId>>,
     /// Dense score accumulator indexed by doc id. Invariant between queries:
     /// all zeros (only entries listed in `touched` are ever non-zero, and
     /// top-k selection zeroes them while draining).
@@ -139,6 +143,25 @@ impl QueryScratch {
     /// The analysed query terms (distinct, first-occurrence order).
     pub(crate) fn terms(&self) -> &[String] {
         &self.terms[..self.n_terms]
+    }
+
+    /// Resolve every analysed term against the index's dictionary into the
+    /// recycled id buffer — the query's single string-hash pass. Scoring
+    /// skips the `None`s (unknown terms have no postings); the annotation
+    /// pass probes the `Some` ids against interned facet structures.
+    pub(crate) fn resolve(&mut self, postings: &ShardedPostings) {
+        self.ids.clear();
+        self.ids.extend(
+            self.terms[..self.n_terms]
+                .iter()
+                .map(|t| postings.term_id(t)),
+        );
+    }
+
+    /// The resolved query ids, aligned with [`QueryScratch::terms`]. Only
+    /// valid after [`QueryScratch::resolve`] for the current query.
+    pub(crate) fn resolved_ids(&self) -> &[Option<TermId>] {
+        &self.ids
     }
 
     /// Ensure the dense score vector covers `num_docs` documents. Newly
@@ -260,11 +283,13 @@ pub fn search_with_scratch(
     }
     let postings = index.postings();
     let avg_len = postings.avg_doc_len().max(1.0);
+    scratch.resolve(postings);
     scratch.prepare(postings.num_docs());
     for ti in 0..scratch.n_terms {
         // Unknown terms have no postings and contribute nothing; skipping
-        // them preserves the exact accumulation sequence.
-        let Some(id) = postings.term_id(&scratch.terms[ti]) else {
+        // them preserves the exact accumulation sequence. (Annotation-only
+        // terms resolve but own empty posting lists — same no-op.)
+        let Some(id) = scratch.ids[ti] else {
             continue;
         };
         accumulate_term(postings, id, opts.bm25, avg_len, |doc, c| {
@@ -279,45 +304,78 @@ pub fn search_with_scratch(
 
 /// Apply annotation boosts/penalties to every touched doc in the scratch.
 /// Per-doc adjustments are independent, so iteration order cannot affect the
-/// result.
+/// result. Requires [`QueryScratch::resolve`] to have run for this query
+/// (every serving path resolves right after `analyze`).
 pub(crate) fn apply_annotations(index: &SearchIndex, scratch: &mut QueryScratch) {
-    let terms = &scratch.terms[..scratch.n_terms];
-    for &doc in &scratch.touched {
-        scratch.scores[doc.as_usize()] += annotation_boost(index, terms, doc);
+    let QueryScratch {
+        ids,
+        n_terms,
+        scores,
+        touched,
+        ..
+    } = scratch;
+    let qids = &ids[..*n_terms];
+    for &doc in touched.iter() {
+        scores[doc.as_usize()] += annotation_boost(index, qids, doc);
     }
 }
 
 /// The annotation adjustment for one document: +[`ANNOTATION_BOOST`] per
 /// facet value the query names in full, -[`ANNOTATION_CONFLICT_PENALTY`] per
 /// facet where a query token is a *known value* of that facet but this page
-/// is annotated with a different one. `terms` only needs to support
-/// membership tests, so the scratch's distinct-term slice works unchanged.
-pub(crate) fn annotation_boost(index: &SearchIndex, terms: &[String], doc: DocId) -> f64 {
+/// is annotated with a different one.
+///
+/// Everything here is interned: annotation values live on the docstore as
+/// pre-tokenised [`TermId`] slices, the facet vocabulary is an id-set keyed
+/// by facet-key id, and `qids` are the query's resolved ids — so one query
+/// id compares against annotation tokens by `u32` equality and probes the
+/// vocabulary with one integer hash. Each annotation takes a single pass
+/// over the resolved ids (no `terms × values` string rescans): a bitmask
+/// tracks which value tokens the query covers while the same pass flags
+/// conflicting ids.
+pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[Option<TermId>], doc: DocId) -> f64 {
     let stored = index.docs().get(doc);
-    if stored.annotations.is_empty() {
+    if stored.annotation_ids.is_empty() {
         return 0.0;
     }
     let facet_values = index.facet_values();
     let mut boost = 0.0;
-    for ann in &stored.annotations {
-        let value_tokens: Vec<&str> = ann.value.split_whitespace().collect();
-        if value_tokens.is_empty() {
+    for ann in &stored.annotation_ids {
+        let value_ids = &ann.terms;
+        if value_ids.is_empty() || value_ids.len() > 64 {
+            // Empty: nothing to match (and nothing to conflict with, since a
+            // conflict is "a different value of *this* facet"). >64 tokens
+            // cannot happen for form-input values; skip rather than score a
+            // facet we cannot track exactly.
             continue;
         }
-        if value_tokens.iter().all(|vt| terms.iter().any(|t| t == vt)) {
+        let full: u64 = u64::MAX >> (64 - value_ids.len());
+        let mut covered: u64 = 0;
+        let mut conflict = false;
+        for qid in qids {
+            let Some(qid) = *qid else {
+                continue;
+            };
+            let mut is_value_token = false;
+            for (vi, &v) in value_ids.iter().enumerate() {
+                if v == qid {
+                    covered |= 1 << vi;
+                    is_value_token = true;
+                }
+            }
+            // Conflict candidate: a query id that is a known value of this
+            // facet but not one of this annotation's own tokens.
+            if !is_value_token && !conflict {
+                conflict = facet_values
+                    .get(&ann.key)
+                    .is_some_and(|vals| vals.contains(&qid));
+            }
+        }
+        if covered == full {
             // Query explicitly names this facet value: structured match.
             boost += ANNOTATION_BOOST;
-        } else {
-            // Conflict: a query token is a *known value* of this same
-            // facet, but this page is annotated with a different value.
-            let conflicting = terms.iter().any(|t| {
-                facet_values
-                    .get(&ann.key)
-                    .is_some_and(|vals| vals.contains(t) && !value_tokens.contains(&t.as_str()))
-            });
-            if conflicting {
-                boost -= ANNOTATION_CONFLICT_PENALTY;
-            }
+        } else if conflict {
+            boost -= ANNOTATION_CONFLICT_PENALTY;
         }
     }
     boost
@@ -408,6 +466,125 @@ mod tests {
         if let Some(h) = honda {
             assert!(ford > h + 1.0, "annotation gap should be decisive");
         }
+    }
+
+    /// Regression for the per-query re-tokenisation bug: a facet value that
+    /// was surfaced with mixed case or punctuation ("Honda", "new-york")
+    /// used to be matched raw against lowercased analysed query terms, so
+    /// its boost silently never fired. Values are now analysed at ingest.
+    #[test]
+    fn mixed_case_and_punctuated_facet_values_boost() {
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "honda civics".into(),
+            "used honda civic listing in new york".into(),
+            DocKind::Surfaced,
+            None,
+            vec![
+                Annotation {
+                    key: "make".into(),
+                    value: "Honda".into(),
+                },
+                Annotation {
+                    key: "city".into(),
+                    value: "new-york".into(),
+                },
+            ],
+        );
+        idx.add(
+            Url::new("b.sim", "/2"),
+            "ford listing".into(),
+            "used ford focus listing in new york".into(),
+            DocKind::Surfaced,
+            None,
+            vec![Annotation {
+                key: "make".into(),
+                value: "Ford".into(),
+            }],
+        );
+        let plain = SearchOptions::default();
+        let ann = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
+        let q = "used honda new york";
+        let base = search(&idx, q, 10, plain);
+        let boosted = search(&idx, q, 10, ann);
+        let score_of =
+            |hits: &[Hit], d: u32| hits.iter().find(|h| h.doc == DocId(d)).unwrap().score;
+        // Both the mixed-case make and the hyphenated city boost fire, and
+        // the conflicting Ford page is penalised ("honda" is a known make).
+        let delta_honda = score_of(&boosted, 0) - score_of(&base, 0);
+        assert!(
+            (delta_honda - 2.0 * ANNOTATION_BOOST).abs() < 1e-12,
+            "expected make + city boosts, got {delta_honda}"
+        );
+        let delta_ford = score_of(&boosted, 1) - score_of(&base, 1);
+        assert!(
+            (delta_ford + ANNOTATION_CONFLICT_PENALTY).abs() < 1e-12,
+            "expected make conflict penalty, got {delta_ford}"
+        );
+        assert_eq!(boosted[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn stopword_bearing_facet_values_still_boost() {
+        // Query analysis drops stopwords, so a value like "Out of Stock"
+        // must shed its "of" at ingest too — otherwise its boost could
+        // never fire (the same silently-dead-boost class as mixed case).
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "widget listing".into(),
+            "blue widget currently out stock".into(),
+            DocKind::Surfaced,
+            None,
+            vec![Annotation {
+                key: "status".into(),
+                value: "Out of Stock".into(),
+            }],
+        );
+        let plain = SearchOptions::default();
+        let ann = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
+        let q = "out stock widget";
+        let base = search(&idx, q, 10, plain)[0].score;
+        let boosted = search(&idx, q, 10, ann)[0].score;
+        assert!(
+            (boosted - base - ANNOTATION_BOOST).abs() < 1e-12,
+            "stopword-bearing value must still boost: {base} -> {boosted}"
+        );
+    }
+
+    #[test]
+    fn partial_value_match_does_not_boost() {
+        // A multi-token value boosts only when the query names it in full.
+        let mut idx = SearchIndex::new();
+        idx.add(
+            Url::new("a.sim", "/1"),
+            "listing".into(),
+            "apartment in new york city".into(),
+            DocKind::Surfaced,
+            None,
+            vec![Annotation {
+                key: "city".into(),
+                value: "New-York".into(),
+            }],
+        );
+        let plain = SearchOptions::default();
+        let ann = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
+        // "new" alone covers only half the value: no boost, and no conflict
+        // either ("new" is one of this annotation's own tokens).
+        let q = "new apartment";
+        let base = search(&idx, q, 10, plain);
+        let with = search(&idx, q, 10, ann);
+        assert_eq!(base, with);
     }
 
     #[test]

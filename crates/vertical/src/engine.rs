@@ -8,7 +8,7 @@
 //! problem).
 
 use crate::sources::{Source, SourceRegistry};
-use deepweb_common::text::tokenize;
+use deepweb_common::text::{lower_into, raw_tokens, tokenize};
 use deepweb_common::Url;
 use deepweb_html::{Document, WidgetKind};
 use deepweb_webworld::Fetcher;
@@ -163,6 +163,7 @@ impl<'a> VerticalEngine<'a> {
         stats.sources_routed = routed.len();
         let qtokens: Vec<String> = tokenize(query).collect();
         let mut matched = vec![false; qtokens.len()];
+        let mut tok_buf = String::new();
         let mut hits: Vec<VerticalHit> = Vec::new();
         for source in routed {
             let reform = Self::reformulate(source, query);
@@ -185,11 +186,15 @@ impl<'a> VerticalEngine<'a> {
             // the row's tokens against a reusable per-query-token match mask
             // instead of materialising a token vector per row; each query
             // token (duplicates included, as before) counts once if present.
+            // Row tokens flow through one recycled lowercase buffer (the
+            // same `raw_tokens`/`lower_into` discipline as the query
+            // scratch), so overlap scoring allocates nothing per row.
             for row_text in extract_result_rows(&doc) {
                 matched.iter_mut().for_each(|m| *m = false);
-                for tok in tokenize(&row_text) {
+                for raw in raw_tokens(&row_text) {
+                    lower_into(&mut tok_buf, raw);
                     for (mi, q) in qtokens.iter().enumerate() {
-                        if !matched[mi] && *q == tok {
+                        if !matched[mi] && *q == tok_buf {
                             matched[mi] = true;
                         }
                     }

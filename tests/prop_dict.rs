@@ -1,12 +1,14 @@
 //! Property tests for the interned term dictionary and the id-keyed postings
-//! layer (DESIGN.md §10): `TermDict` intern/resolve round-trips, and the
+//! layer (DESIGN.md §10/§12): `TermDict` intern/resolve round-trips, the
 //! `ShardedPostings` whole-dictionary view (`iter_terms`) is identical to a
 //! straightforward string-keyed model of the same corpus — i.e. interning is
-//! invisible to every read path.
+//! invisible to every read path — and the parallel index build replays the
+//! sequential interning order for the annotation layer exactly like it does
+//! for postings.
 
 use deepweb::common::ids::DocId;
-use deepweb::common::TermDict;
-use deepweb::index::{Posting, ShardedPostings};
+use deepweb::common::{TermDict, ThreadPool, Url};
+use deepweb::index::{Annotation, BatchDoc, DocKind, Posting, SearchIndex, ShardedPostings};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -88,6 +90,69 @@ proptest! {
             let id = postings.term_id(t).expect("indexed term must resolve");
             prop_assert_eq!(postings.postings_id(id), l);
             prop_assert!(postings.shard_of_id(id) < postings.num_shards());
+        }
+    }
+
+    /// The annotation layer's id remap is as deterministic as the postings
+    /// one: a parallel batch build assigns byte-identical facet-key ids,
+    /// facet value-token ids and per-doc pre-tokenised annotation slices to
+    /// a sequential `add` loop over the same documents, at any worker count
+    /// — including annotation tokens that never occur in any body text, and
+    /// mixed-case/punctuated values that only analysis can line up.
+    #[test]
+    fn parallel_build_annotation_ids_equal_sequential(
+        docs in prop::collection::vec(
+            (
+                prop::collection::vec("[a-z]{1,4}", 1..8),
+                prop::collection::vec(
+                    ("[a-z]{1,2}", "[A-Za-z]{1,4}", "[A-Za-z]{0,3}"),
+                    0..3,
+                ),
+            ),
+            1..12,
+        ),
+        workers in 1usize..5,
+    ) {
+        let batch: Vec<BatchDoc> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, (words, anns))| BatchDoc {
+                url: Url::new("w.sim", format!("/d{i}")),
+                title: String::new(),
+                text: words.join(" "),
+                kind: DocKind::Surfaced,
+                site: None,
+                annotations: anns
+                    .iter()
+                    .map(|(k, v, tail)| Annotation {
+                        key: k.clone(),
+                        // Mixed-case and (when the tail is non-empty)
+                        // hyphen-punctuated values, composed here because
+                        // the vendored proptest stub has no regex groups.
+                        value: if tail.is_empty() {
+                            v.clone()
+                        } else {
+                            format!("{v}-{tail}")
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut sequential = SearchIndex::new();
+        for d in batch.iter().cloned() {
+            sequential.add(d.url, d.title, d.text, d.kind, d.site, d.annotations);
+        }
+        let mut parallel = SearchIndex::new();
+        parallel.add_batch(&ThreadPool::new(workers), batch);
+        // Postings + dictionary replay (the existing contract) …
+        prop_assert_eq!(
+            format!("{:?}", sequential.postings()),
+            format!("{:?}", parallel.postings())
+        );
+        // … and the annotation layer replays with them.
+        prop_assert_eq!(sequential.facet_values(), parallel.facet_values());
+        for (s, p) in sequential.docs().iter().zip(parallel.docs().iter()) {
+            prop_assert_eq!(&s.annotation_ids, &p.annotation_ids);
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Property tests for concurrent serving: for random webworlds and random
 //! query batches, `search_batch` at any worker count returns identical
-//! `Vec<Hit>` to per-query sequential `search()`; and ranking is invariant
-//! under the postings' term-shard count.
+//! `Vec<Hit>` to per-query sequential `search()` — with annotation-aware
+//! scoring as well as plain BM25 — and ranking is invariant under the
+//! postings' term-shard count.
 
 use deepweb::common::{derive_rng, ThreadPool, Url};
 use deepweb::index::{
@@ -16,7 +17,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
     /// Random world, random Zipf batch: batched and scattered serving are
-    /// byte-identical to the sequential reference at w ∈ {1, 2, 4}.
+    /// byte-identical to the sequential reference at w ∈ {1, 2, 4} — in
+    /// plain BM25 mode *and* with the interned annotation pass enabled.
     #[test]
     fn random_world_batches_serve_identically(
         seed in 1u64..10_000,
@@ -34,24 +36,29 @@ proptest! {
         });
         let mut rng = derive_rng(stream_seed, "prop-serving");
         let batch = wl.sample_batch(batch_size, &mut rng);
-        let expected: Vec<Vec<Hit>> = batch.iter().map(|q| sys.search(q, 10)).collect();
-        // Failing cases report the generated inputs via the proptest
-        // harness' input header (the stub has two-arg asserts only).
-        for workers in [1usize, 2, 4] {
-            prop_assert_eq!(&sys.search_batch(&batch, 10, workers), &expected);
-            let broker = sys.broker(workers);
-            for (q, want) in batch.iter().zip(&expected) {
-                prop_assert_eq!(&broker.search_scatter(q, 10), want);
+        for use_annotations in [false, true] {
+            let opts = SearchOptions { use_annotations, ..Default::default() };
+            let expected: Vec<Vec<Hit>> =
+                batch.iter().map(|q| search(&sys.index, q, 10, opts)).collect();
+            // Failing cases report the generated inputs via the proptest
+            // harness' input header (the stub has two-arg asserts only).
+            for workers in [1usize, 2, 4] {
+                let broker = QueryBroker::new(&sys.index, ThreadPool::new(workers), opts);
+                prop_assert_eq!(&broker.search_batch(&batch, 10), &expected);
+                for (q, want) in batch.iter().zip(&expected) {
+                    prop_assert_eq!(&broker.search_scatter(q, 10), want);
+                }
             }
-        }
-        // One reused scratch across the whole batch is byte-identical to the
-        // reference (the broker's per-worker scratch lifecycle in miniature).
-        let mut scratch = QueryScratch::new();
-        for (q, want) in batch.iter().zip(&expected) {
-            prop_assert_eq!(
-                &search_with_scratch(&sys.index, q, 10, sys.options, &mut scratch),
-                want
-            );
+            // One reused scratch across the whole batch is byte-identical to
+            // the reference (the broker's per-worker scratch lifecycle in
+            // miniature).
+            let mut scratch = QueryScratch::new();
+            for (q, want) in batch.iter().zip(&expected) {
+                prop_assert_eq!(
+                    &search_with_scratch(&sys.index, q, 10, opts, &mut scratch),
+                    want
+                );
+            }
         }
     }
 
