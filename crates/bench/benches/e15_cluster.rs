@@ -1,0 +1,204 @@
+//! E15 bench (e06-style): cluster-scale serving — doc-range partitions,
+//! replica routing, and the Zipf-aware result cache (DESIGN.md §13).
+//!
+//! First prints two measured tables:
+//!
+//! 1. **Sustained qps** replaying a large Zipf query stream through the
+//!    cluster's batched path at several partition/replica/cache
+//!    configurations (each checked byte-identical to the sequential
+//!    reference on a probe batch before the clock starts), plus the
+//!    broker-batched `replay` path over the same stream length.
+//! 2. **Cache hit-rate curve**: cache capacity vs measured hit rate over a
+//!    head-heavy Zipf stream — the measurable knob the workload's skew buys.
+//!
+//! Then times the criterion-tracked kernels (`e15_*`, gated by
+//! `bench_gate`): batched cluster serving at 1 and 4 partitions, with and
+//! without the cache, and the single-query partition fan-out.
+//!
+//! Absolute qps depends on the CI runner; equality across every
+//! configuration is enforced by `tests/cluster.rs` and the cluster proptest
+//! regardless of core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_common::derive_rng;
+use deepweb_core::{quick_config, DeepWebSystem, TextTable};
+use deepweb_index::{CacheConfig, ClusterConfig, ClusterServer};
+use deepweb_queries::{generate_workload, replay, WorkloadConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Queries replayed per sustained-qps row.
+const STREAM_LEN: usize = 200_000;
+/// Queries per serving batch inside a sustained run (a front end's bulk
+/// request size).
+const CHUNK: usize = 2_048;
+
+fn cluster_cfg(partitions: usize, replicas: usize, cache: Option<CacheConfig>) -> ClusterConfig {
+    ClusterConfig {
+        partitions,
+        replicas,
+        workers: 0,
+        cache,
+        max_in_flight: 0,
+    }
+}
+
+/// Replay `n` Zipf-sampled queries through `cluster` in [`CHUNK`]-query
+/// batches, returning sustained qps.
+fn sustained_qps(
+    cluster: &ClusterServer<'_>,
+    wl: &deepweb_queries::Workload,
+    n: usize,
+    seed_label: &str,
+) -> f64 {
+    let mut rng = derive_rng(31, seed_label);
+    let mut served = 0usize;
+    let t0 = Instant::now();
+    while served < n {
+        let batch = wl.sample_batch(CHUNK.min(n - served), &mut rng);
+        black_box(cluster.search_batch(&batch, 10));
+        served += batch.len();
+    }
+    served as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn bench(c: &mut Criterion) {
+    let sys = DeepWebSystem::build(&quick_config(10));
+    let wl = generate_workload(
+        &sys.world,
+        &WorkloadConfig {
+            distinct: 300,
+            ..Default::default()
+        },
+    );
+    let mut rng = derive_rng(31, "e15-probe");
+    let probe = wl.sample_batch(512, &mut rng);
+    let reference: Vec<_> = probe.iter().map(|q| sys.search(q, 10)).collect();
+
+    // Sustained-qps table over the replayed Zipf stream.
+    let mut table = TextTable::new(
+        "E15: sustained cluster serving qps over a replayed Zipf stream \
+         (byte-identical results at every configuration)",
+        &[
+            "partitions",
+            "replicas",
+            "cache",
+            "queries",
+            "throughput (qps)",
+            "cache hit rate",
+        ],
+    );
+    let configs: [(usize, usize, Option<CacheConfig>); 5] = [
+        (1, 1, None),
+        (2, 1, None),
+        (4, 2, None),
+        (4, 2, Some(CacheConfig::with_capacity(1024))),
+        (7, 3, Some(CacheConfig::with_capacity(1024))),
+    ];
+    for (partitions, replicas, cache) in configs {
+        let cluster = sys.cluster(cluster_cfg(partitions, replicas, cache));
+        assert_eq!(
+            cluster.search_batch(&probe, 10),
+            reference,
+            "p={partitions} r={replicas} cache={}",
+            cache.is_some()
+        );
+        let qps = sustained_qps(&cluster, &wl, STREAM_LEN, "e15-sustained");
+        let hit_rate = cluster
+            .cache_stats()
+            .map(|s| format!("{:.3}", s.hit_rate()))
+            .unwrap_or_else(|| "-".into());
+        table.row(&[
+            partitions.to_string(),
+            replicas.to_string(),
+            cache
+                .map(|c| c.capacity.to_string())
+                .unwrap_or_else(|| "off".into()),
+            STREAM_LEN.to_string(),
+            format!("{qps:.0}"),
+            hit_rate,
+        ]);
+    }
+    // The broker-batched replay path over the same stream length (the
+    // attribution-bearing variant the experiments call).
+    {
+        let mut rng = derive_rng(31, "e15-replay");
+        let t0 = Instant::now();
+        let report = replay(&sys.index, &wl, STREAM_LEN, 10, sys.options, &mut rng);
+        let qps = report.queries as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        table.row(&[
+            "replay".into(),
+            "-".into(),
+            "-".into(),
+            report.queries.to_string(),
+            format!("{qps:.0}"),
+            "-".into(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Cache-size vs hit-rate curve under the Zipf workload (w=1 so the hit
+    // counters are exact, not raced).
+    let mut curve = TextTable::new(
+        "E15: result-cache capacity vs hit rate (Zipf stream, 300 distinct queries)",
+        &[
+            "capacity",
+            "queries",
+            "hits",
+            "misses",
+            "evictions",
+            "hit rate",
+        ],
+    );
+    for capacity in [0usize, 16, 64, 256, 1024] {
+        let cluster = sys.cluster(ClusterConfig {
+            partitions: 4,
+            replicas: 1,
+            workers: 1,
+            cache: Some(CacheConfig::with_capacity(capacity)),
+            max_in_flight: 0,
+        });
+        let mut rng = derive_rng(31, "e15-curve");
+        let mut served = 0usize;
+        while served < 50_000 {
+            let batch = wl.sample_batch(CHUNK, &mut rng);
+            black_box(cluster.search_batch(&batch, 10));
+            served += batch.len();
+        }
+        let s = cluster.cache_stats().expect("cache configured");
+        curve.row(&[
+            capacity.to_string(),
+            served.to_string(),
+            s.hits.to_string(),
+            s.misses.to_string(),
+            s.evictions.to_string(),
+            format!("{:.3}", s.hit_rate()),
+        ]);
+    }
+    println!("{}", curve.render());
+
+    // Criterion-tracked kernels (gated ids).
+    let batch = probe;
+    let p1 = sys.cluster(cluster_cfg(1, 1, None));
+    c.bench_function("e15_cluster_batch_p1", |b| {
+        b.iter(|| black_box(p1.search_batch(&batch, 10)))
+    });
+    let p4 = sys.cluster(cluster_cfg(4, 2, None));
+    c.bench_function("e15_cluster_batch_p4", |b| {
+        b.iter(|| black_box(p4.search_batch(&batch, 10)))
+    });
+    let p4_cache = sys.cluster(cluster_cfg(4, 2, Some(CacheConfig::with_capacity(1024))));
+    c.bench_function("e15_cluster_batch_p4_cache", |b| {
+        b.iter(|| black_box(p4_cache.search_batch(&batch, 10)))
+    });
+    c.bench_function("e15_cluster_single_p4", |b| {
+        b.iter(|| black_box(p4.search(black_box("used honda civic springfield"), 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

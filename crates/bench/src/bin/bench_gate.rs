@@ -23,6 +23,11 @@
 //! run (a silently dropped bench must not pass the gate). Ids missing from
 //! the *baseline* are reported as new and skipped — committing the baseline
 //! is a deliberate act, the gate never requires it.
+//!
+//! Below the gated table the report lists every *ungated* fresh bench with
+//! the same baseline/fresh/delta columns — improvements (negative deltas)
+//! included — so EXPERIMENTS.md delta rows can be filled straight from the
+//! CI report. Ungated rows are informational and never fail the gate.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -39,6 +44,10 @@ const DEFAULT_GATED_IDS: &[&str] = &[
     "e14_serve_batch_w2",
     "e14_serve_batch_w4",
     "e14_scatter_single_query",
+    "e15_cluster_batch_p1",
+    "e15_cluster_batch_p4",
+    "e15_cluster_batch_p4_cache",
+    "e15_cluster_single_p4",
 ];
 
 /// One parsed bench line.
@@ -308,6 +317,44 @@ fn run_gate(
         };
         let _ = writeln!(report, "{line}");
     }
+    // Informational section: every fresh bench outside the gated set, with
+    // the same baseline/fresh/delta columns. Improvements (negative deltas)
+    // land here too, so EXPERIMENTS.md rows can be filled straight from this
+    // report — and a regression here is visible without failing the gate.
+    let mut ungated: Vec<&str> = Vec::new();
+    for line in fresh {
+        let id = line.bench_id.as_str();
+        if !ids.iter().any(|g| g == id) && !ungated.contains(&id) {
+            ungated.push(id);
+        }
+    }
+    if !ungated.is_empty() {
+        let _ = writeln!(
+            report,
+            "ungated benches (informational, never fail the gate):"
+        );
+        for id in ungated {
+            let new = median_of(fresh, id).expect("id came from the fresh lines");
+            let line = match median_of(baseline, id) {
+                Some(b) => {
+                    let delta = new / b - 1.0;
+                    let verdict = if delta < 0.0 {
+                        "improved"
+                    } else if delta > tolerance {
+                        "regressed"
+                    } else {
+                        "ok"
+                    };
+                    format!(
+                        "{id:<28} {b:>14.1} {new:>14.1} {:>+8.1}%  {verdict}",
+                        delta * 100.0
+                    )
+                }
+                None => format!("{id:<28} {:>14} {new:>14.1} {:>9}  new", "-", "-"),
+            };
+            let _ = writeln!(report, "{line}");
+        }
+    }
     let _ = writeln!(
         report,
         "gate: {}",
@@ -447,6 +494,56 @@ mod tests {
         let (report, pass) = run_gate(&[], &fresh, &ids, 0.25);
         assert!(pass, "{report}");
         assert!(report.contains("new (no baseline, skipped)"));
+    }
+
+    #[test]
+    fn ungated_benches_report_improvements_without_gating() {
+        let baseline = parse_bench_lines(concat!(
+            "{\"bench_id\":\"e01_serve_query\",\"min_ns\":1.0,\"median_ns\":1000.0,\"mean_ns\":1.0,\"samples\":20}\n",
+            "{\"bench_id\":\"e05_probe\",\"min_ns\":1.0,\"median_ns\":4000.0,\"mean_ns\":1.0,\"samples\":20}\n",
+            "{\"bench_id\":\"e06_pipeline\",\"min_ns\":1.0,\"median_ns\":5000.0,\"mean_ns\":1.0,\"samples\":20}\n",
+        ));
+        let fresh = vec![
+            BenchLine {
+                bench_id: "e01_serve_query".into(),
+                median_ns: 1000.0,
+            },
+            BenchLine {
+                bench_id: "e05_probe".into(),
+                median_ns: 2000.0, // -50%: improvement, ungated
+            },
+            BenchLine {
+                bench_id: "e06_pipeline".into(),
+                median_ns: 50_000.0, // +900%: regression, but ungated
+            },
+            BenchLine {
+                bench_id: "e16_future".into(),
+                median_ns: 7.0, // no baseline at all
+            },
+        ];
+        let ids = vec!["e01_serve_query".to_string()];
+        let (report, pass) = run_gate(&baseline, &fresh, &ids, 0.25);
+        assert!(pass, "ungated rows must never fail the gate:\n{report}");
+        assert!(report.contains("ungated benches"));
+        assert!(
+            report.contains("e05_probe") && report.contains("-50.0%"),
+            "improvement with its delta must be in the report:\n{report}"
+        );
+        assert!(
+            report.contains("e06_pipeline") && report.contains("regressed"),
+            "ungated regression is visible but informational:\n{report}"
+        );
+        assert!(report.contains("e16_future"));
+    }
+
+    #[test]
+    fn fully_gated_fresh_run_has_no_ungated_section() {
+        let baseline = parse_bench_lines(SAMPLE);
+        let fresh = parse_bench_lines(SAMPLE);
+        let ids = vec!["e01_serve_query".to_string(), "e11_plain_bm25".to_string()];
+        let (report, pass) = run_gate(&baseline, &fresh, &ids, 0.25);
+        assert!(pass);
+        assert!(!report.contains("ungated benches"));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use deepweb_common::{ThreadPool, Url, DEFAULT_SEED};
 use deepweb_index::{
-    search, Annotation, BatchDoc, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions,
+    search, Annotation, BatchDoc, ClusterConfig, ClusterServer, DocKind, Hit, QueryBroker,
+    SearchIndex, SearchOptions,
 };
 use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
 use deepweb_webworld::{generate, WebConfig, World};
@@ -160,6 +161,15 @@ impl DeepWebSystem {
     /// one query scratch for its whole share of the batch.
     pub fn search_batch(&self, queries: &[String], k: usize, workers: usize) -> Vec<Vec<Hit>> {
         self.broker(workers).search_batch(queries, k)
+    }
+
+    /// A cluster-scale serving tier over this system's index and options:
+    /// doc-range partitions, replica routing with admission accounting, and
+    /// an optional signature-keyed result cache (DESIGN.md §13). Every
+    /// configuration serves byte-identical results to
+    /// [`DeepWebSystem::search`].
+    pub fn cluster(&self, cfg: ClusterConfig) -> ClusterServer<'_> {
+        ClusterServer::new(&self.index, self.options, cfg)
     }
 }
 

@@ -1,0 +1,292 @@
+//! Sharded query-result cache for the cluster serving tier (DESIGN.md §13).
+//!
+//! The key is the analysed query's resolved [`TermId`] signature — the exact
+//! `Some` ids in distinct-term first-occurrence order, produced by
+//! [`QueryScratch::resolve`] — which fully determines the result for a fixed
+//! `(k, SearchOptions)`: scoring folds contributions in that id order, and
+//! unknown terms (absent from the signature) contribute nothing. The
+//! signature is deliberately **not** sorted or deduplicated further: f64
+//! addition is non-associative, so a canonicalised key could alias two
+//! queries whose accumulation orders differ. Two query strings that share a
+//! signature ("honda civic" / "honda honda civic") provably share a result,
+//! so a hit returns byte-identical hits to recomputing.
+//!
+//! Shards are picked by hashing the signature (the same [`fxhash64`] the
+//! rest of the system routes with); each shard is an independent
+//! mutex-guarded LRU map, so concurrent workers contend only when their
+//! queries collide on a shard. Eviction is least-recently-used via a
+//! per-shard logical clock — deterministic under single-threaded access,
+//! and *never* result-changing under any access pattern: the cache only ever
+//! returns values it computed through the one deterministic serving kernel.
+//!
+//! Hit/miss/eviction/insertion counters make cache-size vs hit-rate a
+//! measurable curve under the Zipf workload (EXPERIMENTS.md E15).
+
+use crate::searcher::Hit;
+use deepweb_common::fxhash::fxhash64;
+use deepweb_common::ids::TermId;
+use deepweb_common::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Result-cache sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Independent mutex-guarded shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Total cached entries across all shards; 0 disables storage (every
+    /// lookup misses, nothing is ever inserted).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity: 1024,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A cache with `capacity` total entries and the default shard count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig {
+            capacity,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counter snapshot for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the serving kernel.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Entries stored.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    k: usize,
+    hits: Vec<Hit>,
+    /// Last-touched tick of the owning shard's logical clock (LRU stamp).
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<Vec<TermId>, Entry>,
+    clock: u64,
+}
+
+/// A sharded, LRU, signature-keyed result cache. `Sync`: shards are
+/// independently locked and counters are atomic.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_cap", &self.per_shard_cap)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache sized by `cfg` (capacity split evenly across shards,
+    /// rounding up so `capacity ≥ 1` always stores something).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let per_shard_cap = if cfg.capacity == 0 {
+            0
+        } else {
+            cfg.capacity.div_ceil(shards)
+        };
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, sig: &[TermId]) -> &Mutex<Shard> {
+        &self.shards[(fxhash64(sig) % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up `(sig, k)`; a hit refreshes the entry's LRU stamp and returns
+    /// a byte-identical copy of the stored hits. A stored signature with a
+    /// different `k` is a miss (the next insert overwrites it).
+    pub fn get(&self, sig: &[TermId], k: usize) -> Option<Vec<Hit>> {
+        let mut shard = self.shard_of(sig).lock().expect("cache shard poisoned");
+        let shard = &mut *shard;
+        if let Some(entry) = shard.map.get_mut(sig) {
+            if entry.k == k {
+                shard.clock += 1;
+                entry.stamp = shard.clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.hits.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store the served result for `(sig, k)`, evicting the shard's
+    /// least-recently-used entry when the shard is full. Eviction can only
+    /// ever cause future *misses* (recomputation through the deterministic
+    /// kernel), never different results.
+    pub fn insert(&self, sig: Vec<TermId>, k: usize, hits: Vec<Hit>) {
+        if self.per_shard_cap == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(&sig).lock().expect("cache shard poisoned");
+        let shard = &mut *shard;
+        if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&sig) {
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(key, _)| key.clone())
+            {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.map.insert(sig, Entry { k, hits, stamp });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepweb_common::ids::DocId;
+
+    fn sig(ids: &[u32]) -> Vec<TermId> {
+        ids.iter().map(|&i| TermId(i)).collect()
+    }
+
+    fn hits(pairs: &[(u32, f64)]) -> Vec<Hit> {
+        pairs
+            .iter()
+            .map(|&(d, score)| Hit {
+                doc: DocId(d),
+                score,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_returns_byte_identical_hits() {
+        let cache = ResultCache::new(CacheConfig::default());
+        let stored = hits(&[(3, 2.5), (1, 2.5), (9, 0.125)]);
+        cache.insert(sig(&[7, 2]), 10, stored.clone());
+        assert_eq!(cache.get(&sig(&[7, 2]), 10), Some(stored));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 0, 1));
+        assert!((s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_order_is_significant() {
+        // [a, b] and [b, a] accumulate f64 contributions in different
+        // orders; the cache must never alias them.
+        let cache = ResultCache::new(CacheConfig::default());
+        cache.insert(sig(&[1, 2]), 10, hits(&[(0, 1.0)]));
+        assert_eq!(cache.get(&sig(&[2, 1]), 10), None);
+        assert_eq!(cache.get(&sig(&[1, 2]), 10), Some(hits(&[(0, 1.0)])));
+    }
+
+    #[test]
+    fn k_mismatch_is_a_miss_and_insert_overwrites() {
+        let cache = ResultCache::new(CacheConfig::default());
+        cache.insert(sig(&[5]), 10, hits(&[(0, 1.0), (1, 0.5)]));
+        assert_eq!(cache.get(&sig(&[5]), 1), None, "different k must miss");
+        cache.insert(sig(&[5]), 1, hits(&[(0, 1.0)]));
+        assert_eq!(cache.get(&sig(&[5]), 1), Some(hits(&[(0, 1.0)])));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        // Single shard, capacity 2: touch A, insert C → B (LRU) evicted.
+        let cache = ResultCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        cache.insert(sig(&[1]), 5, hits(&[(1, 1.0)]));
+        cache.insert(sig(&[2]), 5, hits(&[(2, 1.0)]));
+        assert_eq!(cache.get(&sig(&[1]), 5), Some(hits(&[(1, 1.0)])));
+        cache.insert(sig(&[3]), 5, hits(&[(3, 1.0)]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&sig(&[2]), 5), None, "LRU entry must be gone");
+        assert_eq!(cache.get(&sig(&[1]), 5), Some(hits(&[(1, 1.0)])));
+        assert_eq!(cache.get(&sig(&[3]), 5), Some(hits(&[(3, 1.0)])));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(CacheConfig {
+            shards: 4,
+            capacity: 0,
+        });
+        cache.insert(sig(&[1]), 5, hits(&[(1, 1.0)]));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&sig(&[1]), 5), None);
+        let s = cache.stats();
+        assert_eq!((s.insertions, s.misses), (0, 1));
+    }
+}

@@ -1,0 +1,459 @@
+//! Cluster-scale serving tier (DESIGN.md §13): a [`ClusterServer`] fans
+//! queries across doc-range [`IndexPartition`]s, routes them over a replica
+//! group with deterministic admission control, and fronts the whole thing
+//! with a signature-keyed [`ResultCache`] — the paper's ">1000 queries per
+//! second for millions of users" serving shape (§3.2), still built
+//! determinism-first.
+//!
+//! The layering:
+//!
+//! - **Resolve once.** The aggregator analyses a query and resolves its
+//!   distinct terms to the [`TermId`] signature a single time; partitions,
+//!   the replica router, and the cache all consume that signature. No layer
+//!   re-tokenises.
+//! - **Partitions are exact.** Each partition scores its doc range with the
+//!   shared kernel over *global* statistics and returns an exact local
+//!   top-k; the aggregator concatenates partition lists, sorts under the one
+//!   strict total order (score desc, doc id asc) and truncates to k. Every
+//!   global top-k doc is its partition's local top-≤k, so the merge is
+//!   byte-identical to sequential [`search`] — at any partition count.
+//! - **Replicas are an accounting model.** In-process replicas share the one
+//!   immutable index, so routing cannot change results; what the replica
+//!   layer adds is the *deterministic* routing and admission stream: replica
+//!   `fxhash64(sig) % replicas`, bounded in-flight per replica within a
+//!   batch (a burst), deterministic spill to the next replica, deterministic
+//!   shed order (batch order) when every replica is saturated. Shed queries
+//!   are still answered — a production front end would return a retryable
+//!   error; here the byte-identity contract wins and the stats stream is the
+//!   observable.
+//! - **The cache can only short-circuit.** A hit returns a stored value that
+//!   was itself computed by the deterministic kernel for the same
+//!   `(signature, k)`, so hit-vs-miss is unobservable in the results. Under
+//!   concurrent batches the hit *counters* may vary (two workers can race
+//!   the same cold signature); the results never do.
+//!
+//! [`search`]: crate::searcher::search
+
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::index::SearchIndex;
+use crate::partition::IndexPartition;
+use crate::searcher::{hit_order, with_thread_scratch, Hit, QueryScratch, SearchOptions};
+use deepweb_common::fxhash::fxhash64;
+use deepweb_common::ids::TermId;
+use deepweb_common::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cluster topology and serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Doc-range partitions (clamped to ≥ 1).
+    pub partitions: usize,
+    /// Replica groups for routing/admission accounting (clamped to ≥ 1).
+    pub replicas: usize,
+    /// Worker threads for fan-out (0 = auto).
+    pub workers: usize,
+    /// Result cache; `None` serves every query through the kernel.
+    pub cache: Option<CacheConfig>,
+    /// Admission bound: queries one replica accepts from a single batch
+    /// burst before spilling to the next replica (0 = unbounded).
+    pub max_in_flight: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            partitions: 4,
+            replicas: 1,
+            workers: 0,
+            cache: Some(CacheConfig::default()),
+            max_in_flight: 0,
+        }
+    }
+}
+
+/// Snapshot of a cluster's serving counters.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// Queries served (single + batched).
+    pub queries: u64,
+    /// Queries each replica admitted, by replica index.
+    pub routed: Vec<u64>,
+    /// Queries admitted by a replica other than their routed one.
+    pub spilled: u64,
+    /// Queries that found every replica saturated (still answered; see
+    /// module docs).
+    pub shed: u64,
+    /// Partition count.
+    pub partitions: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Cache counters, when a cache is configured.
+    pub cache: Option<CacheStats>,
+}
+
+/// The cluster aggregator: doc-range partitions + replica routing + result
+/// cache over one immutable [`SearchIndex`]. `Sync` — one instance can be
+/// hammered from many OS threads, like the broker.
+#[derive(Debug)]
+pub struct ClusterServer<'a> {
+    index: &'a SearchIndex,
+    opts: SearchOptions,
+    pool: ThreadPool,
+    partitions: Vec<IndexPartition>,
+    cache: Option<ResultCache>,
+    replicas: usize,
+    max_in_flight: usize,
+    queries: AtomicU64,
+    routed: Vec<AtomicU64>,
+    spilled: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl<'a> ClusterServer<'a> {
+    /// Lay out a cluster over `index` according to `cfg`.
+    pub fn new(index: &'a SearchIndex, opts: SearchOptions, cfg: ClusterConfig) -> Self {
+        let replicas = cfg.replicas.max(1);
+        ClusterServer {
+            index,
+            opts,
+            pool: ThreadPool::new(cfg.workers),
+            partitions: IndexPartition::layout(index, cfg.partitions),
+            cache: cfg.cache.map(ResultCache::new),
+            replicas,
+            max_in_flight: cfg.max_in_flight,
+            queries: AtomicU64::new(0),
+            routed: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
+            spilled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The served index.
+    pub fn index(&self) -> &'a SearchIndex {
+        self.index
+    }
+
+    /// Scoring options used for every query.
+    pub fn options(&self) -> SearchOptions {
+        self.opts
+    }
+
+    /// The doc-range partition layout.
+    pub fn partitions(&self) -> &[IndexPartition] {
+        &self.partitions
+    }
+
+    /// Replica-group size.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The replica a signature routes to — a pure function of the signature,
+    /// so one query always lands on one replica (cache/session affinity).
+    pub fn route(&self, sig: &[TermId]) -> usize {
+        (fxhash64(sig) % self.replicas as u64) as usize
+    }
+
+    /// Serve one query: resolve once, check the cache, fan the signature out
+    /// across all partitions in parallel, merge. Byte-identical to
+    /// sequential [`search`] at any configuration.
+    ///
+    /// [`search`]: crate::searcher::search
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        with_thread_scratch(|scratch| {
+            scratch.analyze(query);
+            if scratch.terms().is_empty() || k == 0 {
+                return Vec::new();
+            }
+            scratch.resolve(self.index.postings());
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            let sig = scratch.resolved_sig();
+            self.routed[self.route(sig)].fetch_add(1, Ordering::Relaxed);
+            self.serve_fanout(sig, k)
+        })
+    }
+
+    /// Fan one resolved signature across every partition (each on its own
+    /// pooled scratch), merge exact local top-k lists, and fill the cache.
+    fn serve_fanout(&self, sig: &[TermId], k: usize) -> Vec<Hit> {
+        if sig.is_empty() {
+            // All terms unknown: no postings anywhere, and the annotation
+            // pass only adjusts touched docs — the sequential reference
+            // returns nothing, so neither do we (and nothing is cached).
+            return Vec::new();
+        }
+        if let Some(cache) = &self.cache {
+            if let Some(hits) = cache.get(sig, k) {
+                return hits;
+            }
+        }
+        let lists = self.pool.map_indices(self.partitions.len(), |pi| {
+            let p = &self.partitions[pi];
+            p.with_pooled_scratch(|scratch| p.search_sig(self.index, sig, k, self.opts, scratch))
+        });
+        let hits = merge_partition_topk(lists, k);
+        if let Some(cache) = &self.cache {
+            cache.insert(sig.to_vec(), k, hits.clone());
+        }
+        hits
+    }
+
+    /// Serve a batch: one sequential resolve/route/admission pass (the
+    /// deterministic part), then parallel execution with one scratch per
+    /// worker, each query scanning the partitions in order. Results come
+    /// back in batch order and are byte-identical to per-query sequential
+    /// [`search`] at any worker/partition/replica/cache configuration.
+    ///
+    /// [`search`]: crate::searcher::search
+    pub fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<Hit>> {
+        // Phase 1 — sequential, deterministic: signatures, routing,
+        // admission. The admission model treats the batch as one burst:
+        // replica in-flight counters only grow, a full routed replica spills
+        // deterministically to the next, and when all are full the query is
+        // shed (in batch order).
+        let sigs: Vec<Vec<TermId>> = with_thread_scratch(|scratch| {
+            queries
+                .iter()
+                .map(|q| {
+                    scratch.analyze(q);
+                    scratch.resolve(self.index.postings());
+                    scratch.resolved_sig().to_vec()
+                })
+                .collect()
+        });
+        let cap = if self.max_in_flight == 0 {
+            u64::MAX
+        } else {
+            self.max_in_flight as u64
+        };
+        let mut in_flight = vec![0u64; self.replicas];
+        let mut routed = vec![0u64; self.replicas];
+        let mut spilled = 0u64;
+        let mut shed = 0u64;
+        for sig in &sigs {
+            let r0 = self.route(sig);
+            match (0..self.replicas)
+                .map(|off| (r0 + off) % self.replicas)
+                .find(|&r| in_flight[r] < cap)
+            {
+                Some(r) => {
+                    in_flight[r] += 1;
+                    routed[r] += 1;
+                    if r != r0 {
+                        spilled += 1;
+                    }
+                }
+                None => shed += 1,
+            }
+        }
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        for (slot, n) in self.routed.iter().zip(routed) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+        self.spilled.fetch_add(spilled, Ordering::Relaxed);
+        self.shed.fetch_add(shed, Ordering::Relaxed);
+
+        // Phase 2 — parallel execution (shed queries included: the results
+        // contract outranks the admission model; see module docs).
+        self.pool
+            .map_indices_init(queries.len(), QueryScratch::new, |scratch, qi| {
+                let sig = &sigs[qi];
+                if sig.is_empty() || k == 0 {
+                    return Vec::new();
+                }
+                if let Some(cache) = &self.cache {
+                    if let Some(hits) = cache.get(sig, k) {
+                        return hits;
+                    }
+                }
+                let lists: Vec<Vec<Hit>> = self
+                    .partitions
+                    .iter()
+                    .map(|p| p.search_sig(self.index, sig, k, self.opts, scratch))
+                    .collect();
+                let hits = merge_partition_topk(lists, k);
+                if let Some(cache) = &self.cache {
+                    cache.insert(sig.clone(), k, hits.clone());
+                }
+                hits
+            })
+    }
+
+    /// Cache counters, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Snapshot of all serving counters.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            routed: self
+                .routed
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .collect(),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            partitions: self.partitions.len(),
+            replicas: self.replicas,
+            cache: self.cache_stats(),
+        }
+    }
+}
+
+/// Merge exact per-partition top-k lists into the global top-k: concatenate,
+/// sort under the strict total order, truncate. Partition lists are disjoint
+/// (doc ranges don't overlap) and each contains its range's true top-≤k, so
+/// the global top-k is a subset of the concatenation and the strict order
+/// places it first — byte-identical to the sequential selection.
+fn merge_partition_topk(lists: Vec<Vec<Hit>>, k: usize) -> Vec<Hit> {
+    let mut all: Vec<Hit> = lists.concat();
+    all.sort_by(hit_order);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docstore::DocKind;
+    use crate::searcher::search;
+    use deepweb_common::Url;
+
+    fn build() -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        let docs = [
+            ("honda civics", "1993 honda civic great mileage"),
+            ("ford focus listings", "used ford focus 1993 low price"),
+            ("cooking blog", "recipes and stories and ford trivia"),
+            ("car digest", "honda accord versus ford focus review"),
+            (
+                "classifieds",
+                "used honda civic and used ford focus listings",
+            ),
+        ];
+        for (i, (title, text)) in docs.iter().enumerate() {
+            idx.add(
+                Url::new("x.sim", format!("/d{i}")),
+                (*title).into(),
+                (*text).into(),
+                DocKind::Surface,
+                None,
+                vec![],
+            );
+        }
+        idx
+    }
+
+    const QUERIES: [&str; 7] = [
+        "honda civic",
+        "used ford focus 1993",
+        "recipes",
+        "",
+        "zzz nothing",
+        "ford honda review",
+        "the of and",
+    ];
+
+    #[test]
+    fn cluster_matches_sequential_across_configs() {
+        let idx = build();
+        let opts = SearchOptions::default();
+        let expected: Vec<Vec<Hit>> = QUERIES.iter().map(|q| search(&idx, q, 3, opts)).collect();
+        for partitions in [1usize, 2, 3, 7, 12] {
+            for cache in [None, Some(CacheConfig::default())] {
+                let cluster = ClusterServer::new(
+                    &idx,
+                    opts,
+                    ClusterConfig {
+                        partitions,
+                        replicas: 2,
+                        workers: 2,
+                        cache,
+                        max_in_flight: 0,
+                    },
+                );
+                for (q, want) in QUERIES.iter().zip(&expected) {
+                    assert_eq!(&cluster.search(q, 3), want, "p={partitions} q={q:?}");
+                    // Again: the second pass may hit the cache and must not
+                    // change a byte.
+                    assert_eq!(
+                        &cluster.search(q, 3),
+                        want,
+                        "p={partitions} q={q:?} (rerun)"
+                    );
+                }
+                let batch: Vec<String> = QUERIES.iter().map(|s| s.to_string()).collect();
+                assert_eq!(cluster.search_batch(&batch, 3), expected, "p={partitions}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_sticky_and_admission_deterministic() {
+        let idx = build();
+        let batch: Vec<String> = (0..40)
+            .map(|i| QUERIES[i % QUERIES.len()].to_string())
+            .collect();
+        let run = || {
+            let cluster = ClusterServer::new(
+                &idx,
+                SearchOptions::default(),
+                ClusterConfig {
+                    partitions: 3,
+                    replicas: 3,
+                    workers: 2,
+                    cache: None,
+                    max_in_flight: 4,
+                },
+            );
+            let results = cluster.search_batch(&batch, 5);
+            (results, cluster.stats())
+        };
+        let (results_a, stats_a) = run();
+        let (results_b, stats_b) = run();
+        assert_eq!(results_a, results_b, "results must be reproducible");
+        assert_eq!(
+            stats_a.routed, stats_b.routed,
+            "routing must be deterministic"
+        );
+        assert_eq!(stats_a.spilled, stats_b.spilled);
+        assert_eq!(stats_a.shed, stats_b.shed);
+        // Burst of 40 into 3 replicas × 4 in-flight: 12 admitted, 28 shed.
+        assert_eq!(stats_a.routed.iter().sum::<u64>(), 12);
+        assert_eq!(stats_a.shed, 28);
+        assert_eq!(stats_a.queries, 40);
+        // Shed queries are still answered.
+        assert_eq!(results_a.len(), batch.len());
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_counts_hits() {
+        let idx = build();
+        let cluster = ClusterServer::new(
+            &idx,
+            SearchOptions::default(),
+            ClusterConfig {
+                partitions: 2,
+                replicas: 1,
+                workers: 1,
+                cache: Some(CacheConfig::with_capacity(64)),
+                max_in_flight: 0,
+            },
+        );
+        let want = search(&idx, "honda civic", 5, SearchOptions::default());
+        assert_eq!(cluster.search("honda civic", 5), want);
+        assert_eq!(cluster.search("honda civic", 5), want);
+        // Same signature, different surface form: still a hit.
+        assert_eq!(
+            cluster.search("HONDA honda civic", 5),
+            want,
+            "signature-equal query must serve the cached bytes"
+        );
+        let cache = cluster.cache_stats().unwrap();
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.misses, 1);
+    }
+}

@@ -13,15 +13,21 @@
 
 pub mod analysis;
 pub mod broker;
+pub mod cache;
+pub mod cluster;
 pub mod docstore;
 pub mod index;
+pub mod partition;
 pub mod postings;
 pub mod searcher;
 pub mod snippet;
 
 pub use broker::QueryBroker;
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use cluster::{ClusterConfig, ClusterServer, ClusterStats};
 pub use docstore::{Annotation, AnnotationIds, DocKind, DocStore, StoredDoc};
 pub use index::{BatchDoc, IndexStats, SearchIndex};
+pub use partition::{partition_ranges, IndexPartition};
 pub use postings::{term_shard, Posting, Postings, ShardedPostings};
 pub use searcher::{search, search_with_scratch, Bm25Params, Hit, QueryScratch, SearchOptions};
 pub use snippet::snippet;

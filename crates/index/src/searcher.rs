@@ -105,6 +105,14 @@ pub struct QueryScratch {
     /// — one dictionary hash per term per query, shared by scoring and the
     /// annotation pass (`None` = term unknown to the index).
     ids: Vec<Option<TermId>>,
+    /// The query's resolved-id signature: the `Some` entries of `ids`, in the
+    /// same distinct-term order. Unknown terms contribute nothing to scoring
+    /// or the annotation pass, so this sequence fully determines the result
+    /// for a fixed `(k, SearchOptions)` — it is the cluster tier's cache key
+    /// and replica-routing key (DESIGN.md §13). Order matters: f64
+    /// accumulation folds in exactly this sequence, so the signature is never
+    /// sorted or canonicalised.
+    sig: Vec<TermId>,
     /// Dense score accumulator indexed by doc id. Invariant between queries:
     /// all zeros (only entries listed in `touched` are ever non-zero, and
     /// top-k selection zeroes them while draining).
@@ -156,12 +164,20 @@ impl QueryScratch {
                 .iter()
                 .map(|t| postings.term_id(t)),
         );
+        self.sig.clear();
+        self.sig.extend(self.ids.iter().flatten());
     }
 
     /// The resolved query ids, aligned with [`QueryScratch::terms`]. Only
     /// valid after [`QueryScratch::resolve`] for the current query.
     pub(crate) fn resolved_ids(&self) -> &[Option<TermId>] {
         &self.ids
+    }
+
+    /// The resolved-id signature (known terms only, distinct-term order).
+    /// Only valid after [`QueryScratch::resolve`] for the current query.
+    pub(crate) fn resolved_sig(&self) -> &[TermId] {
+        &self.sig
     }
 
     /// Ensure the dense score vector covers `num_docs` documents. Newly
@@ -195,10 +211,45 @@ pub(crate) fn accumulate_term(
     id: TermId,
     bm25: Bm25Params,
     avg_len: f64,
+    emit: impl FnMut(DocId, f64),
+) {
+    accumulate_postings(postings, id, postings.postings_id(id), bm25, avg_len, emit)
+}
+
+/// [`accumulate_term`] restricted to documents in `[lo, hi)` — the doc-range
+/// partition kernel. Posting lists are sorted by doc id, so the sub-range is
+/// located by binary search and each posting's contribution is the *same
+/// expression over the same global statistics* (idf, avg doc length) as the
+/// full scan: a doc's score is bit-identical whether it was computed by the
+/// sequential searcher or inside its owning partition.
+pub(crate) fn accumulate_term_range(
+    postings: &ShardedPostings,
+    id: TermId,
+    bm25: Bm25Params,
+    avg_len: f64,
+    lo: u32,
+    hi: u32,
+    emit: impl FnMut(DocId, f64),
+) {
+    let list = postings.postings_id(id);
+    let start = list.partition_point(|p| p.doc.0 < lo);
+    let end = start + list[start..].partition_point(|p| p.doc.0 < hi);
+    accumulate_postings(postings, id, &list[start..end], bm25, avg_len, emit)
+}
+
+/// Shared contribution loop behind [`accumulate_term`] and
+/// [`accumulate_term_range`]: one expression, one place, so no serving path
+/// can drift from the kernel.
+fn accumulate_postings(
+    postings: &ShardedPostings,
+    id: TermId,
+    list: &[crate::postings::Posting],
+    bm25: Bm25Params,
+    avg_len: f64,
     mut emit: impl FnMut(DocId, f64),
 ) {
     let idf = postings.idf_id(id);
-    for p in postings.postings_id(id) {
+    for p in list {
         let dl = postings.doc_len(p.doc) as f64;
         let tf = p.tf as f64;
         let denom = tf + bm25.k1 * (1.0 - bm25.b + bm25.b * dl / avg_len);
@@ -236,13 +287,20 @@ pub(crate) fn top_k_hits(scratch: &mut QueryScratch, k: usize) -> Vec<Hit> {
             score: s,
         })
         .collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.doc.0.cmp(&b.doc.0))
-    });
+    hits.sort_by(hit_order);
     hits
+}
+
+/// The one total order on hits: score descending, doc id ascending on ties.
+/// Doc ids are unique, so this is strict — which is what makes the cluster
+/// tier's partition-merge exact (DESIGN.md §13): merging per-partition top-k
+/// lists under a strict total order and truncating to k reproduces the
+/// global top-k byte-for-byte.
+pub(crate) fn hit_order(a: &Hit, b: &Hit) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.doc.0.cmp(&b.doc.0))
 }
 
 thread_local! {
@@ -308,15 +366,29 @@ pub fn search_with_scratch(
 /// (every serving path resolves right after `analyze`).
 pub(crate) fn apply_annotations(index: &SearchIndex, scratch: &mut QueryScratch) {
     let QueryScratch {
-        ids,
-        n_terms,
+        sig,
         scores,
         touched,
         ..
     } = scratch;
-    let qids = &ids[..*n_terms];
     for &doc in touched.iter() {
-        scores[doc.as_usize()] += annotation_boost(index, qids, doc);
+        scores[doc.as_usize()] += annotation_boost(index, sig, doc);
+    }
+}
+
+/// [`apply_annotations`] against a caller-provided signature — the cluster
+/// path resolves a query once at the aggregator and hands partitions the
+/// bare `TermId` signature, so their scratches never run `resolve` at all.
+pub(crate) fn apply_annotations_sig(
+    index: &SearchIndex,
+    sig: &[TermId],
+    scratch: &mut QueryScratch,
+) {
+    let QueryScratch {
+        scores, touched, ..
+    } = scratch;
+    for &doc in touched.iter() {
+        scores[doc.as_usize()] += annotation_boost(index, sig, doc);
     }
 }
 
@@ -327,13 +399,15 @@ pub(crate) fn apply_annotations(index: &SearchIndex, scratch: &mut QueryScratch)
 ///
 /// Everything here is interned: annotation values live on the docstore as
 /// pre-tokenised [`TermId`] slices, the facet vocabulary is an id-set keyed
-/// by facet-key id, and `qids` are the query's resolved ids — so one query
-/// id compares against annotation tokens by `u32` equality and probes the
-/// vocabulary with one integer hash. Each annotation takes a single pass
+/// by facet-key id, and `qids` is the query's resolved-id signature — so one
+/// query id compares against annotation tokens by `u32` equality and probes
+/// the vocabulary with one integer hash. Each annotation takes a single pass
 /// over the resolved ids (no `terms × values` string rescans): a bitmask
 /// tracks which value tokens the query covers while the same pass flags
-/// conflicting ids.
-pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[Option<TermId>], doc: DocId) -> f64 {
+/// conflicting ids. Unknown terms (resolved to `None`) are absent from the
+/// signature; they could never cover a value token or probe the vocabulary,
+/// so dropping them changes nothing.
+pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[TermId], doc: DocId) -> f64 {
     let stored = index.docs().get(doc);
     if stored.annotation_ids.is_empty() {
         return 0.0;
@@ -352,10 +426,7 @@ pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[Option<TermId>], doc
         let full: u64 = u64::MAX >> (64 - value_ids.len());
         let mut covered: u64 = 0;
         let mut conflict = false;
-        for qid in qids {
-            let Some(qid) = *qid else {
-                continue;
-            };
+        for &qid in qids {
             let mut is_value_token = false;
             for (vi, &v) in value_ids.iter().enumerate() {
                 if v == qid {

@@ -5,12 +5,12 @@
 
 use crate::workload::Workload;
 use deepweb_common::ids::{QueryId, SiteId};
-use deepweb_common::{stats, FxHashMap};
-use deepweb_index::{search, DocKind, SearchIndex, SearchOptions};
+use deepweb_common::{stats, FxHashMap, ThreadPool};
+use deepweb_index::{search, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions};
 use rand::rngs::StdRng;
 
 /// Impact accounting for one stream replay.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ImpactReport {
     /// Queries replayed.
     pub queries: usize,
@@ -56,8 +56,115 @@ impl ImpactReport {
     }
 }
 
+/// Queries per chunk when a replay streams through a batch serving path —
+/// large enough to keep every worker busy, small enough that a million-query
+/// stream never materialises all its query strings at once.
+const REPLAY_CHUNK: usize = 256;
+
+/// Attribute one served query's hits into the report. Attribution is a pure
+/// fold over `(query, hits)` pairs in stream order, so it is shared verbatim
+/// by the sequential reference replay and every batched serving path.
+fn attribute(
+    report: &mut ImpactReport,
+    index: &SearchIndex,
+    qid: QueryId,
+    hits: &[Hit],
+    wl: &Workload,
+) {
+    let q = wl.query(qid);
+    if q.is_tail {
+        report.tail_queries += 1;
+    } else {
+        report.head_queries += 1;
+    }
+    if hits.is_empty() {
+        return;
+    }
+    report.answered += 1;
+    let mut saw_deepweb = false;
+    for h in hits {
+        let doc = index.doc(h.doc);
+        if matches!(doc.kind, DocKind::Surfaced | DocKind::Discovered) {
+            saw_deepweb = true;
+            if let Some(site) = doc.site {
+                *report.per_site_impact.entry(site).or_insert(0) += 1;
+            }
+        }
+    }
+    if saw_deepweb {
+        report.with_deepweb_result += 1;
+        if q.is_tail {
+            report.tail_with_deepweb += 1;
+        } else {
+            report.head_with_deepweb += 1;
+        }
+    }
+}
+
 /// Replay `n` sampled queries against the index, attributing top-`k` hits.
+///
+/// Serving goes through the batched [`QueryBroker`] path (auto-sized
+/// worker pool) in [`REPLAY_CHUNK`]-query chunks — the same path a front end
+/// would drive — so replay throughput measures real concurrent serving, not
+/// a one-query-at-a-time loop. Batched serving is byte-identical to
+/// sequential [`search`] for every query (the serving determinism contract),
+/// so the report is identical to [`replay_sequential`]'s — asserted by
+/// `tests/cluster.rs`.
 pub fn replay(
+    index: &SearchIndex,
+    workload: &Workload,
+    n: usize,
+    k: usize,
+    opts: SearchOptions,
+    rng: &mut StdRng,
+) -> ImpactReport {
+    let broker = QueryBroker::new(index, ThreadPool::new(0), opts);
+    replay_serving(index, workload, n, rng, |batch| {
+        broker.search_batch(batch, k)
+    })
+}
+
+/// Replay through any batch serving function (`&[query] -> Vec<Vec<Hit>>`,
+/// in batch order, top-k baked into the closure): the broker, a
+/// [`ClusterServer`], or anything else that honours the serving determinism
+/// contract. The query stream is sampled up front from `rng` — the RNG
+/// consumption is identical across every replay variant, so the same seed
+/// replays the same stream everywhere.
+///
+/// [`ClusterServer`]: deepweb_index::ClusterServer
+pub fn replay_serving(
+    index: &SearchIndex,
+    workload: &Workload,
+    n: usize,
+    rng: &mut StdRng,
+    mut serve: impl FnMut(&[String]) -> Vec<Vec<Hit>>,
+) -> ImpactReport {
+    let stream: Vec<QueryId> = workload.stream(n, rng);
+    let mut report = ImpactReport {
+        queries: n,
+        ..Default::default()
+    };
+    let mut texts: Vec<String> = Vec::with_capacity(REPLAY_CHUNK.min(n));
+    for chunk in stream.chunks(REPLAY_CHUNK) {
+        texts.clear();
+        texts.extend(chunk.iter().map(|&qid| workload.query(qid).text.clone()));
+        let results = serve(&texts);
+        assert_eq!(
+            results.len(),
+            chunk.len(),
+            "serving path must answer every query in the chunk"
+        );
+        for (&qid, hits) in chunk.iter().zip(&results) {
+            attribute(&mut report, index, qid, hits, workload);
+        }
+    }
+    report
+}
+
+/// The sequential reference replay: one [`search`] call per sampled query.
+/// [`replay`] must produce an identical report — this is the equality anchor
+/// the serving-path replay is tested against.
+pub fn replay_sequential(
     index: &SearchIndex,
     workload: &Workload,
     n: usize,
@@ -71,35 +178,8 @@ pub fn replay(
         ..Default::default()
     };
     for qid in stream {
-        let q = workload.query(qid);
-        if q.is_tail {
-            report.tail_queries += 1;
-        } else {
-            report.head_queries += 1;
-        }
-        let hits = search(index, &q.text, k, opts);
-        if hits.is_empty() {
-            continue;
-        }
-        report.answered += 1;
-        let mut saw_deepweb = false;
-        for h in &hits {
-            let doc = index.doc(h.doc);
-            if matches!(doc.kind, DocKind::Surfaced | DocKind::Discovered) {
-                saw_deepweb = true;
-                if let Some(site) = doc.site {
-                    *report.per_site_impact.entry(site).or_insert(0) += 1;
-                }
-            }
-        }
-        if saw_deepweb {
-            report.with_deepweb_result += 1;
-            if q.is_tail {
-                report.tail_with_deepweb += 1;
-            } else {
-                report.head_with_deepweb += 1;
-            }
-        }
+        let hits = search(index, &workload.query(qid).text, k, opts);
+        attribute(&mut report, index, qid, &hits, workload);
     }
     report
 }

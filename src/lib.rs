@@ -4,10 +4,12 @@
 //! (Madhavan, Afanasiev, Antova, Halevy — CIDR 2009) as a Rust workspace:
 //! deep-web surfacing (form analysis, iterative probing, query templates,
 //! correlated inputs, indexability), a virtual-integration baseline, a
-//! search-engine substrate, WebTables-style semantic services, record
-//! extraction and coverage estimation — all over a deterministic synthetic
-//! web. See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
-//! the paper-vs-measured record.
+//! search-engine substrate with a cluster serving tier (doc-range
+//! partitions, replica routing, result caching — every configuration
+//! byte-identical to sequential search), WebTables-style semantic
+//! services, record extraction and coverage estimation — all over a
+//! deterministic synthetic web. See `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
 //!
 //! This crate is the facade: it re-exports every subsystem crate.
 
