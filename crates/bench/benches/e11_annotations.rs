@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use deepweb_bench::{print_tables, BENCH_SCALE};
 use deepweb_core::experiments::e11_annotations;
 use deepweb_core::{quick_config, DeepWebSystem};
-use deepweb_index::SearchOptions;
+use deepweb_index::{SearchOptions, SearchRequest};
 use deepweb_webworld::DomainKind;
 use std::hint::black_box;
 
@@ -26,11 +26,17 @@ fn bench(c: &mut Criterion) {
         use_annotations: true,
         ..Default::default()
     };
+    let plain_req = SearchRequest::new("used ford focus 1993")
+        .k(10)
+        .options(plain);
+    let ann_req = SearchRequest::new("used ford focus 1993")
+        .k(10)
+        .options(ann);
     c.bench_function("e11_plain_bm25", |b| {
-        b.iter(|| black_box(sys.search_with("used ford focus 1993", 10, plain)))
+        b.iter(|| black_box(sys.search_request(&plain_req)))
     });
     c.bench_function("e11_annotation_aware", |b| {
-        b.iter(|| black_box(sys.search_with("used ford focus 1993", 10, ann)))
+        b.iter(|| black_box(sys.search_request(&ann_req)))
     });
 }
 

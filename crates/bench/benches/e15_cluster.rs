@@ -34,13 +34,17 @@ const STREAM_LEN: usize = 200_000;
 const CHUNK: usize = 2_048;
 
 fn cluster_cfg(partitions: usize, replicas: usize, cache: Option<CacheConfig>) -> ClusterConfig {
-    ClusterConfig {
-        partitions,
-        replicas,
-        workers: 0,
-        cache,
-        max_in_flight: 0,
+    let b = ClusterConfig::builder()
+        .partitions(partitions)
+        .replicas(replicas)
+        .workers(0)
+        .max_in_flight(0);
+    match cache {
+        Some(c) => b.cache(c),
+        None => b.no_cache(),
     }
+    .build()
+    .expect("bench cluster config is valid")
 }
 
 /// Replay `n` Zipf-sampled queries through `cluster` in [`CHUNK`]-query

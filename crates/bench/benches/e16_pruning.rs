@@ -1,0 +1,177 @@
+//! E16 bench: block-max pruned top-k (DESIGN.md §14) vs the exhaustive
+//! kernel, on a corpus big enough that skipping matters.
+//!
+//! The corpus is synthetic on purpose: ~20k docs over a Zipf vocabulary
+//! produces the long posting lists (head terms in almost every doc) where
+//! block-max WAND earns its keep; the quick_config webworlds the other
+//! serving benches use are too small to leave medians outside noise.
+//!
+//! Before anything is clocked, every query's pruned hits are asserted
+//! byte-identical to exhaustive scoring — sequentially and through the
+//! cache-off cluster tier — so the timings below can never come from
+//! serving different bytes. A footprint table prints the compressed block
+//! index cost next to the raw postings it summarises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_common::{derive_rng, ThreadPool, Url, Zipf};
+use deepweb_core::TextTable;
+use deepweb_index::{
+    search, BatchDoc, ClusterConfig, ClusterServer, DocKind, PruningMode, SearchIndex,
+    SearchOptions,
+};
+use std::hint::black_box;
+
+/// Docs in the synthetic corpus.
+const DOCS: usize = 20_000;
+/// Vocabulary size (Zipf-ranked; rank 0 appears in most docs).
+const VOCAB: usize = 1_500;
+/// Terms per doc.
+const DOC_LEN: usize = 30;
+/// Queries in the cold stream.
+const QUERIES: usize = 200;
+/// Results per query.
+const K: usize = 10;
+
+fn build_corpus() -> SearchIndex {
+    let zipf = Zipf::new(VOCAB, 1.1);
+    let mut rng = derive_rng(61, "e16-corpus");
+    let batch: Vec<BatchDoc> = (0..DOCS)
+        .map(|i| {
+            let mut text = String::new();
+            for _ in 0..DOC_LEN {
+                let rank = zipf.sample(&mut rng);
+                text.push_str("tok");
+                text.push_str(&rank.to_string());
+                text.push(' ');
+            }
+            BatchDoc {
+                url: Url::new("e16.sim", format!("/d{i}")),
+                title: String::new(),
+                text,
+                kind: DocKind::Surface,
+                site: None,
+                annotations: vec![],
+            }
+        })
+        .collect();
+    let mut index = SearchIndex::new();
+    index.add_batch(&ThreadPool::new(0), batch);
+    index.enable_pruning();
+    index
+}
+
+/// Cold query stream: 2–3 Zipf-sampled terms per query, head-heavy like a
+/// real log, each query distinct enough that nothing amortises.
+fn build_queries() -> Vec<String> {
+    let zipf = Zipf::new(VOCAB, 1.1);
+    let mut rng = derive_rng(62, "e16-queries");
+    (0..QUERIES)
+        .map(|i| {
+            let terms = 2 + i % 2;
+            let mut q = String::new();
+            for _ in 0..terms {
+                q.push_str("tok");
+                q.push_str(&zipf.sample(&mut rng).to_string());
+                q.push(' ');
+            }
+            q
+        })
+        .collect()
+}
+
+fn cold_cluster(index: &SearchIndex, opts: SearchOptions) -> ClusterServer<'_> {
+    ClusterServer::new(
+        index,
+        opts,
+        ClusterConfig::builder()
+            .partitions(4)
+            .no_cache()
+            .build()
+            .expect("valid bench cluster config"),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let index = build_corpus();
+    let queries = build_queries();
+    let exhaustive = SearchOptions {
+        pruning: PruningMode::Exhaustive,
+        ..Default::default()
+    };
+    let pruned = SearchOptions {
+        pruning: PruningMode::BlockMax,
+        ..Default::default()
+    };
+
+    // Equality first: the clock must never measure different bytes.
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| search(&index, q, K, exhaustive))
+        .collect();
+    for (q, want) in queries.iter().zip(&reference) {
+        assert_eq!(
+            &search(&index, q, K, pruned),
+            want,
+            "pruned diverges on {q:?}"
+        );
+    }
+    assert_eq!(
+        cold_cluster(&index, pruned).search_batch(&queries, K),
+        reference,
+        "pruned cluster diverges"
+    );
+
+    // Footprint: the compressed block index next to the raw postings.
+    let blocks = index.pruning().expect("pruning built").blocks();
+    let stats = index.stats();
+    let raw_bytes = stats.postings * std::mem::size_of::<u32>() * 2;
+    let mut t = TextTable::new(
+        "E16: compressed block index footprint (doc-id deltas + tfs bit-packed \
+         per 64-posting block)",
+        &[
+            "postings",
+            "raw bytes",
+            "packed bytes",
+            "block meta bytes",
+            "blocks",
+        ],
+    );
+    t.row(&[
+        stats.postings.to_string(),
+        raw_bytes.to_string(),
+        blocks.packed_bytes().to_string(),
+        blocks.meta_bytes().to_string(),
+        blocks.num_blocks().to_string(),
+    ]);
+    println!("{}", t.render());
+
+    c.bench_function("e16_pruning_seq_exhaustive", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(search(&index, q, K, exhaustive));
+            }
+        })
+    });
+    c.bench_function("e16_pruning_seq_blockmax", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(search(&index, q, K, pruned));
+            }
+        })
+    });
+    let cluster_ex = cold_cluster(&index, exhaustive);
+    c.bench_function("e16_pruning_cluster_exhaustive", |b| {
+        b.iter(|| black_box(cluster_ex.search_batch(&queries, K)))
+    });
+    let cluster_bm = cold_cluster(&index, pruned);
+    c.bench_function("e16_pruning_cluster_blockmax", |b| {
+        b.iter(|| black_box(cluster_bm.search_batch(&queries, K)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -48,6 +48,10 @@ const DEFAULT_GATED_IDS: &[&str] = &[
     "e15_cluster_batch_p4",
     "e15_cluster_batch_p4_cache",
     "e15_cluster_single_p4",
+    "e16_pruning_seq_exhaustive",
+    "e16_pruning_seq_blockmax",
+    "e16_pruning_cluster_exhaustive",
+    "e16_pruning_cluster_blockmax",
 ];
 
 /// One parsed bench line.

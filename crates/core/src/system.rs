@@ -3,8 +3,8 @@
 
 use deepweb_common::{ThreadPool, Url, DEFAULT_SEED};
 use deepweb_index::{
-    search, Annotation, BatchDoc, ClusterConfig, ClusterServer, DocKind, Hit, QueryBroker,
-    SearchIndex, SearchOptions,
+    Annotation, BatchDoc, ClusterConfig, ClusterServer, DocKind, Hit, IndexSearcher, PruningMode,
+    QueryBroker, SearchIndex, SearchOptions, SearchRequest, SearchService,
 };
 use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
 use deepweb_webworld::{generate, WebConfig, World};
@@ -18,6 +18,11 @@ pub struct SystemConfig {
     pub surfacer: SurfacerConfig,
     /// Serve with annotation-aware scoring (paper §5.1).
     pub use_annotations: bool,
+    /// Top-k evaluation strategy for every serving tier (DESIGN.md §14).
+    /// Results are byte-identical across modes; [`PruningMode::BlockMax`]
+    /// skips provably-losing doc regions via the block-max index built at
+    /// the end of [`DeepWebSystem::build`].
+    pub pruning: PruningMode,
 }
 
 /// A quick, test-sized configuration (small web, tight probe budgets).
@@ -51,6 +56,7 @@ pub fn quick_config(num_sites: usize) -> SystemConfig {
             ..Default::default()
         },
         use_annotations: false,
+        pruning: PruningMode::Exhaustive,
     }
 }
 
@@ -125,8 +131,13 @@ impl DeepWebSystem {
         }
         let options = SearchOptions {
             use_annotations: cfg.use_annotations,
+            pruning: cfg.pruning,
             ..Default::default()
         };
+        // Build the block-max structures unconditionally (cheap relative to
+        // indexing): the system can then serve either pruning mode without a
+        // rebuild, and BlockMax never silently degrades to the fallback.
+        index.enable_pruning();
         DeepWebSystem {
             world,
             index,
@@ -136,15 +147,34 @@ impl DeepWebSystem {
         }
     }
 
-    /// Serve a keyword query. Runs the allocation-free scoring kernel
-    /// against a per-thread reusable scratch (DESIGN.md §10).
+    /// This system's sequential serving tier as a
+    /// [`SearchService`] — the reference every other tier
+    /// ([`DeepWebSystem::broker`], [`DeepWebSystem::cluster`]) must match
+    /// byte-for-byte.
+    pub fn service(&self) -> IndexSearcher<'_> {
+        self.index.searcher(self.options)
+    }
+
+    /// Serve a keyword query through the sequential [`SearchService`] tier
+    /// (allocation-free kernel, per-thread reusable scratch, DESIGN.md §10).
     pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
-        search(&self.index, query, k, self.options)
+        self.service().search(query, k)
+    }
+
+    /// Serve a self-contained [`SearchRequest`], honouring the request's own
+    /// options (annotation ablations, pruning mode, BM25 overrides).
+    pub fn search_request(&self, req: &SearchRequest) -> Vec<Hit> {
+        req.run(&self.index)
     }
 
     /// Serve with explicit options (annotation ablations).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `SearchRequest` and call \
+        `search_request`, or use `index.searcher(opts)` for a fixed-option tier"
+    )]
     pub fn search_with(&self, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
-        search(&self.index, query, k, opts)
+        self.index.searcher(opts).search(query, k)
     }
 
     /// A concurrent serving broker over this system's index and options,

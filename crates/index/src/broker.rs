@@ -20,8 +20,10 @@
 //!   selection.
 
 use crate::index::SearchIndex;
+use crate::pruned::{block_ub, floor_threshold, pruned_term_candidates, PruningIndex};
 use crate::searcher::{
-    accumulate_term, apply_annotations, search_with_scratch, top_k_hits, with_thread_scratch, Hit,
+    accumulate_term, annotation_boost, apply_annotations, apply_annotations_sig,
+    search_with_scratch, top_k_hits, with_thread_scratch, HeapEntry, Hit, PruningMode,
     QueryScratch, SearchOptions,
 };
 use deepweb_common::ids::{DocId, TermId};
@@ -101,6 +103,11 @@ impl<'a> QueryBroker<'a> {
         // order), then scatter: group term indices by owning shard — a pure
         // function of the id, so the fan-out is stable.
         scratch.resolve(postings);
+        if self.opts.pruning == PruningMode::BlockMax {
+            if let Some(pr) = self.index.pruning() {
+                return self.scatter_pruned(pr, k, scratch);
+            }
+        }
         let mut groups: Vec<Vec<(usize, TermId)>> = vec![Vec::new(); postings.num_shards()];
         for (ti, id) in scratch.resolved_ids().iter().enumerate() {
             if let Some(id) = *id {
@@ -140,6 +147,128 @@ impl<'a> QueryBroker<'a> {
             apply_annotations(self.index, scratch);
         }
         top_k_hits(scratch, k)
+    }
+
+    /// Scatter mode with block-max filtering (DESIGN.md §14). The tightest-
+    /// bound term is scanned in full to seed a threshold estimate with `k`
+    /// exact per-doc lower bounds (its contribution plus the doc's exact
+    /// annotation adjustment — other terms only ever add non-negative
+    /// contributions); every other term then ships only the blocks whose
+    /// guarded bound could still reach that floored estimate. Kept hits get
+    /// complete, identically-ordered folds; filtered docs are provably below
+    /// the k-th hit, so the gathered top-k is byte-identical to exhaustive
+    /// scatter.
+    fn scatter_pruned(&self, pr: &PruningIndex, k: usize, scratch: &mut QueryScratch) -> Vec<Hit> {
+        let postings = self.index.postings();
+        let avg_len = postings.avg_doc_len().max(1.0);
+        let opts = self.opts;
+        let bp = pr.blocks();
+        let params_match = opts.bm25.k1 == bp.k1() && opts.bm25.b == bp.b();
+        let ann_ub = if opts.use_annotations {
+            pr.annotation_upper_bound()
+        } else {
+            0.0
+        };
+        let sig = std::mem::take(&mut scratch.sig);
+        if sig.is_empty() {
+            scratch.sig = sig;
+            return Vec::new();
+        }
+        // Per-term score bounds over the whole doc range.
+        let term_ubs: Vec<f64> = sig
+            .iter()
+            .map(|&id| {
+                let idf = postings.idf_id(id);
+                bp.term_blocks(id)
+                    .iter()
+                    .map(|b| block_ub(b, idf, avg_len, opts.bm25, params_match))
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        let boot = (1..sig.len()).fold(0usize, |best, i| {
+            if term_ubs[i] > term_ubs[best] {
+                i
+            } else {
+                best
+            }
+        });
+        let mut boot_cands: Vec<(DocId, f64)> = Vec::new();
+        accumulate_term(postings, sig[boot], opts.bm25, avg_len, |doc, c| {
+            boot_cands.push((doc, c))
+        });
+        scratch.heap.clear();
+        for &(doc, c) in &boot_cands {
+            let lb = if opts.use_annotations {
+                c + annotation_boost(self.index, &sig, doc)
+            } else {
+                c
+            };
+            scratch.heap.push(HeapEntry(lb, doc.0));
+            if scratch.heap.len() > k {
+                scratch.heap.pop();
+            }
+        }
+        let t0 = if scratch.heap.len() == k {
+            floor_threshold(scratch.heap.peek().expect("full heap").0)
+        } else {
+            f64::NEG_INFINITY
+        };
+        scratch.heap.clear();
+        // Scatter the remaining terms by owning shard, block-filtered.
+        let mut groups: Vec<Vec<(usize, TermId)>> = vec![Vec::new(); postings.num_shards()];
+        for (si, &id) in sig.iter().enumerate() {
+            if si != boot {
+                groups[postings.shard_of_id(id)].push((si, id));
+            }
+        }
+        groups.retain(|g| !g.is_empty());
+        let term_ubs_ref = &term_ubs;
+        let per_group: Vec<Vec<TermCandidates>> = self.pool.map(groups, move |_, group| {
+            group
+                .into_iter()
+                .map(|(si, id)| {
+                    let mut other_ub = ann_ub;
+                    for (j, &ub) in term_ubs_ref.iter().enumerate() {
+                        if j != si {
+                            other_ub += ub;
+                        }
+                    }
+                    let mut cands: Vec<(DocId, f64)> = Vec::new();
+                    pruned_term_candidates(
+                        postings,
+                        bp,
+                        id,
+                        other_ub,
+                        t0,
+                        opts.bm25,
+                        params_match,
+                        avg_len,
+                        &mut cands,
+                    );
+                    (si, cands)
+                })
+                .collect()
+        });
+        // Gather in signature order — the exhaustive scatter's exact fold.
+        let mut by_term: Vec<Vec<(DocId, f64)>> = (0..sig.len()).map(|_| Vec::new()).collect();
+        by_term[boot] = boot_cands;
+        for group in per_group {
+            for (si, cands) in group {
+                by_term[si] = cands;
+            }
+        }
+        scratch.prepare(postings.num_docs());
+        for cands in by_term {
+            for (doc, c) in cands {
+                scratch.add(doc, c);
+            }
+        }
+        if opts.use_annotations {
+            apply_annotations_sig(self.index, &sig, scratch);
+        }
+        let hits = top_k_hits(scratch, k);
+        scratch.sig = sig;
+        hits
     }
 }
 

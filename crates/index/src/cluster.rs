@@ -71,6 +71,98 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Start building a validated [`ClusterConfig`].
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`ClusterConfig`] ([`ClusterConfig::builder`]).
+///
+/// The raw struct clamps silently (a zero partition count serves, just as
+/// one partition); the builder instead *rejects* degenerate topologies so a
+/// typo'd config surfaces as an error instead of a quietly different
+/// cluster shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Doc-range partition count (must be ≥ 1).
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.cfg.partitions = partitions;
+        self
+    }
+
+    /// Replica group count (must be ≥ 1).
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.cfg.replicas = replicas;
+        self
+    }
+
+    /// Worker threads for fan-out (0 = auto).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Front the cluster with a result cache of this configuration.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Cache with default eviction and the given capacity; `0` disables
+    /// caching entirely.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.cache = if capacity == 0 {
+            None
+        } else {
+            Some(CacheConfig {
+                capacity,
+                ..CacheConfig::default()
+            })
+        };
+        self
+    }
+
+    /// Disable the result cache.
+    pub fn no_cache(mut self) -> Self {
+        self.cfg.cache = None;
+        self
+    }
+
+    /// Per-replica admission bound within a batch burst (0 = unbounded).
+    pub fn max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.cfg.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> deepweb_common::Result<ClusterConfig> {
+        if self.cfg.partitions == 0 {
+            return Err(deepweb_common::Error::Config(
+                "cluster needs at least one partition".into(),
+            ));
+        }
+        if self.cfg.replicas == 0 {
+            return Err(deepweb_common::Error::Config(
+                "cluster needs at least one replica".into(),
+            ));
+        }
+        if let Some(cache) = self.cfg.cache {
+            if cache.capacity == 0 {
+                return Err(deepweb_common::Error::Config(
+                    "cache capacity must be ≥ 1 (use no_cache() to disable)".into(),
+                ));
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
 /// Snapshot of a cluster's serving counters.
 #[derive(Clone, Debug)]
 pub struct ClusterStats {

@@ -5,6 +5,8 @@
 use crate::analysis::{analyze, analyze_query};
 use crate::docstore::{Annotation, AnnotationIds, DocKind, DocStore, StoredDoc};
 use crate::postings::{Postings, ShardedPostings};
+use crate::pruned::PruningIndex;
+use crate::searcher::SearchOptions;
 use deepweb_common::ids::{DocId, FacetKeyId, SiteId, TermId};
 use deepweb_common::{FxHashMap, FxHashSet, TermDict, ThreadPool, Url};
 
@@ -46,6 +48,10 @@ pub struct SearchIndex {
     facet_keys: TermDict,
     /// Facet → known analysed value tokens, both sides interned.
     facet_values: FxHashMap<FacetKeyId, FxHashSet<TermId>>,
+    /// Block-max pruning structures (DESIGN.md §14), built on demand by
+    /// [`SearchIndex::enable_pruning`] and dropped by any mutation — a stale
+    /// block bound could unsafely skip, so freshness is structural.
+    pruning: Option<PruningIndex>,
 }
 
 impl SearchIndex {
@@ -79,6 +85,7 @@ impl SearchIndex {
         if let Some(&id) = self.by_url.get(&key) {
             return id;
         }
+        self.pruning = None;
         // Index title + body (title terms matter for ranking).
         let mut terms = analyze(&title);
         terms.extend(analyze(&text));
@@ -163,6 +170,7 @@ impl SearchIndex {
         if fresh.is_empty() {
             return ids;
         }
+        self.pruning = None;
         // 2. Contiguous shards (≈4 per worker for stealing headroom), each
         // analysed into a doc-local postings shard in parallel. Split the
         // owned vec — no re-cloning of document text. Annotation values are
@@ -242,6 +250,7 @@ impl SearchIndex {
     /// (lowercase, punctuation-split, stopwords dropped), so mixed-case or
     /// punctuated vocabulary still matches analysed query terms.
     pub fn add_facet_values<I: IntoIterator<Item = String>>(&mut self, key: &str, values: I) {
+        self.pruning = None;
         let key = self.intern_facet_key(key);
         let entry = self.facet_values.entry(key).or_default();
         for v in values {
@@ -269,6 +278,30 @@ impl SearchIndex {
     /// The term-hash sharded postings.
     pub fn postings(&self) -> &ShardedPostings {
         &self.postings
+    }
+
+    /// Build the block-max pruning structures over the current contents
+    /// (idempotent; cheap relative to indexing). Until this runs — or after
+    /// any later mutation drops the structures — [`PruningMode::BlockMax`]
+    /// queries fall back to exhaustive scoring, which returns the same
+    /// bytes.
+    ///
+    /// [`PruningMode::BlockMax`]: crate::searcher::PruningMode::BlockMax
+    pub fn enable_pruning(&mut self) {
+        if self.pruning.is_none() {
+            self.pruning = Some(PruningIndex::build(self));
+        }
+    }
+
+    /// The pruning structures, when built and current.
+    pub fn pruning(&self) -> Option<&PruningIndex> {
+        self.pruning.as_ref()
+    }
+
+    /// This index as a [`SearchService`](crate::service::SearchService): the
+    /// sequential tier with fixed serving options.
+    pub fn searcher(&self, opts: SearchOptions) -> crate::service::IndexSearcher<'_> {
+        crate::service::IndexSearcher::new(self, opts)
     }
 
     /// Facet → set of known analysed value tokens, both sides interned;

@@ -19,15 +19,25 @@ pub mod docstore;
 pub mod index;
 pub mod partition;
 pub mod postings;
+pub mod pruned;
 pub mod searcher;
+pub mod service;
 pub mod snippet;
 
 pub use broker::QueryBroker;
 pub use cache::{CacheConfig, CacheStats, ResultCache};
-pub use cluster::{ClusterConfig, ClusterServer, ClusterStats};
+pub use cluster::{ClusterConfig, ClusterConfigBuilder, ClusterServer, ClusterStats};
 pub use docstore::{Annotation, AnnotationIds, DocKind, DocStore, StoredDoc};
 pub use index::{BatchDoc, IndexStats, SearchIndex};
 pub use partition::{partition_ranges, IndexPartition};
-pub use postings::{term_shard, Posting, Postings, ShardedPostings};
-pub use searcher::{search, search_with_scratch, Bm25Params, Hit, QueryScratch, SearchOptions};
+pub use postings::{
+    term_shard, BlockPostings, Posting, PostingBlock, Postings, ShardedPostings,
+    POSTINGS_BLOCK_SIZE,
+};
+pub use pruned::PruningIndex;
+pub use searcher::{
+    search, search_with_scratch, Bm25Params, Hit, PruningMode, QueryScratch, SearchOptions,
+    SearchOptionsBuilder,
+};
+pub use service::{IndexSearcher, SearchRequest, SearchService};
 pub use snippet::snippet;

@@ -140,6 +140,16 @@ impl IndexPartition {
         if sig.is_empty() || k == 0 || self.lo == self.hi {
             return Vec::new();
         }
+        if opts.pruning == crate::searcher::PruningMode::BlockMax {
+            if let Some(pr) = index.pruning() {
+                // The pruned kernel intersects each term's block window with
+                // this partition's doc range; its local top-k is exact, so
+                // the aggregator merge is unchanged.
+                return crate::pruned::pruned_topk_range(
+                    index, pr, sig, k, opts, self.lo, self.hi, scratch,
+                );
+            }
+        }
         let postings = index.postings();
         let avg_len = postings.avg_doc_len().max(1.0);
         scratch.prepare(postings.num_docs());

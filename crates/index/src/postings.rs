@@ -22,6 +22,18 @@ fn bm25_idf(num_docs: f64, df: f64) -> f64 {
     ((num_docs - df + 0.5) / (df + 0.5) + 1.0).ln()
 }
 
+/// One posting's BM25 contribution — the single scoring expression every
+/// serving path (exhaustive accumulation, the pruned block-max kernel, and
+/// the per-block upper bounds) evaluates, so a bound and the value it bounds
+/// can never drift apart. The expression is written exactly as the original
+/// kernel computed it; reordering the operations would change low bits and
+/// break the byte-identity contract.
+#[inline]
+pub(crate) fn bm25_contribution(idf: f64, tf: f64, dl: f64, avg_len: f64, k1: f64, b: f64) -> f64 {
+    let denom = tf + k1 * (1.0 - b + b * dl / avg_len);
+    idf * tf * (k1 + 1.0) / denom
+}
+
 /// The term shard owning an interned term: a pure function of the
 /// [`TermId`] (FxHash with a fixed seed — stable across runs and platforms).
 ///
@@ -445,6 +457,257 @@ impl ShardedPostings {
     }
 }
 
+/// Postings per compressed block (DESIGN.md §14). 64 keeps the per-block
+/// metadata overhead near one bit per posting while leaving enough postings
+/// per block for the delta/tf bit widths to amortise.
+pub const POSTINGS_BLOCK_SIZE: usize = 64;
+
+/// Bit widths needed to represent `max` (0 for 0 — a run of equal values
+/// packs to zero bits).
+fn bits_for(max: u64) -> u8 {
+    (64 - max.leading_zeros()) as u8
+}
+
+/// Append-only bit packer over a shared `Vec<u64>` word buffer.
+struct BitWriter {
+    words: Vec<u64>,
+    bit_len: u64,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            words: Vec::new(),
+            bit_len: 0,
+        }
+    }
+
+    /// Append the low `bits` bits of `value`. Zero-width fields are free.
+    fn push(&mut self, value: u64, bits: u8) {
+        if bits == 0 {
+            return;
+        }
+        let word = (self.bit_len >> 6) as usize;
+        let off = (self.bit_len & 63) as u32;
+        if self.words.len() <= word {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        if off + u32::from(bits) > 64 {
+            self.words.push(value >> (64 - off));
+        }
+        self.bit_len += u64::from(bits);
+    }
+}
+
+/// Read `bits` bits at `bit_pos` from a packed word buffer.
+#[inline]
+fn read_bits(words: &[u64], bit_pos: u64, bits: u8) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let word = (bit_pos >> 6) as usize;
+    let off = (bit_pos & 63) as u32;
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut v = words[word] >> off;
+    if off + u32::from(bits) > 64 {
+        v |= words[word + 1] << (64 - off);
+    }
+    v & mask
+}
+
+/// Metadata for one fixed-size run of a term's postings: the doc-id span,
+/// the bit-packed payload location, and the block-max statistics the pruned
+/// kernel skips on (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PostingBlock {
+    /// Doc id of the block's first posting (stored raw; deltas hang off it).
+    pub first_doc: u32,
+    /// Doc id of the block's last posting (skip pointer).
+    pub last_doc: u32,
+    /// Postings in the block (1..=block size).
+    pub count: u32,
+    /// Max term frequency in the block.
+    pub max_tf: u32,
+    /// Min document length over the block's docs — with `max_tf`, enough to
+    /// recompute a safe upper bound under *any* BM25 parameters.
+    pub min_dl: u32,
+    /// Max BM25 contribution over the block's postings, computed with the
+    /// build-time parameters via [`bm25_contribution`] — exact (it *is* one
+    /// posting's contribution), so the bound is as tight as possible.
+    pub max_contrib: f64,
+    /// Bit width of each packed doc-id delta (`delta - 1`).
+    pub doc_bits: u8,
+    /// Bit width of each packed term frequency (`tf - 1`).
+    pub tf_bits: u8,
+    /// Bit offset of the block's payload in the shared packed buffer.
+    pub bit_offset: u64,
+}
+
+/// Delta-encoded, bit-packed posting blocks with per-block max-score
+/// metadata, built over a finished [`ShardedPostings`] (DESIGN.md §14).
+///
+/// Layout: per term, its sorted posting list is chunked into
+/// [`POSTINGS_BLOCK_SIZE`]-posting blocks. Each block stores `first_doc`
+/// raw in metadata; the payload packs, per posting, the doc-id delta to the
+/// previous posting minus one (doc ids are strictly increasing within a
+/// term's list) and the term frequency minus one, each at the narrowest bit
+/// width that fits the block's maxima. All payloads share one `Vec<u64>`.
+///
+/// The structure is a *pure view* over the postings it was built from:
+/// [`BlockPostings::decode_block`] reproduces the exact `(doc, tf)` pairs of
+/// the raw list, so any score computed from decoded blocks is bit-identical
+/// to one computed from the raw list.
+#[derive(Clone, Debug, Default)]
+pub struct BlockPostings {
+    /// Prefix offsets into `blocks`: term `t` owns
+    /// `blocks[term_start[t] .. term_start[t + 1]]`.
+    term_start: Vec<u32>,
+    blocks: Vec<PostingBlock>,
+    packed: Vec<u64>,
+    block_size: usize,
+    k1: f64,
+    b: f64,
+}
+
+impl BlockPostings {
+    /// Build blocks over every term of `postings`, bounding contributions
+    /// with BM25 parameters `(k1, b)` — the parameters the stored
+    /// `max_contrib` is exact for ([`PostingBlock::max_contrib`]).
+    pub fn build(postings: &ShardedPostings, block_size: usize, k1: f64, b: f64) -> Self {
+        let block_size = block_size.max(1);
+        let avg_len = postings.avg_doc_len().max(1.0);
+        let num_terms = postings.num_terms();
+        let mut term_start = Vec::with_capacity(num_terms + 1);
+        let mut blocks = Vec::new();
+        let mut writer = BitWriter::new();
+        term_start.push(0u32);
+        for t in 0..num_terms {
+            let id = TermId(t as u32);
+            let list = postings.postings_id(id);
+            let idf = postings.idf_id(id);
+            for chunk in list.chunks(block_size) {
+                let first_doc = chunk[0].doc.0;
+                let last_doc = chunk[chunk.len() - 1].doc.0;
+                let mut max_delta_m1 = 0u64;
+                let mut max_tf = 0u32;
+                let mut min_dl = u32::MAX;
+                let mut max_contrib = 0.0f64;
+                let mut prev = first_doc;
+                for (i, p) in chunk.iter().enumerate() {
+                    if i > 0 {
+                        max_delta_m1 = max_delta_m1.max(u64::from(p.doc.0 - prev - 1));
+                        prev = p.doc.0;
+                    }
+                    max_tf = max_tf.max(p.tf);
+                    let dl = postings.doc_len(p.doc);
+                    min_dl = min_dl.min(dl);
+                    let c = bm25_contribution(idf, f64::from(p.tf), f64::from(dl), avg_len, k1, b);
+                    max_contrib = max_contrib.max(c);
+                }
+                let doc_bits = bits_for(max_delta_m1);
+                let tf_bits = bits_for(u64::from(max_tf - 1));
+                let bit_offset = writer.bit_len;
+                let mut prev = first_doc;
+                for (i, p) in chunk.iter().enumerate() {
+                    if i > 0 {
+                        writer.push(u64::from(p.doc.0 - prev - 1), doc_bits);
+                        prev = p.doc.0;
+                    }
+                    writer.push(u64::from(p.tf - 1), tf_bits);
+                }
+                blocks.push(PostingBlock {
+                    first_doc,
+                    last_doc,
+                    count: chunk.len() as u32,
+                    max_tf,
+                    min_dl,
+                    max_contrib,
+                    doc_bits,
+                    tf_bits,
+                    bit_offset,
+                });
+            }
+            term_start.push(blocks.len() as u32);
+        }
+        BlockPostings {
+            term_start,
+            blocks,
+            packed: writer.words,
+            block_size,
+            k1,
+            b,
+        }
+    }
+
+    /// The blocks of an interned term, in doc-id order. Terms interned after
+    /// the build (or annotation-only terms) own no blocks — which is exact,
+    /// since they own no postings either.
+    pub fn term_blocks(&self, id: TermId) -> &[PostingBlock] {
+        let t = id.as_usize();
+        match (self.term_start.get(t), self.term_start.get(t + 1)) {
+            (Some(&lo), Some(&hi)) => &self.blocks[lo as usize..hi as usize],
+            _ => &[],
+        }
+    }
+
+    /// Decode one block's exact `(doc, tf)` postings into `out` (cleared
+    /// first). Bit-identical to the raw list slice the block was built from.
+    pub fn decode_block(&self, block: &PostingBlock, out: &mut Vec<Posting>) {
+        out.clear();
+        out.reserve(block.count as usize);
+        let mut pos = block.bit_offset;
+        let mut doc = block.first_doc;
+        for i in 0..block.count {
+            if i > 0 {
+                doc += read_bits(&self.packed, pos, block.doc_bits) as u32 + 1;
+                pos += u64::from(block.doc_bits);
+            }
+            let tf = read_bits(&self.packed, pos, block.tf_bits) as u32 + 1;
+            pos += u64::from(block.tf_bits);
+            out.push(Posting {
+                doc: DocId(doc),
+                tf,
+            });
+        }
+    }
+
+    /// Postings per block the structure was built with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// BM25 `k1` the stored block maxima are exact for.
+    pub fn k1(&self) -> f64 {
+        self.k1
+    }
+
+    /// BM25 `b` the stored block maxima are exact for.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Total blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes of bit-packed posting payload.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes of block metadata.
+    pub fn meta_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<PostingBlock>()
+            + self.term_start.len() * std::mem::size_of::<u32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,5 +971,179 @@ mod tests {
     fn sharded_out_of_order_docs_rejected() {
         let mut p = ShardedPostings::new(4);
         p.add_document(DocId(1), &["x".into()]);
+    }
+
+    // --- BlockPostings ---
+
+    /// A deterministic synthetic corpus with skewed doc gaps and tfs, so the
+    /// packed widths actually vary block to block.
+    fn block_corpus() -> ShardedPostings {
+        let mut p = ShardedPostings::new(4);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for doc in 0..500u32 {
+            let mut terms: Vec<String> = Vec::new();
+            // "common" appears in most docs with varying tf; "rare" in a few;
+            // plus per-doc filler so doc lengths differ.
+            if doc % 3 != 0 {
+                for _ in 0..(next() % 5 + 1) {
+                    terms.push("common".into());
+                }
+            }
+            if next() % 37 == 0 {
+                terms.push("rare".into());
+            }
+            for f in 0..(next() % 7) {
+                terms.push(format!("filler{}", (doc as u64 + f) % 23));
+            }
+            terms.push("anchor".into());
+            p.add_document(DocId(doc), &terms);
+        }
+        p
+    }
+
+    #[test]
+    fn block_roundtrip_is_exact_for_every_term() {
+        let p = block_corpus();
+        for block_size in [1usize, 3, 64, 1000] {
+            let bp = BlockPostings::build(&p, block_size, 1.2, 0.75);
+            let mut decoded = Vec::new();
+            for t in 0..p.num_terms() {
+                let id = TermId(t as u32);
+                let raw = p.postings_id(id);
+                let mut rebuilt: Vec<Posting> = Vec::new();
+                for block in bp.term_blocks(id) {
+                    bp.decode_block(block, &mut decoded);
+                    assert_eq!(decoded.len(), block.count as usize);
+                    assert_eq!(decoded[0].doc.0, block.first_doc);
+                    assert_eq!(decoded[decoded.len() - 1].doc.0, block.last_doc);
+                    rebuilt.extend_from_slice(&decoded);
+                }
+                assert_eq!(rebuilt, raw, "term {t} block_size {block_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_max_dominates_every_contribution() {
+        let p = block_corpus();
+        let (k1, b) = (1.2, 0.75);
+        let bp = BlockPostings::build(&p, POSTINGS_BLOCK_SIZE, k1, b);
+        let avg_len = p.avg_doc_len().max(1.0);
+        let mut decoded = Vec::new();
+        let mut saw_exact = 0usize;
+        for t in 0..p.num_terms() {
+            let id = TermId(t as u32);
+            let idf = p.idf_id(id);
+            for block in bp.term_blocks(id) {
+                bp.decode_block(block, &mut decoded);
+                let mut block_best = 0.0f64;
+                for posting in &decoded {
+                    let c = bm25_contribution(
+                        idf,
+                        f64::from(posting.tf),
+                        f64::from(p.doc_len(posting.doc)),
+                        avg_len,
+                        k1,
+                        b,
+                    );
+                    assert!(
+                        c <= block.max_contrib,
+                        "term {t}: {c} > {}",
+                        block.max_contrib
+                    );
+                    assert!(posting.tf <= block.max_tf);
+                    assert!(p.doc_len(posting.doc) >= block.min_dl);
+                    block_best = block_best.max(c);
+                }
+                // The stored bound is exact: it IS the best posting's value.
+                assert_eq!(block_best, block.max_contrib, "term {t}");
+                saw_exact += 1;
+            }
+        }
+        assert!(saw_exact > 0);
+    }
+
+    #[test]
+    fn blocks_built_after_absorb_match_sequential_build() {
+        let docs: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                vec![
+                    "shared".to_string(),
+                    format!("term{}", i % 7),
+                    format!("term{}", i % 3),
+                ]
+            })
+            .collect();
+        let mut sequential = ShardedPostings::new(8);
+        for (i, terms) in docs.iter().enumerate() {
+            sequential.add_document(DocId(i as u32), terms);
+        }
+        let mut absorbed = ShardedPostings::new(8);
+        for range in [0..13, 13..25, 25..40] {
+            let mut build = Postings::new();
+            for (local, terms) in docs[range].iter().enumerate() {
+                build.add_document(DocId(local as u32), terms);
+            }
+            absorbed.absorb(build);
+        }
+        let a = BlockPostings::build(&sequential, 8, 1.2, 0.75);
+        let b = BlockPostings::build(&absorbed, 8, 1.2, 0.75);
+        for t in 0..sequential.num_terms() {
+            let id = TermId(t as u32);
+            assert_eq!(a.term_blocks(id), b.term_blocks(id), "term {t}");
+        }
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        assert!(a.packed_bytes() > 0 && a.meta_bytes() > 0);
+    }
+
+    #[test]
+    fn unbuilt_and_postingless_terms_own_no_blocks() {
+        let mut p = ShardedPostings::new(2);
+        p.add_document(DocId(0), &["alpha".into()]);
+        let bp = BlockPostings::build(&p, 64, 1.2, 0.75);
+        // Interned after the build: out of range, empty.
+        let late = p.intern_term("late");
+        assert!(bp.term_blocks(late).is_empty());
+        // Annotation-only terms (interned, no postings) own zero blocks.
+        let mut q = ShardedPostings::new(2);
+        q.add_document(DocId(0), &["alpha".into()]);
+        let ann = q.intern_term("annotation-only");
+        let bq = BlockPostings::build(&q, 64, 1.2, 0.75);
+        assert!(bq.term_blocks(ann).is_empty());
+        assert_eq!(bq.term_blocks(TermId(0)).len(), 1);
+        // An empty postings builds an empty (but valid) structure.
+        let be = BlockPostings::build(&ShardedPostings::new(1), 64, 1.2, 0.75);
+        assert_eq!(be.num_blocks(), 0);
+        assert!(be.term_blocks(TermId(0)).is_empty());
+    }
+
+    #[test]
+    fn bit_packer_roundtrips_edge_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u64, u8)> = vec![
+            (0, 0),
+            (1, 1),
+            (u64::MAX, 64),
+            (0x1234, 13),
+            (1, 1),
+            (u64::MAX >> 1, 63),
+            (0, 7),
+            (u64::MAX, 64),
+        ];
+        for &(v, bits) in &values {
+            w.push(v, bits);
+        }
+        let mut pos = 0u64;
+        for &(v, bits) in &values {
+            assert_eq!(read_bits(&w.words, pos, bits), v, "bits={bits}");
+            pos += u64::from(bits);
+        }
+        assert_eq!(pos, w.bit_len);
     }
 }

@@ -1,0 +1,648 @@
+//! Block-max pruned top-k (DESIGN.md §14): a WAND-style document-at-a-time
+//! kernel over the compressed [`BlockPostings`] that skips doc regions whose
+//! guarded score upper bound provably cannot reach the running top-k
+//! threshold — and still returns **byte-identical** hits to the exhaustive
+//! reference.
+//!
+//! Why pruning preserves the determinism contract:
+//!
+//! - **Scored docs get the exact exhaustive score.** A doc is only scored
+//!   when every query-term cursor that contains it sits exactly on it, and
+//!   its contributions are folded in query-term (signature) order — the same
+//!   floating-point sequence the exhaustive `scores[doc] += c` fold runs,
+//!   starting from the same `0.0`. The annotation boost is added after the
+//!   term sum, exactly like the exhaustive pass.
+//! - **Skipped docs could never be kept.** Every skip tests a *guarded*
+//!   upper bound: [`guard_ub`] inflates a bound by a relative `1e-9` plus an
+//!   absolute `1e-12` before comparing — orders of magnitude more than the
+//!   few-ulp wiggle floating-point reordering can introduce — and the test
+//!   is strict (`<` the threshold), so a doc that ties the current k-th hit
+//!   is always scored and the heap's explicit tie-break decides, exactly as
+//!   in the exhaustive path.
+//! - **The heap is insertion-order independent.** The bounded top-k heap
+//!   evicts under the same strict total order (score desc, doc id asc) as
+//!   the final sort, so feeding it the surviving docs in doc-id order (this
+//!   kernel) or in first-touch order (the exhaustive fold) keeps the same k
+//!   entries bit-for-bit.
+
+use crate::index::SearchIndex;
+use crate::postings::{
+    bm25_contribution, BlockPostings, Posting, PostingBlock, POSTINGS_BLOCK_SIZE,
+};
+use crate::searcher::{
+    annotation_boost, drain_heap_topk, Bm25Params, HeapEntry, Hit, QueryScratch, SearchOptions,
+    ANNOTATION_BOOST,
+};
+use deepweb_common::ids::{DocId, TermId};
+
+/// Doc-id sentinel for an exhausted cursor (beyond any real doc id).
+const EXHAUSTED: u32 = u32::MAX;
+
+/// Inflate a computed score upper bound before comparing it against the
+/// running threshold. Real-arithmetic bounds dominate real scores by
+/// construction; floating-point evaluation can wiggle either side by a few
+/// ulps (~1e-15 relative), so the margin — 1e-9 relative plus 1e-12 absolute
+/// — keeps every skip decision safe with six orders of magnitude to spare.
+#[inline]
+pub(crate) fn guard_ub(x: f64) -> f64 {
+    x * (1.0 + 1e-9) + 1e-12
+}
+
+/// Deflate an *estimated* threshold (one computed in a different summation
+/// order than the final scores, like the scatter path's bootstrap bound)
+/// before using it to skip. Same margin as [`guard_ub`], pointed down.
+#[inline]
+pub(crate) fn floor_threshold(x: f64) -> f64 {
+    x - (x.abs() * 1e-9 + 1e-12)
+}
+
+/// One block's score upper bound under the query's BM25 parameters: the
+/// stored exact maximum when the query runs the build parameters, else a
+/// bound recomputed from the block's `(max_tf, min_dl)` — BM25 contributions
+/// grow with tf and shrink with doc length, so that pair bounds every
+/// posting under any `(k1 > 0, 0 ≤ b ≤ 1)`.
+#[inline]
+pub(crate) fn block_ub(
+    block: &PostingBlock,
+    idf: f64,
+    avg_len: f64,
+    bm25: Bm25Params,
+    params_match: bool,
+) -> f64 {
+    if params_match {
+        block.max_contrib
+    } else {
+        bm25_contribution(
+            idf,
+            f64::from(block.max_tf),
+            f64::from(block.min_dl),
+            avg_len,
+            bm25.k1,
+            bm25.b,
+        )
+    }
+}
+
+/// The serving-side pruning structures built over a finished index: the
+/// compressed block index plus the index-wide annotation-boost upper bound.
+/// Built once by [`SearchIndex::enable_pruning`]; any later mutation of the
+/// index drops it (stale bounds could unsafely skip).
+///
+/// [`SearchIndex::enable_pruning`]: crate::index::SearchIndex::enable_pruning
+#[derive(Clone, Debug)]
+pub struct PruningIndex {
+    blocks: BlockPostings,
+    /// Upper bound on any doc's annotation *boost*: [`ANNOTATION_BOOST`] per
+    /// trackable annotation (1–64 value tokens) of the most-annotated doc.
+    /// Penalties only lower scores, so they never enter a bound.
+    ann_ub: f64,
+}
+
+impl PruningIndex {
+    /// Build the block index (with [`POSTINGS_BLOCK_SIZE`]-posting blocks
+    /// bounded at the default BM25 parameters) and the annotation bound.
+    pub fn build(index: &SearchIndex) -> Self {
+        let params = Bm25Params::default();
+        let blocks =
+            BlockPostings::build(index.postings(), POSTINGS_BLOCK_SIZE, params.k1, params.b);
+        let mut max_anns = 0usize;
+        for doc in index.docs().iter() {
+            let trackable = doc
+                .annotation_ids
+                .iter()
+                .filter(|a| (1..=64).contains(&a.terms.len()))
+                .count();
+            max_anns = max_anns.max(trackable);
+        }
+        PruningIndex {
+            blocks,
+            ann_ub: ANNOTATION_BOOST * max_anns as f64,
+        }
+    }
+
+    /// The compressed block index.
+    pub fn blocks(&self) -> &BlockPostings {
+        &self.blocks
+    }
+
+    /// Upper bound on any single doc's annotation boost.
+    pub fn annotation_upper_bound(&self) -> f64 {
+        self.ann_ub
+    }
+}
+
+/// One query term's position in the block index: which block and which
+/// decoded posting it currently sits on, plus the term-level bound. Buffers
+/// are recycled across queries via [`PrunedScratch`].
+pub(crate) struct PrunedCursor {
+    /// Index into the query signature — the scoring (fold) order.
+    si: usize,
+    id: TermId,
+    idf: f64,
+    /// Max block bound over this term's in-range blocks.
+    term_ub: f64,
+    /// In-range block window `[blocks_lo, blocks_hi)` within the term's
+    /// block slice.
+    blocks_lo: usize,
+    blocks_hi: usize,
+    /// Current block (absolute index into the term's block slice).
+    cur_block: usize,
+    /// Which block `decoded` currently holds (`usize::MAX` = none).
+    decoded_block: usize,
+    decoded: Vec<Posting>,
+    /// Position within `decoded`.
+    pos: usize,
+    /// Current doc id ([`EXHAUSTED`] when past the range).
+    cur_doc: u32,
+}
+
+impl Default for PrunedCursor {
+    fn default() -> Self {
+        PrunedCursor {
+            si: 0,
+            id: TermId(0),
+            idf: 0.0,
+            term_ub: 0.0,
+            blocks_lo: 0,
+            blocks_hi: 0,
+            cur_block: 0,
+            decoded_block: usize::MAX,
+            decoded: Vec::new(),
+            pos: 0,
+            cur_doc: EXHAUSTED,
+        }
+    }
+}
+
+impl PrunedCursor {
+    /// Point the cursor at term `id`'s first posting with doc ≥ `lo` inside
+    /// `[lo, hi)`, computing the in-range block window and term bound.
+    #[allow(clippy::too_many_arguments)]
+    fn init(
+        &mut self,
+        si: usize,
+        id: TermId,
+        idf: f64,
+        bp: &BlockPostings,
+        bm25: Bm25Params,
+        params_match: bool,
+        avg_len: f64,
+        lo: u32,
+        hi: u32,
+    ) {
+        self.si = si;
+        self.id = id;
+        self.idf = idf;
+        let blocks = bp.term_blocks(id);
+        self.blocks_lo = blocks.partition_point(|b| b.last_doc < lo);
+        self.blocks_hi =
+            self.blocks_lo + blocks[self.blocks_lo..].partition_point(|b| b.first_doc < hi);
+        self.term_ub = blocks[self.blocks_lo..self.blocks_hi]
+            .iter()
+            .map(|b| block_ub(b, idf, avg_len, bm25, params_match))
+            .fold(0.0, f64::max);
+        self.cur_block = self.blocks_lo;
+        self.decoded_block = usize::MAX;
+        self.pos = 0;
+        self.cur_doc = EXHAUSTED;
+        self.position(bp, lo, hi);
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cur_doc == EXHAUSTED
+    }
+
+    /// Land on the first posting with doc ≥ `target` (from the current
+    /// position forward), decoding at most the block it lives in.
+    fn position(&mut self, bp: &BlockPostings, target: u32, hi: u32) {
+        let blocks = bp.term_blocks(self.id);
+        while self.cur_block < self.blocks_hi && blocks[self.cur_block].last_doc < target {
+            self.cur_block += 1;
+        }
+        if self.cur_block >= self.blocks_hi {
+            self.cur_doc = EXHAUSTED;
+            return;
+        }
+        if self.decoded_block != self.cur_block {
+            bp.decode_block(&blocks[self.cur_block], &mut self.decoded);
+            self.decoded_block = self.cur_block;
+            self.pos = 0;
+        }
+        // Safe: this block's last_doc ≥ target, so a qualifying posting
+        // exists at or after `pos`.
+        while self.decoded[self.pos].doc.0 < target {
+            self.pos += 1;
+        }
+        let d = self.decoded[self.pos].doc.0;
+        self.cur_doc = if d >= hi { EXHAUSTED } else { d };
+    }
+
+    /// Advance to the first posting with doc ≥ `target` (no-op if already
+    /// there).
+    fn seek_ge(&mut self, bp: &BlockPostings, target: u32, hi: u32) {
+        if self.exhausted() || self.cur_doc >= target {
+            return;
+        }
+        self.position(bp, target, hi);
+    }
+
+    /// Step to the next posting.
+    fn advance_one(&mut self, bp: &BlockPostings, hi: u32) {
+        self.pos += 1;
+        if self.pos >= self.decoded.len() {
+            self.cur_block += 1;
+            if self.cur_block >= self.blocks_hi {
+                self.cur_doc = EXHAUSTED;
+                return;
+            }
+            let blocks = bp.term_blocks(self.id);
+            bp.decode_block(&blocks[self.cur_block], &mut self.decoded);
+            self.decoded_block = self.cur_block;
+            self.pos = 0;
+        }
+        let d = self.decoded[self.pos].doc.0;
+        self.cur_doc = if d >= hi { EXHAUSTED } else { d };
+    }
+
+    /// Term frequency of the current posting.
+    fn cur_tf(&self) -> u32 {
+        self.decoded[self.pos].tf
+    }
+
+    /// The current block's metadata.
+    fn cur_block_meta<'b>(&self, bp: &'b BlockPostings) -> &'b PostingBlock {
+        &bp.term_blocks(self.id)[self.cur_block]
+    }
+}
+
+/// The scatter path's per-term block filter: emit `(doc, contribution)`
+/// candidates for every posting of `id` whose block could still matter —
+/// a block is skipped only when even its max contribution plus the *other*
+/// terms' total bounds (`other_ub`, which already includes the annotation
+/// bound) cannot reach the floored threshold estimate `t0`. Docs of skipped
+/// blocks either never reach the top-k (their total score is provably below
+/// the k-th hit) or appear in kept blocks of every term that matters to
+/// them, so the gathered fold stays byte-identical for every kept hit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pruned_term_candidates(
+    postings: &crate::postings::ShardedPostings,
+    bp: &BlockPostings,
+    id: TermId,
+    other_ub: f64,
+    t0: f64,
+    bm25: Bm25Params,
+    params_match: bool,
+    avg_len: f64,
+    cands: &mut Vec<(DocId, f64)>,
+) {
+    let idf = postings.idf_id(id);
+    let mut decoded: Vec<Posting> = Vec::new();
+    for block in bp.term_blocks(id) {
+        let ub = block_ub(block, idf, avg_len, bm25, params_match);
+        if guard_ub(other_ub + ub) < t0 {
+            continue;
+        }
+        bp.decode_block(block, &mut decoded);
+        for p in &decoded {
+            let dl = f64::from(postings.doc_len(p.doc));
+            cands.push((
+                p.doc,
+                bm25_contribution(idf, f64::from(p.tf), dl, avg_len, bm25.k1, bm25.b),
+            ));
+        }
+    }
+}
+
+/// Recycled state for the pruned kernel: cursors (with their decode
+/// buffers) and the doc-order index, reused across queries like every other
+/// scratch buffer.
+#[derive(Default)]
+pub(crate) struct PrunedScratch {
+    cursors: Vec<PrunedCursor>,
+    order: Vec<usize>,
+}
+
+/// Block-max WAND over `[lo, hi)`: the pruned equivalent of scoring every
+/// sig term's postings in that doc range and selecting top-k — byte-identical
+/// to that exhaustive fold (see module docs for the argument). Runs on the
+/// scratch's recycled heap and cursor buffers; the dense score accumulator
+/// is untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pruned_topk_range(
+    index: &SearchIndex,
+    pr: &PruningIndex,
+    sig: &[TermId],
+    k: usize,
+    opts: SearchOptions,
+    lo: u32,
+    hi: u32,
+    scratch: &mut QueryScratch,
+) -> Vec<Hit> {
+    if sig.is_empty() || k == 0 || lo >= hi {
+        return Vec::new();
+    }
+    let postings = index.postings();
+    let avg_len = postings.avg_doc_len().max(1.0);
+    let bp = pr.blocks();
+    let params_match = opts.bm25.k1 == bp.k1() && opts.bm25.b == bp.b();
+    let ann_ub = if opts.use_annotations {
+        pr.annotation_upper_bound()
+    } else {
+        0.0
+    };
+    let mut state = std::mem::take(&mut scratch.pruned);
+    if state.cursors.len() < sig.len() {
+        state.cursors.resize_with(sig.len(), Default::default);
+    }
+    // One cursor per signature term, in signature (scoring) order; terms
+    // with no postings in range drop out immediately.
+    let mut n = 0usize;
+    for (si, &id) in sig.iter().enumerate() {
+        let c = &mut state.cursors[n];
+        c.init(
+            si,
+            id,
+            postings.idf_id(id),
+            bp,
+            opts.bm25,
+            params_match,
+            avg_len,
+            lo,
+            hi,
+        );
+        if !c.exhausted() {
+            n += 1;
+        }
+    }
+    scratch.heap.clear();
+    let PrunedScratch { cursors, order } = &mut state;
+    order.clear();
+    order.extend(0..n);
+    while !order.is_empty() {
+        order.sort_unstable_by_key(|&ci| cursors[ci].cur_doc);
+        let threshold = if scratch.heap.len() == k {
+            scratch.heap.peek().expect("non-empty full heap").0
+        } else {
+            f64::NEG_INFINITY
+        };
+        // Pivot: the shortest prefix (in doc order) whose guarded term-bound
+        // sum could reach the threshold. No pivot → nothing left can.
+        let mut acc = ann_ub;
+        let mut pivot = None;
+        for (oi, &ci) in order.iter().enumerate() {
+            acc += cursors[ci].term_ub;
+            if guard_ub(acc) >= threshold {
+                pivot = Some(oi);
+                break;
+            }
+        }
+        let Some(p) = pivot else {
+            break;
+        };
+        let d_p = cursors[order[p]].cur_doc;
+        if cursors[order[0]].cur_doc < d_p {
+            // Docs below the pivot doc live only in the lagging prefix,
+            // whose bound sum cannot reach the threshold: skip them all.
+            for &ci in &order[..p] {
+                cursors[ci].seek_ge(bp, d_p, hi);
+            }
+        } else {
+            // Every cursor containing d_p sits exactly on it (the run).
+            let run_end = order
+                .iter()
+                .position(|&ci| cursors[ci].cur_doc != d_p)
+                .unwrap_or(order.len());
+            // Block-max refinement: if even the current blocks' maxima
+            // cannot reach the threshold, jump past the whole region the
+            // run's blocks (and the next term's doc) pin down.
+            let mut bacc = ann_ub;
+            for &ci in &order[..run_end] {
+                let c = &cursors[ci];
+                bacc += block_ub(
+                    c.cur_block_meta(bp),
+                    c.idf,
+                    avg_len,
+                    opts.bm25,
+                    params_match,
+                );
+            }
+            if guard_ub(bacc) < threshold {
+                let mut skip_to = hi;
+                for &ci in &order[..run_end] {
+                    let last = cursors[ci].cur_block_meta(bp).last_doc;
+                    skip_to = skip_to.min(last.saturating_add(1));
+                }
+                if run_end < order.len() {
+                    skip_to = skip_to.min(cursors[order[run_end]].cur_doc);
+                }
+                for &ci in &order[..run_end] {
+                    cursors[ci].seek_ge(bp, skip_to, hi);
+                }
+            } else {
+                // Score d_p exactly: contributions in signature order (the
+                // cursors vector is built in that order), then the
+                // annotation boost — the exhaustive fold's f64 sequence.
+                let dl = f64::from(postings.doc_len(DocId(d_p)));
+                let mut score = 0.0f64;
+                for c in cursors[..n].iter() {
+                    if c.cur_doc == d_p {
+                        score += bm25_contribution(
+                            c.idf,
+                            f64::from(c.cur_tf()),
+                            dl,
+                            avg_len,
+                            opts.bm25.k1,
+                            opts.bm25.b,
+                        );
+                    }
+                }
+                if opts.use_annotations {
+                    score += annotation_boost(index, sig, DocId(d_p));
+                }
+                scratch.heap.push(HeapEntry(score, d_p));
+                if scratch.heap.len() > k {
+                    scratch.heap.pop();
+                }
+                for &ci in &order[..run_end] {
+                    cursors[ci].advance_one(bp, hi);
+                }
+            }
+        }
+        order.retain(|&ci| !cursors[ci].exhausted());
+    }
+    scratch.pruned = state;
+    drain_heap_topk(&mut scratch.heap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docstore::{Annotation, DocKind};
+    use crate::searcher::{search, PruningMode};
+    use deepweb_common::Url;
+
+    /// A corpus big enough to span many blocks for the common terms, with
+    /// annotations on a slice of docs.
+    fn build(n: usize) -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let makes = ["honda", "ford", "toyota", "bmw"];
+        for i in 0..n {
+            let make = makes[(next() % 4) as usize];
+            let mut text = format!("{make} listing number {i}");
+            for _ in 0..(next() % 6) {
+                text.push_str(" common");
+            }
+            if next() % 11 == 0 {
+                text.push_str(" rareterm");
+            }
+            let anns = if next() % 3 == 0 {
+                vec![Annotation {
+                    key: "make".into(),
+                    value: make.to_string(),
+                }]
+            } else {
+                vec![]
+            };
+            idx.add(
+                Url::new("x.sim", format!("/d{i}")),
+                String::new(),
+                text,
+                DocKind::Surfaced,
+                None,
+                anns,
+            );
+        }
+        idx.enable_pruning();
+        idx
+    }
+
+    const QUERIES: [&str; 8] = [
+        "honda listing",
+        "common",
+        "rareterm common",
+        "ford toyota bmw honda",
+        "rareterm",
+        "listing number common honda",
+        "zzz-unknown common",
+        "",
+    ];
+
+    #[test]
+    fn pruned_equals_exhaustive_sequential() {
+        let idx = build(400);
+        for use_annotations in [false, true] {
+            let exhaustive = SearchOptions {
+                use_annotations,
+                ..Default::default()
+            };
+            let pruned = SearchOptions {
+                pruning: PruningMode::BlockMax,
+                ..exhaustive
+            };
+            for k in [1usize, 3, 10, 100, 1000] {
+                for q in QUERIES {
+                    assert_eq!(
+                        search(&idx, q, k, pruned),
+                        search(&idx, q, k, exhaustive),
+                        "q={q:?} k={k} ann={use_annotations}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_equals_exhaustive_per_partition_range() {
+        let idx = build(300);
+        let pr = idx.pruning().expect("pruning enabled");
+        let mut scratch = QueryScratch::new();
+        let postings = idx.postings();
+        for q in ["honda listing", "common rareterm", "ford common"] {
+            scratch.analyze(q);
+            scratch.resolve(postings);
+            let sig = scratch.resolved_sig().to_vec();
+            for (lo, hi) in [(0u32, 300u32), (0, 77), (77, 150), (150, 300), (299, 300)] {
+                let opts = SearchOptions::default();
+                // Exhaustive range reference via the partition kernel.
+                let avg_len = postings.avg_doc_len().max(1.0);
+                scratch.prepare(postings.num_docs());
+                for &id in &sig {
+                    crate::searcher::accumulate_term_range(
+                        postings,
+                        id,
+                        opts.bm25,
+                        avg_len,
+                        lo,
+                        hi,
+                        |doc, c| scratch.add(doc, c),
+                    );
+                }
+                let want = crate::searcher::top_k_hits(&mut scratch, 5);
+                let got = pruned_topk_range(&idx, pr, &sig, 5, opts, lo, hi, &mut scratch);
+                assert_eq!(got, want, "q={q:?} range={lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_default_bm25_params_recompute_bounds_and_stay_exact() {
+        let idx = build(250);
+        let base = SearchOptions {
+            bm25: Bm25Params { k1: 0.4, b: 0.2 },
+            ..Default::default()
+        };
+        let pruned = SearchOptions {
+            pruning: PruningMode::BlockMax,
+            ..base
+        };
+        for q in QUERIES {
+            assert_eq!(
+                search(&idx, q, 10, pruned),
+                search(&idx, q, 10, base),
+                "q={q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blockmax_without_built_index_falls_back_to_exhaustive() {
+        let mut idx = build(50);
+        // Mutating the index drops the pruning structures.
+        idx.add(
+            Url::new("late.sim", "/new"),
+            String::new(),
+            "honda listing late addition".into(),
+            DocKind::Surface,
+            None,
+            vec![],
+        );
+        assert!(idx.pruning().is_none(), "mutation must invalidate");
+        let pruned = SearchOptions {
+            pruning: PruningMode::BlockMax,
+            ..Default::default()
+        };
+        for q in QUERIES {
+            assert_eq!(
+                search(&idx, q, 10, pruned),
+                search(&idx, q, 10, SearchOptions::default()),
+                "q={q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guards_are_conservative() {
+        for x in [0.0f64, 1e-300, 1.0, 123.456, 1e12] {
+            assert!(guard_ub(x) > x);
+            assert!(floor_threshold(x) < x);
+        }
+        assert!(guard_ub(f64::NEG_INFINITY) == f64::NEG_INFINITY || guard_ub(0.0) > 0.0);
+    }
+}

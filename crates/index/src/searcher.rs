@@ -42,6 +42,22 @@ impl Default for Bm25Params {
     }
 }
 
+/// Top-k evaluation strategy (DESIGN.md §14). Every mode returns
+/// byte-identical hits; they differ only in how much work they skip.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PruningMode {
+    /// Score every posting of every query term — the reference oracle.
+    #[default]
+    Exhaustive,
+    /// Block-max WAND over the compressed block index: skip doc regions
+    /// whose guarded score upper bound cannot reach the running top-k
+    /// threshold. Falls back to exhaustive scoring when the index has no
+    /// block index built ([`SearchIndex::enable_pruning`]).
+    ///
+    /// [`SearchIndex::enable_pruning`]: crate::index::SearchIndex::enable_pruning
+    BlockMax,
+}
+
 /// Scoring options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SearchOptions {
@@ -49,6 +65,74 @@ pub struct SearchOptions {
     pub bm25: Bm25Params,
     /// Enable annotation boosting/penalties.
     pub use_annotations: bool,
+    /// Top-k evaluation strategy (result bytes are mode-independent).
+    pub pruning: PruningMode,
+}
+
+impl SearchOptions {
+    /// Start building validated [`SearchOptions`].
+    pub fn builder() -> SearchOptionsBuilder {
+        SearchOptionsBuilder::default()
+    }
+}
+
+/// Validating builder for [`SearchOptions`] ([`SearchOptions::builder`]).
+///
+/// BM25 parameters are unchecked in the raw struct (it stays `Copy` and
+/// construction-cheap for the hot path); the builder is the front door that
+/// rejects non-finite `k1`/`b` and out-of-range length normalisation before
+/// they can poison every score in a serving tier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchOptionsBuilder {
+    opts: SearchOptions,
+}
+
+impl SearchOptionsBuilder {
+    /// Term-frequency saturation `k1` (must be finite and positive).
+    pub fn k1(mut self, k1: f64) -> Self {
+        self.opts.bm25.k1 = k1;
+        self
+    }
+
+    /// Length normalisation `b` (must lie in `[0, 1]`).
+    pub fn b(mut self, b: f64) -> Self {
+        self.opts.bm25.b = b;
+        self
+    }
+
+    /// Replace both BM25 parameters at once.
+    pub fn bm25(mut self, bm25: Bm25Params) -> Self {
+        self.opts.bm25 = bm25;
+        self
+    }
+
+    /// Enable or disable annotation-aware scoring.
+    pub fn annotations(mut self, on: bool) -> Self {
+        self.opts.use_annotations = on;
+        self
+    }
+
+    /// Select the top-k evaluation strategy.
+    pub fn pruning(mut self, mode: PruningMode) -> Self {
+        self.opts.pruning = mode;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> deepweb_common::Result<SearchOptions> {
+        let Bm25Params { k1, b } = self.opts.bm25;
+        if !k1.is_finite() || k1 <= 0.0 {
+            return Err(deepweb_common::Error::Config(format!(
+                "bm25 k1 must be finite and > 0, got {k1}"
+            )));
+        }
+        if !b.is_finite() || !(0.0..=1.0).contains(&b) {
+            return Err(deepweb_common::Error::Config(format!(
+                "bm25 b must lie in [0, 1], got {b}"
+            )));
+        }
+        Ok(self.opts)
+    }
 }
 
 /// One search hit.
@@ -61,7 +145,7 @@ pub struct Hit {
 }
 
 #[derive(PartialEq)]
-struct HeapEntry(f64, u32);
+pub(crate) struct HeapEntry(pub(crate) f64, pub(crate) u32);
 
 impl Eq for HeapEntry {}
 
@@ -84,7 +168,7 @@ impl PartialOrd for HeapEntry {
 }
 
 /// Annotation score adjustments.
-const ANNOTATION_BOOST: f64 = 1.5;
+pub(crate) const ANNOTATION_BOOST: f64 = 1.5;
 const ANNOTATION_CONFLICT_PENALTY: f64 = 8.0;
 
 /// Reusable per-worker state for the query kernel: recycled term buffers, a
@@ -112,7 +196,7 @@ pub struct QueryScratch {
     /// and replica-routing key (DESIGN.md §13). Order matters: f64
     /// accumulation folds in exactly this sequence, so the signature is never
     /// sorted or canonicalised.
-    sig: Vec<TermId>,
+    pub(crate) sig: Vec<TermId>,
     /// Dense score accumulator indexed by doc id. Invariant between queries:
     /// all zeros (only entries listed in `touched` are ever non-zero, and
     /// top-k selection zeroes them while draining).
@@ -120,7 +204,9 @@ pub struct QueryScratch {
     /// Docs with a non-zero accumulated score, in first-touch order.
     touched: Vec<DocId>,
     /// Bounded top-k heap (root = worst kept hit).
-    heap: BinaryHeap<HeapEntry>,
+    pub(crate) heap: BinaryHeap<HeapEntry>,
+    /// Recycled cursor/order state for the block-max pruned kernel.
+    pub(crate) pruned: crate::pruned::PrunedScratch,
 }
 
 impl QueryScratch {
@@ -252,8 +338,10 @@ fn accumulate_postings(
     for p in list {
         let dl = postings.doc_len(p.doc) as f64;
         let tf = p.tf as f64;
-        let denom = tf + bm25.k1 * (1.0 - bm25.b + bm25.b * dl / avg_len);
-        emit(p.doc, idf * tf * (bm25.k1 + 1.0) / denom);
+        emit(
+            p.doc,
+            crate::postings::bm25_contribution(idf, tf, dl, avg_len, bm25.k1, bm25.b),
+        );
     }
 }
 
@@ -280,6 +368,13 @@ pub(crate) fn top_k_hits(scratch: &mut QueryScratch, k: usize) -> Vec<Hit> {
         }
     }
     touched.clear();
+    drain_heap_topk(heap)
+}
+
+/// Drain a bounded top-k heap into the final sorted hit list — the selection
+/// tail shared by the exhaustive fold ([`top_k_hits`]) and the pruned
+/// kernel, so both stages apply the one strict total order.
+pub(crate) fn drain_heap_topk(heap: &mut BinaryHeap<HeapEntry>) -> Vec<Hit> {
     let mut hits: Vec<Hit> = heap
         .drain()
         .map(|HeapEntry(s, d)| Hit {
@@ -342,6 +437,25 @@ pub fn search_with_scratch(
     let postings = index.postings();
     let avg_len = postings.avg_doc_len().max(1.0);
     scratch.resolve(postings);
+    if opts.pruning == PruningMode::BlockMax {
+        if let Some(pr) = index.pruning() {
+            // The signature is moved out so the kernel can borrow the rest
+            // of the scratch mutably; it is restored before returning.
+            let sig = std::mem::take(&mut scratch.sig);
+            let hits = crate::pruned::pruned_topk_range(
+                index,
+                pr,
+                &sig,
+                k,
+                opts,
+                0,
+                postings.num_docs() as u32,
+                scratch,
+            );
+            scratch.sig = sig;
+            return hits;
+        }
+    }
     scratch.prepare(postings.num_docs());
     for ti in 0..scratch.n_terms {
         // Unknown terms have no postings and contribute nothing; skipping

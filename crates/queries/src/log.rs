@@ -6,7 +6,7 @@
 use crate::workload::Workload;
 use deepweb_common::ids::{QueryId, SiteId};
 use deepweb_common::{stats, FxHashMap, ThreadPool};
-use deepweb_index::{search, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions};
+use deepweb_index::{search, DocKind, Hit, QueryBroker, SearchIndex, SearchOptions, SearchService};
 use rand::rngs::StdRng;
 
 /// Impact accounting for one stream replay.
@@ -119,25 +119,25 @@ pub fn replay(
     rng: &mut StdRng,
 ) -> ImpactReport {
     let broker = QueryBroker::new(index, ThreadPool::new(0), opts);
-    replay_serving(index, workload, n, rng, |batch| {
-        broker.search_batch(batch, k)
-    })
+    replay_serving(index, workload, n, k, rng, &broker)
 }
 
-/// Replay through any batch serving function (`&[query] -> Vec<Vec<Hit>>`,
-/// in batch order, top-k baked into the closure): the broker, a
-/// [`ClusterServer`], or anything else that honours the serving determinism
-/// contract. The query stream is sampled up front from `rng` — the RNG
-/// consumption is identical across every replay variant, so the same seed
-/// replays the same stream everywhere.
+/// Replay through any [`SearchService`] tier: the broker, a
+/// [`ClusterServer`], the sequential [`IndexSearcher`], or anything else
+/// that honours the serving determinism contract. The query stream is
+/// sampled up front from `rng` — the RNG consumption is identical across
+/// every replay variant, so the same seed replays the same stream
+/// everywhere.
 ///
 /// [`ClusterServer`]: deepweb_index::ClusterServer
+/// [`IndexSearcher`]: deepweb_index::IndexSearcher
 pub fn replay_serving(
     index: &SearchIndex,
     workload: &Workload,
     n: usize,
+    k: usize,
     rng: &mut StdRng,
-    mut serve: impl FnMut(&[String]) -> Vec<Vec<Hit>>,
+    service: &dyn SearchService,
 ) -> ImpactReport {
     let stream: Vec<QueryId> = workload.stream(n, rng);
     let mut report = ImpactReport {
@@ -148,7 +148,7 @@ pub fn replay_serving(
     for chunk in stream.chunks(REPLAY_CHUNK) {
         texts.clear();
         texts.extend(chunk.iter().map(|&qid| workload.query(qid).text.clone()));
-        let results = serve(&texts);
+        let results = service.search_batch(&texts, k);
         assert_eq!(
             results.len(),
             chunk.len(),

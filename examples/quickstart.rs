@@ -5,6 +5,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
+use deepweb::index::{PruningMode, SearchRequest};
 use deepweb::{quick_config, DeepWebSystem};
 
 fn main() {
@@ -40,6 +41,13 @@ fn main() {
             println!("          {snippet}");
         }
     }
+    // The same query as a self-contained request, served with block-max
+    // pruning — byte-identical to the exhaustive hits above (DESIGN.md §14).
+    let req = SearchRequest::new("used honda civic")
+        .k(3)
+        .pruning(PruningMode::BlockMax);
+    assert_eq!(sys.search_request(&req), sys.search("used honda civic", 3));
+
     // Serving never touches the underlying sites — that is the point of
     // surfacing (paper §3.2).
     sys.world.server.reset_counts();

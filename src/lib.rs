@@ -6,7 +6,11 @@
 //! correlated inputs, indexability), a virtual-integration baseline, a
 //! search-engine substrate with a cluster serving tier (doc-range
 //! partitions, replica routing, result caching — every configuration
-//! byte-identical to sequential search), WebTables-style semantic
+//! byte-identical to sequential search), block-max pruned top-k over
+//! compressed postings behind one unified `SearchService` API (every
+//! tier — sequential, broker, cluster — is the same trait object, and
+//! `PruningMode::BlockMax` returns the exhaustive kernel's exact bytes
+//! while skipping provably-losing doc regions), WebTables-style semantic
 //! services, record extraction and coverage estimation — all over a
 //! deterministic synthetic web. See `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.

@@ -251,11 +251,24 @@ fn batched_and_cluster_replay_match_sequential_replay() {
             &sys.index,
             &wl,
             600,
+            k,
             &mut derive_rng(7, "replay-eq"),
-            |batch| { cluster.search_batch(batch, k) }
+            &cluster
         ),
         reference,
         "cluster-backed replay must reproduce the sequential report"
+    );
+    assert_eq!(
+        replay_serving(
+            &sys.index,
+            &wl,
+            600,
+            k,
+            &mut derive_rng(7, "replay-eq"),
+            &sys.service()
+        ),
+        reference,
+        "sequential-service replay must reproduce the sequential report"
     );
 }
 
