@@ -52,6 +52,9 @@ const DEFAULT_GATED_IDS: &[&str] = &[
     "e16_pruning_seq_blockmax",
     "e16_pruning_cluster_exhaustive",
     "e16_pruning_cluster_blockmax",
+    "e17_freshness_query_pending",
+    "e17_freshness_query_merged",
+    "e17_freshness_query_during_merge",
 ];
 
 /// One parsed bench line.

@@ -47,9 +47,11 @@ pub fn decode_component(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 <= bytes.len() - 1 + 1 => {
-                let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+            // A full escape needs two bytes after the '%'; a truncated tail
+            // ("%", "%4") falls through to the literal arm below.
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
                     Some(v) => {
                         out.push(v);
                         i += 3;
@@ -176,6 +178,18 @@ mod tests {
     }
 
     #[test]
+    fn decode_tolerates_truncated_escapes_after_valid_ones() {
+        // The tail of the buffer after a valid escape must still be handled:
+        // the '%' guard is a bounds check, not a validity check.
+        assert_eq!(decode_component("%41%"), "A%");
+        assert_eq!(decode_component("%41%4"), "A%4");
+        assert_eq!(decode_component("a%20%"), "a %");
+        assert_eq!(decode_component("%2B%zz%"), "+%zz%");
+        // '%' followed by one valid hex digit then end-of-input.
+        assert_eq!(decode_component("x%A"), "x%A");
+    }
+
+    #[test]
     fn url_display_and_parse_roundtrip() {
         let u = Url::new("cars-01.sim", "/search")
             .with_param("make", "ford")
@@ -213,6 +227,15 @@ mod prop_tests {
         #[test]
         fn component_roundtrip(s in "\\PC{0,40}") {
             prop_assert_eq!(decode_component(&encode_component(&s)), s);
+        }
+
+        #[test]
+        fn escape_heavy_roundtrip(s in "[%+ a-fzA-F0-9]{0,24}") {
+            // Percent- and plus-heavy inputs stress the escape scanner: the
+            // encoded form must round-trip, and decoding the raw (possibly
+            // invalid) input must never panic.
+            prop_assert_eq!(decode_component(&encode_component(&s)), s.clone());
+            let _ = decode_component(&s);
         }
 
         #[test]

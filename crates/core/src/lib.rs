@@ -12,4 +12,4 @@ pub mod report;
 pub mod system;
 
 pub use report::TextTable;
-pub use system::{quick_config, DeepWebSystem, SystemConfig};
+pub use system::{quick_config, DeepWebSystem, RefreshOutcome, SystemConfig};

@@ -2,12 +2,16 @@
 //! serve keyword queries — the full loop the paper's production system runs.
 
 use deepweb_common::{ThreadPool, Url, DEFAULT_SEED};
+use deepweb_coverage::content_hash;
 use deepweb_index::{
     Annotation, BatchDoc, ClusterConfig, ClusterServer, DocKind, Hit, IndexSearcher, PruningMode,
-    QueryBroker, SearchIndex, SearchOptions, SearchRequest, SearchService,
+    QueryBroker, SearchIndex, SearchOptions, SearchRequest, SearchService, SegmentedIndex,
 };
-use deepweb_surfacer::{crawl_and_surface, DocOrigin, SurfacerConfig, SurfacingOutcome};
-use deepweb_webworld::{generate, WebConfig, World};
+use deepweb_surfacer::{
+    crawl_and_surface, resurface_host, DocOrigin, ProducedDoc, ReprobeScheduler, SurfacerConfig,
+    SurfacingOutcome,
+};
+use deepweb_webworld::{generate, Fetcher, WebConfig, World};
 
 /// Configuration of a full system build.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +77,35 @@ pub struct DeepWebSystem {
     pub offline_requests: u64,
     /// Scoring options used at serve time.
     pub options: SearchOptions,
+    /// The build configuration, retained so incremental re-surfacing probes
+    /// with the same budgets the batch pipeline used.
+    config: SystemConfig,
+    /// Freshness tier (delta segments + re-probe schedule), built lazily on
+    /// the first [`DeepWebSystem::refresh`] / [`DeepWebSystem::fresh_index`].
+    fresh: Option<FreshState>,
+}
+
+/// Freshness-tier state: the segmented index serving base + deltas, the
+/// round-robin re-probe schedule, and one content fingerprint per site.
+struct FreshState {
+    segmented: SegmentedIndex,
+    scheduler: ReprobeScheduler,
+    fingerprints: Vec<u64>,
+}
+
+/// What one [`DeepWebSystem::refresh`] round did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RefreshOutcome {
+    /// Sites fingerprint-probed this round.
+    pub probed: usize,
+    /// Sites whose fingerprint changed (re-surfaced this round).
+    pub changed: usize,
+    /// Documents appended to the delta segments (previously unknown URLs).
+    pub new_docs: usize,
+    /// Re-surfaced documents whose URL was already indexed. The delta tier
+    /// is append-only: these keep their original content until the next full
+    /// rebuild (DESIGN.md §15).
+    pub stale_docs: usize,
 }
 
 impl DeepWebSystem {
@@ -90,34 +123,7 @@ impl DeepWebSystem {
         let batch: Vec<BatchDoc> = outcome
             .docs
             .iter()
-            .map(|doc| {
-                let kind = match doc.origin {
-                    DocOrigin::Surface => DocKind::Surface,
-                    DocOrigin::Surfaced => DocKind::Surfaced,
-                    DocOrigin::Discovered => DocKind::Discovered,
-                };
-                let site = world.server.site_by_host(&doc.host).map(|s| s.id);
-                // Stored values keep a lowercased display form; matching does
-                // not depend on it — the index analyses every annotation
-                // value through the text pipeline at ingest and matches by
-                // interned ids (DESIGN.md §12).
-                let annotations = doc
-                    .annotations
-                    .iter()
-                    .map(|(k, v)| Annotation {
-                        key: k.clone(),
-                        value: v.to_ascii_lowercase(),
-                    })
-                    .collect();
-                BatchDoc {
-                    url: doc.url.clone(),
-                    title: doc.title.clone(),
-                    text: doc.text.clone(),
-                    kind,
-                    site,
-                    annotations,
-                }
-            })
+            .map(|doc| to_batch_doc(&world, doc))
             .collect();
         let mut index = SearchIndex::new();
         index.add_batch(&pool, batch);
@@ -144,6 +150,8 @@ impl DeepWebSystem {
             outcome,
             offline_requests,
             options,
+            config: cfg.clone(),
+            fresh: None,
         }
     }
 
@@ -201,6 +209,139 @@ impl DeepWebSystem {
     pub fn cluster(&self, cfg: ClusterConfig) -> ClusterServer<'_> {
         ClusterServer::new(&self.index, self.options, cfg)
     }
+
+    /// The freshness tier: a [`SegmentedIndex`] serving the build-time base
+    /// plus every delta segment appended by [`DeepWebSystem::refresh`].
+    ///
+    /// First call initialises the tier: the base is a clone of the batch
+    /// index, and every site's home page is fetched once to establish its
+    /// content fingerprint (so refresh rounds only react to changes *after*
+    /// this point, not to the build itself). Queries against the returned
+    /// index are byte-identical to a from-scratch rebuild over base + delta
+    /// docs, before, during and after a [`SegmentedIndex::merge`]
+    /// (DESIGN.md §15).
+    pub fn fresh_index(&mut self) -> &SegmentedIndex {
+        self.ensure_fresh();
+        &self.fresh.as_ref().expect("just initialised").segmented
+    }
+
+    /// Compact the freshness tier: fold all delta segments into the base
+    /// (background-mergeable — readers keep serving the old generation until
+    /// the one-pointer publish). Returns the number of docs folded in.
+    pub fn merge_fresh(&mut self) -> usize {
+        self.ensure_fresh();
+        self.fresh
+            .as_ref()
+            .expect("just initialised")
+            .segmented
+            .merge()
+    }
+
+    /// One incremental re-surfacing round (the freshness loop, §3.2's
+    /// "discover more content over time").
+    ///
+    /// Probes the next `batch` sites in round-robin order: each probe
+    /// fetches the site's home page and compares its
+    /// [`content_hash`] fingerprint. Unchanged sites cost exactly one
+    /// request. Changed sites are re-surfaced with the build-time budgets
+    /// ([`resurface_host`]) and every previously-unknown URL is appended to
+    /// the freshness tier as a delta segment; already-indexed URLs are
+    /// counted stale instead (append-only tier — see
+    /// [`RefreshOutcome::stale_docs`]).
+    pub fn refresh(&mut self, batch: usize) -> RefreshOutcome {
+        self.ensure_fresh();
+        let hosts: Vec<String> = self
+            .world
+            .server
+            .sites()
+            .iter()
+            .map(|s| s.host.clone())
+            .collect();
+        let state = self.fresh.as_mut().expect("just initialised");
+        // Sites can join the world after init (content growth never removes
+        // sites); give them a fingerprint slot so they re-probe cleanly.
+        state.fingerprints.resize(hosts.len(), 0);
+        let mut out = RefreshOutcome::default();
+        for idx in state.scheduler.next_batch(hosts.len(), batch) {
+            out.probed += 1;
+            let Ok(resp) = self.world.server.fetch(&Url::new(hosts[idx].clone(), "/")) else {
+                continue;
+            };
+            let fingerprint = content_hash(&resp.html);
+            if fingerprint == state.fingerprints[idx] {
+                continue;
+            }
+            state.fingerprints[idx] = fingerprint;
+            out.changed += 1;
+            let delta = resurface_host(&self.world.server, &hosts[idx], &self.config.surfacer);
+            let snapshot = state.segmented.snapshot();
+            let mut fresh_docs = Vec::new();
+            for doc in &delta.docs {
+                if snapshot.contains_url(&doc.url) {
+                    out.stale_docs += 1;
+                } else {
+                    fresh_docs.push(to_batch_doc(&self.world, doc));
+                }
+            }
+            out.new_docs += state.segmented.apply(fresh_docs);
+        }
+        out
+    }
+
+    fn ensure_fresh(&mut self) {
+        if self.fresh.is_some() {
+            return;
+        }
+        let fingerprints = self
+            .world
+            .server
+            .sites()
+            .iter()
+            .map(|s| {
+                self.world
+                    .server
+                    .fetch(&Url::new(s.host.clone(), "/"))
+                    .map(|r| content_hash(&r.html))
+                    .unwrap_or(0)
+            })
+            .collect();
+        self.fresh = Some(FreshState {
+            segmented: SegmentedIndex::new(self.index.clone()),
+            scheduler: ReprobeScheduler::new(),
+            fingerprints,
+        });
+    }
+}
+
+/// Convert one pipeline doc into an index batch doc — the single mapping
+/// both the batch build and the freshness tier use, so delta segments intern
+/// annotations exactly like a rebuild would.
+fn to_batch_doc(world: &World, doc: &ProducedDoc) -> BatchDoc {
+    let kind = match doc.origin {
+        DocOrigin::Surface => DocKind::Surface,
+        DocOrigin::Surfaced => DocKind::Surfaced,
+        DocOrigin::Discovered => DocKind::Discovered,
+    };
+    let site = world.server.site_by_host(&doc.host).map(|s| s.id);
+    // Stored values keep a lowercased display form; matching does not depend
+    // on it — the index analyses every annotation value through the text
+    // pipeline at ingest and matches by interned ids (DESIGN.md §12).
+    let annotations = doc
+        .annotations
+        .iter()
+        .map(|(k, v)| Annotation {
+            key: k.clone(),
+            value: v.to_ascii_lowercase(),
+        })
+        .collect();
+    BatchDoc {
+        url: doc.url.clone(),
+        title: doc.title.clone(),
+        text: doc.text.clone(),
+        kind,
+        site,
+        annotations,
+    }
 }
 
 /// Default seed re-export for examples.
@@ -255,6 +396,68 @@ mod tests {
             );
         }
         assert_eq!(sys.broker(2).workers(), 2);
+    }
+
+    #[test]
+    fn refresh_is_noop_on_an_unchanged_world() {
+        let mut sys = DeepWebSystem::build(&quick_config(6));
+        let n = sys.world.server.sites().len();
+        let out = sys.refresh(n);
+        assert_eq!(out.probed, n);
+        assert_eq!(out.changed, 0);
+        assert_eq!(out.new_docs, 0);
+        assert_eq!(sys.fresh_index().num_segments(), 0);
+        // Unchanged probes cost one request per site (plus the init
+        // fingerprint pass).
+        assert!(sys.world.server.total_requests() <= 2 * n as u64 + sys.offline_requests);
+    }
+
+    #[test]
+    fn refresh_surfaces_grown_content_and_merge_preserves_results() {
+        let mut sys = DeepWebSystem::build(&quick_config(6));
+        // Pick a GET site the pipeline actually surfaced.
+        let grown_host = sys
+            .outcome
+            .reports
+            .iter()
+            .find(|r| r.pages_surfaced > 0)
+            .expect("some site surfaced")
+            .host
+            .clone();
+        let site_idx = sys
+            .world
+            .server
+            .sites()
+            .iter()
+            .position(|s| s.host == grown_host)
+            .expect("site exists");
+        // Initialise fingerprints *before* growing, then grow the backend.
+        sys.fresh_index();
+        deepweb_webworld::grow_site(&mut sys.world, site_idx, 25, SEED);
+        let n = sys.world.server.sites().len();
+        let out = sys.refresh(n);
+        assert_eq!(out.probed, n);
+        assert_eq!(out.changed, 1, "only the grown site changed");
+        assert!(out.new_docs > 0, "growth should surface new pages: {out:?}");
+        // Re-surfacing revisits known pages too; those stay stale-only.
+        assert!(out.stale_docs > 0);
+        let opts = sys.options;
+        let index_len = sys.index.len();
+        let fresh = sys.fresh_index();
+        assert_eq!(fresh.num_docs(), index_len + out.new_docs);
+        assert!(fresh.num_segments() > 0);
+        // Merge folds the deltas without changing any served result.
+        let queries = ["honda civic", "listings database", ""];
+        let before: Vec<_> = queries.iter().map(|q| fresh.search(q, 10, opts)).collect();
+        let folded = fresh.merge();
+        assert_eq!(folded, out.new_docs);
+        assert_eq!(fresh.num_segments(), 0);
+        let after: Vec<_> = queries.iter().map(|q| fresh.search(q, 10, opts)).collect();
+        assert_eq!(before, after);
+        // A second refresh round sees the new fingerprint: nothing to do.
+        let again = sys.refresh(n);
+        assert_eq!(again.changed, 0);
+        assert_eq!(again.new_docs, 0);
     }
 
     #[test]

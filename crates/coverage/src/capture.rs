@@ -47,6 +47,12 @@ pub struct CoverageStatement {
 }
 
 /// Build a coverage statement from two probe samples plus the surfaced count.
+///
+/// Returns `None` when the samples cannot support a statement: no overlap
+/// (see [`lincoln_petersen`]), an overlap larger than either sample (`m` is
+/// the count of records in *both* batches, so `m > n1` or `m > n2` is a
+/// caller bug the variance term must not silently swallow), or a confidence
+/// level below the 0.90 floor of the z table.
 pub fn coverage_statement(
     surfaced: usize,
     n1: usize,
@@ -54,18 +60,22 @@ pub fn coverage_statement(
     m: usize,
     confidence: f64,
 ) -> Option<CoverageStatement> {
+    if m > n1 || m > n2 {
+        return None;
+    }
     let est = lincoln_petersen(n1, n2, m)?;
     // Chapman variance.
     let var = ((n1 + 1) as f64 * (n2 + 1) as f64 * (n1 - m) as f64 * (n2 - m) as f64)
         / (((m + 1) as f64).powi(2) * (m + 2) as f64);
     let sd = var.sqrt();
     // One-sided z for the requested confidence (rough table; enough for
-    // reporting).
+    // reporting). Levels below the table's floor are refused rather than
+    // silently rounded to some other confidence.
     let z = match confidence {
         c if c >= 0.99 => 2.326,
         c if c >= 0.95 => 1.645,
         c if c >= 0.90 => 1.282,
-        _ => 1.0,
+        _ => return None,
     };
     let upper_total = est + z * sd;
     let coverage = (surfaced as f64 / est).min(1.0);
@@ -75,6 +85,26 @@ pub fn coverage_statement(
         lower_bound,
         confidence,
     })
+}
+
+/// Content hash of one fetched page, for change detection between refresh
+/// rounds (the freshness tier re-probes a site and compares against the
+/// fingerprint captured last time; only a changed site is re-surfaced).
+/// FxHash with a fixed seed: stable across runs and platforms, so stored
+/// fingerprints stay comparable.
+pub fn content_hash(html: &str) -> u64 {
+    deepweb_common::fxhash64(html)
+}
+
+/// Fold per-page content hashes into one site fingerprint. Order-sensitive
+/// on purpose — callers hash a fixed canonical page sequence, so a change on
+/// any probed page changes the fingerprint.
+pub fn combine_hashes(hashes: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for h in hashes {
+        acc = deepweb_common::fxhash64(&(acc, h));
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -110,5 +140,40 @@ mod tests {
         assert!(s.coverage > 0.5 && s.coverage <= 1.0);
         assert!(s.lower_bound <= s.coverage);
         assert_eq!(s.confidence, 0.95);
+    }
+
+    #[test]
+    fn coverage_statement_rejects_impossible_overlap() {
+        // Regression: `m > n1` or `m > n2` used to underflow `(n1 - m)` /
+        // `(n2 - m)` in `usize` (panic in debug, garbage variance in
+        // release). The overlap can never exceed either sample size.
+        assert!(coverage_statement(400, 10, 100, 30, 0.95).is_none());
+        assert!(coverage_statement(400, 100, 10, 30, 0.95).is_none());
+        assert!(coverage_statement(400, 5, 5, 6, 0.95).is_none());
+        // Boundary: m equal to a sample size is fine (full overlap).
+        assert!(coverage_statement(40, 50, 50, 50, 0.95).is_some());
+    }
+
+    #[test]
+    fn coverage_statement_rejects_unsupported_confidence() {
+        // Regression: confidence below the z table used to be silently
+        // served with z = 1.0 (~0.84 one-sided) — a bound at the wrong
+        // confidence level.
+        assert!(coverage_statement(400, 100, 100, 20, 0.5).is_none());
+        assert!(coverage_statement(400, 100, 100, 20, 0.89).is_none());
+        assert!(coverage_statement(400, 100, 100, 20, f64::NAN).is_none());
+        assert!(coverage_statement(400, 100, 100, 20, 0.90).is_some());
+    }
+
+    #[test]
+    fn content_hashes_detect_change() {
+        let a = content_hash("<html>10 listings</html>");
+        let b = content_hash("<html>12 listings</html>");
+        assert_eq!(a, content_hash("<html>10 listings</html>"));
+        assert_ne!(a, b);
+        // Fingerprints fold page order in.
+        assert_eq!(combine_hashes([a, b]), combine_hashes([a, b]));
+        assert_ne!(combine_hashes([a, b]), combine_hashes([b, a]));
+        assert_ne!(combine_hashes([a]), combine_hashes([a, b]));
     }
 }

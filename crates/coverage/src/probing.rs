@@ -43,14 +43,18 @@ fn sample_batch(
         let idx = rng.gen_range(0..slot.cardinality().max(1));
         let assignment = slot.assignment(idx);
         // Land on a random result page (not always page 0) so batches
-        // approximate uniform record samples; out-of-range pages are empty
-        // and retried at page 0.
+        // approximate uniform record samples. Out-of-range pages come back
+        // empty and failed fetches come back `!ok`; either way the draw
+        // would be wasted, so both are retried at page 0. (Failures used to
+        // be dropped on the floor, silently burning the probe budget.) The
+        // retry is one more request through the same prober, so it counts
+        // toward [`EstimationRun::probes`] like any other probe.
         let page: usize = rng.gen_range(0..6);
         let url = prober
             .submission_url(form, &assignment)
             .with_param("page", page.to_string());
         let mut out = prober.fetch(&url);
-        if out.ok && out.record_ids.is_empty() && page > 0 {
+        if page > 0 && (!out.ok || out.record_ids.is_empty()) {
             out = prober.submit(form, &assignment);
         }
         if out.ok {
@@ -145,6 +149,50 @@ mod tests {
             );
         }
         assert!(run.probes > 0);
+    }
+
+    /// Fails every non-zero-page fetch; page 0 passes through to the real
+    /// server. Models transiently flaky pagination.
+    struct FlakyPager<'a>(&'a deepweb_webworld::WebServer);
+
+    impl Fetcher for FlakyPager<'_> {
+        fn fetch(&self, url: &Url) -> deepweb_common::Result<deepweb_webworld::Response> {
+            match url.param("page") {
+                Some(p) if p != "0" => Err(deepweb_webworld::fetch::http_error(500, url)),
+                _ => self.0.fetch(url),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_fetches_are_retried_at_page_zero() {
+        // Regression: a `!ok` fetch at page > 0 used to be dropped without
+        // the page-0 retry that empty pages get, silently wasting the probe
+        // budget (and shrinking the capture samples).
+        let w = generate(&WebConfig {
+            num_sites: 20,
+            min_records: 60,
+            max_records: 200,
+            ..WebConfig::default()
+        });
+        let (form, slots, _) = site_with_select(&w);
+        let flaky = FlakyPager(&w.server);
+        let prober = Prober::new(&flaky);
+        let mut rng = derive_rng(7, "coverage-flaky");
+        let k = 25;
+        let run = estimate_size(&prober, &form, &slots, k, &mut rng);
+        // With 2k draws and pages drawn from 0..6, some draws land on a
+        // failing page and must be retried — the retries are extra requests
+        // through the same prober, so the probe count exceeds the draw count.
+        assert!(
+            run.probes > 2 * k as u64,
+            "retries must issue (and be counted as) extra probes: {}",
+            run.probes
+        );
+        // And the batches still collect records despite every non-zero page
+        // failing.
+        assert!(run.n1 > 0, "batch 1 lost its failed draws");
+        assert!(run.n2 > 0, "batch 2 lost its failed draws");
     }
 
     #[test]

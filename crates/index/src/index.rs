@@ -186,60 +186,65 @@ impl SearchIndex {
         }
         shards.push(fresh);
         let built = pool.map(shards, |_, shard: Vec<BatchDoc>| {
-            let mut postings = Postings::new();
-            // Per doc, per annotation: the value's analysed tokens as
-            // shard-local term ids.
-            let mut ann_local: Vec<Vec<Vec<TermId>>> = Vec::with_capacity(shard.len());
-            for (local, doc) in shard.iter().enumerate() {
-                let mut terms = analyze(&doc.title);
-                terms.extend(analyze(&doc.text));
-                postings.add_document(DocId(local as u32), &terms);
-                ann_local.push(
-                    doc.annotations
-                        .iter()
-                        .map(|ann| {
-                            analyze_query(&ann.value)
-                                .iter()
-                                .map(|tok| postings.intern_term(tok))
-                                .collect()
-                        })
-                        .collect(),
-                );
-            }
+            let (postings, ann_local) = build_shard(&shard);
             (postings, shard, ann_local)
         });
         // 3. Deterministic merge in shard order + sequential store/facet
-        // bookkeeping (identical to what `add` does per document): absorb
-        // hands back the shard-local → global id remap, which rewrites the
-        // pre-tokenised annotation values into global ids.
+        // bookkeeping (identical to what `add` does per document).
         for (shard_postings, shard, shard_ann_local) in built {
-            let remap = self.postings.absorb(shard_postings);
-            for (doc, ann_local) in shard.into_iter().zip(shard_ann_local) {
-                let annotation_ids: Vec<AnnotationIds> = doc
-                    .annotations
-                    .iter()
-                    .zip(ann_local)
-                    .map(|(ann, local_ids)| {
-                        let terms: Vec<TermId> = local_ids
-                            .into_iter()
-                            .map(|local| remap[local.as_usize()])
-                            .collect();
-                        self.record_annotation(&ann.key, terms)
-                    })
-                    .collect();
-                self.docs.push(
-                    doc.url,
-                    doc.title,
-                    doc.text,
-                    doc.kind,
-                    doc.site,
-                    doc.annotations,
-                    annotation_ids,
-                );
-            }
+            self.absorb_built(shard_postings, shard, shard_ann_local, false);
         }
         debug_assert_eq!(self.docs.len(), self.postings.num_docs());
         ids
+    }
+
+    /// Fold one pre-built doc-local postings shard into this index. The
+    /// shared phase-3 merge of both batched build paths ([`add_batch`] and
+    /// the delta-segment fold of [`segments`](crate::segments)): absorb
+    /// hands back the shard-local → global id remap, which rewrites the
+    /// pre-tokenised annotation values into global ids before the
+    /// per-document store/facet bookkeeping runs — identical to what `add`
+    /// does per document. `register_urls` is true for callers that have not
+    /// already claimed the URLs in `by_url` (the segment fold); `add_batch`
+    /// registers them during its dedup phase and passes false.
+    ///
+    /// [`add_batch`]: SearchIndex::add_batch
+    pub(crate) fn absorb_built(
+        &mut self,
+        shard_postings: Postings,
+        shard: Vec<BatchDoc>,
+        shard_ann_local: Vec<Vec<Vec<TermId>>>,
+        register_urls: bool,
+    ) {
+        self.pruning = None;
+        let remap = self.postings.absorb(shard_postings);
+        for (doc, ann_local) in shard.into_iter().zip(shard_ann_local) {
+            let annotation_ids: Vec<AnnotationIds> = doc
+                .annotations
+                .iter()
+                .zip(ann_local)
+                .map(|(ann, local_ids)| {
+                    let terms: Vec<TermId> = local_ids
+                        .into_iter()
+                        .map(|local| remap[local.as_usize()])
+                        .collect();
+                    self.record_annotation(&ann.key, terms)
+                })
+                .collect();
+            if register_urls {
+                self.by_url
+                    .insert(doc.url.to_string(), DocId(self.docs.len() as u32));
+            }
+            self.docs.push(
+                doc.url,
+                doc.title,
+                doc.text,
+                doc.kind,
+                doc.site,
+                doc.annotations,
+                annotation_ids,
+            );
+        }
     }
 
     /// Extend the facet vocabulary with externally observed values (e.g.
@@ -316,6 +321,13 @@ impl SearchIndex {
         self.facet_keys.get(key).map(|id| FacetKeyId(id.0))
     }
 
+    /// Number of interned facet keys — the id a segment overlay assigns to
+    /// its first novel facet key, so the overlay's id assignment replays
+    /// what a merged rebuild would intern.
+    pub(crate) fn num_facet_keys(&self) -> usize {
+        self.facet_keys.len()
+    }
+
     /// True if `value_token` (one analysed token) is a known value of facet
     /// `key` — the string-level view of the interned facet vocabulary, for
     /// tests and reports.
@@ -340,6 +352,34 @@ impl SearchIndex {
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
     }
+}
+
+/// Analyse a run of documents into a doc-local [`Postings`] plus, per doc
+/// and per annotation, the value's analysed tokens as shard-local term ids.
+/// The per-document interning order is the canonical one (body terms, then
+/// annotation value tokens), so absorbing the result replays the sequential
+/// build exactly. Shared by [`SearchIndex::add_batch`]'s parallel shards and
+/// the delta-segment build of [`segments`](crate::segments).
+pub(crate) fn build_shard(shard: &[BatchDoc]) -> (Postings, Vec<Vec<Vec<TermId>>>) {
+    let mut postings = Postings::new();
+    let mut ann_local: Vec<Vec<Vec<TermId>>> = Vec::with_capacity(shard.len());
+    for (local, doc) in shard.iter().enumerate() {
+        let mut terms = analyze(&doc.title);
+        terms.extend(analyze(&doc.text));
+        postings.add_document(DocId(local as u32), &terms);
+        ann_local.push(
+            doc.annotations
+                .iter()
+                .map(|ann| {
+                    analyze_query(&ann.value)
+                        .iter()
+                        .map(|tok| postings.intern_term(tok))
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+    (postings, ann_local)
 }
 
 /// Index-wide statistics for reports.

@@ -21,6 +21,7 @@ pub mod partition;
 pub mod postings;
 pub mod pruned;
 pub mod searcher;
+pub mod segments;
 pub mod service;
 pub mod snippet;
 
@@ -39,5 +40,6 @@ pub use searcher::{
     search, search_with_scratch, Bm25Params, Hit, PruningMode, QueryScratch, SearchOptions,
     SearchOptionsBuilder,
 };
+pub use segments::{Generation, SealedSegment, SegmentedIndex, SegmentedSearcher};
 pub use service::{IndexSearcher, SearchRequest, SearchService};
 pub use snippet::snippet;

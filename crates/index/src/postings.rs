@@ -17,8 +17,10 @@ use deepweb_common::ids::{DocId, TermId};
 use deepweb_common::{fxhash64, TermDict};
 
 /// BM25 inverse document frequency, shared by both postings layouts — one
-/// copy of the formula so a tuning change can never diverge them.
-fn bm25_idf(num_docs: f64, df: f64) -> f64 {
+/// copy of the formula so a tuning change can never diverge them. Also the
+/// formula the segmented freshness tier evaluates against overlay-adjusted
+/// global statistics, so its scores stay bit-identical to a merged rebuild.
+pub(crate) fn bm25_idf(num_docs: f64, df: f64) -> f64 {
     ((num_docs - df + 0.5) / (df + 0.5) + 1.0).ln()
 }
 
@@ -221,6 +223,13 @@ impl Postings {
         self.doc_len[doc.as_usize()]
     }
 
+    /// Total token count across all documents — the exact integer numerator
+    /// of [`Postings::avg_doc_len`], exposed so a segmented reader can
+    /// recompute the merged average from per-segment totals bit-for-bit.
+    pub fn total_doc_len(&self) -> u64 {
+        self.total_len
+    }
+
     /// Mean document length.
     pub fn avg_doc_len(&self) -> f64 {
         if self.doc_len.is_empty() {
@@ -416,6 +425,11 @@ impl ShardedPostings {
     /// Length (token count) of a document.
     pub fn doc_len(&self, doc: DocId) -> u32 {
         self.inner.doc_len(doc)
+    }
+
+    /// Total token count across all documents ([`Postings::total_doc_len`]).
+    pub fn total_doc_len(&self) -> u64 {
+        self.inner.total_doc_len()
     }
 
     /// Mean document length.

@@ -21,7 +21,7 @@
 
 use crate::index::SearchIndex;
 use crate::postings::ShardedPostings;
-use deepweb_common::ids::{DocId, TermId};
+use deepweb_common::ids::{DocId, FacetKeyId, TermId};
 use deepweb_common::text::{is_stopword, lower_into, raw_tokens};
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -250,6 +250,23 @@ impl QueryScratch {
                 .iter()
                 .map(|t| postings.term_id(t)),
         );
+        self.sig.clear();
+        self.sig.extend(self.ids.iter().flatten());
+    }
+
+    /// [`QueryScratch::resolve`] against an arbitrary term-resolution
+    /// function — the segmented freshness tier resolves terms against the
+    /// base dictionary *extended by* a generation's overlay, which is not a
+    /// [`ShardedPostings`]. Fills `ids` and `sig` exactly like `resolve`.
+    pub(crate) fn resolve_with(&mut self, mut f: impl FnMut(&str) -> Option<TermId>) {
+        let QueryScratch {
+            terms,
+            n_terms,
+            ids,
+            ..
+        } = self;
+        ids.clear();
+        ids.extend(terms[..*n_terms].iter().map(|t| f(t)));
         self.sig.clear();
         self.sig.extend(self.ids.iter().flatten());
     }
@@ -506,6 +523,21 @@ pub(crate) fn apply_annotations_sig(
     }
 }
 
+/// Add a per-doc adjustment to every touched doc in the scratch — the
+/// generic form of the annotation pass, for callers whose documents do not
+/// all live in one [`SearchIndex`] (the segmented freshness tier looks up a
+/// doc's annotations in the base index or its owning delta segment).
+/// Per-doc adjustments are independent, so iteration order cannot affect
+/// the result.
+pub(crate) fn adjust_touched(scratch: &mut QueryScratch, mut f: impl FnMut(DocId) -> f64) {
+    let QueryScratch {
+        scores, touched, ..
+    } = scratch;
+    for &doc in touched.iter() {
+        scores[doc.as_usize()] += f(doc);
+    }
+}
+
 /// The annotation adjustment for one document: +[`ANNOTATION_BOOST`] per
 /// facet value the query names in full, -[`ANNOTATION_CONFLICT_PENALTY`] per
 /// facet where a query token is a *known value* of that facet but this page
@@ -522,13 +554,30 @@ pub(crate) fn apply_annotations_sig(
 /// signature; they could never cover a value token or probe the vocabulary,
 /// so dropping them changes nothing.
 pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[TermId], doc: DocId) -> f64 {
-    let stored = index.docs().get(doc);
-    if stored.annotation_ids.is_empty() {
+    let facet_values = index.facet_values();
+    annotation_boost_of(&index.docs().get(doc).annotation_ids, qids, |key, qid| {
+        facet_values
+            .get(&key)
+            .is_some_and(|vals| vals.contains(&qid))
+    })
+}
+
+/// [`annotation_boost`] over explicit annotations and an abstract facet
+/// vocabulary probe — the same pass for documents that do not live in a
+/// [`SearchIndex`] docstore (delta-segment docs) or whose facet vocabulary
+/// is a base-plus-overlay union (segmented generations). Everything about
+/// the arithmetic and the probe order is unchanged, so a segmented reader's
+/// adjustments are bit-identical to the merged index's.
+pub(crate) fn annotation_boost_of(
+    annotation_ids: &[crate::docstore::AnnotationIds],
+    qids: &[TermId],
+    facet_has: impl Fn(FacetKeyId, TermId) -> bool,
+) -> f64 {
+    if annotation_ids.is_empty() {
         return 0.0;
     }
-    let facet_values = index.facet_values();
     let mut boost = 0.0;
-    for ann in &stored.annotation_ids {
+    for ann in annotation_ids {
         let value_ids = &ann.terms;
         if value_ids.is_empty() || value_ids.len() > 64 {
             // Empty: nothing to match (and nothing to conflict with, since a
@@ -551,9 +600,7 @@ pub(crate) fn annotation_boost(index: &SearchIndex, qids: &[TermId], doc: DocId)
             // Conflict candidate: a query id that is a known value of this
             // facet but not one of this annotation's own tokens.
             if !is_value_token && !conflict {
-                conflict = facet_values
-                    .get(&ann.key)
-                    .is_some_and(|vals| vals.contains(&qid));
+                conflict = facet_has(ann.key, qid);
             }
         }
         if covered == full {

@@ -1,0 +1,862 @@
+//! The freshness tier: LSM-style delta segments over a sealed base index
+//! (DESIGN.md §15).
+//!
+//! A [`SegmentedIndex`] serves queries over a *generation*: an immutable
+//! base [`SearchIndex`] plus zero or more sealed delta segments, each a
+//! contiguous doc range with its own doc-local [`Postings`] and docstore
+//! slice. Readers take an `Arc` snapshot of the current generation and are
+//! never blocked: [`SegmentedIndex::apply`] seals new deltas and
+//! [`SegmentedIndex::merge`] folds every segment into a fresh base entirely
+//! off the read path, publishing the result with one pointer swap.
+//!
+//! ## Byte-identity (the load-bearing contract)
+//!
+//! A segmented generation must rank **byte-identically** to a from-scratch
+//! rebuild over the same documents, at every serving tier, both before and
+//! after a merge. The argument composes three existing invariants:
+//!
+//! 1. **Id replay.** A segment is built by the same doc-local kernel as a
+//!    parallel build shard ([`build_shard`]), and its seal walks the local
+//!    dictionary in id (first-appearance) order, resolving each term against
+//!    the base dictionary *extended by the generation's overlay* — exactly
+//!    the order [`Postings::absorb`] re-interns terms at merge time. Overlay
+//!    ids therefore *are* the post-merge global ids, and a segment's interned
+//!    annotation layer ([`SealedSegment`]'s per-doc [`AnnotationIds`]) is the
+//!    one the merged index stores.
+//! 2. **Global statistics.** The segmented kernel evaluates the one BM25
+//!    expression ([`bm25_contribution`]) against generation-wide statistics:
+//!    `N` and the average doc length are recomputed from exact integer totals
+//!    (base + per-segment [`Postings::total_doc_len`]), and `df` is the base
+//!    document frequency plus each segment's — the same integers the merged
+//!    index derives, so `idf` and every contribution are bit-identical.
+//! 3. **Fold order.** Contributions fold per doc in query-term order (terms
+//!    outer, postings inner), and within a term the base list is scanned
+//!    before each segment's list in segment order — ascending global doc id,
+//!    i.e. the merged posting list's order. Top-k selection and the
+//!    partition merge reuse the strict [`hit_order`] total order.
+//!
+//! ## Pruning-structure invalidation
+//!
+//! Block-max structures are per-base: a generation with pending segments
+//! always scores exhaustively (a stale block bound could unsafely skip a
+//! fresh doc), which returns the same bytes by the existing mode-equality
+//! contract. [`SegmentedIndex::merge`] rebuilds the structures on the merged
+//! base, so [`BlockMax`](crate::searcher::PruningMode::BlockMax) re-engages
+//! the moment the segment set is empty again.
+
+use crate::docstore::AnnotationIds;
+use crate::index::{build_shard, BatchDoc, SearchIndex};
+use crate::partition::partition_ranges;
+use crate::postings::{bm25_contribution, bm25_idf, Postings};
+use crate::searcher::{
+    adjust_touched, annotation_boost_of, hit_order, top_k_hits, with_thread_scratch, Hit,
+    QueryScratch, SearchOptions,
+};
+use crate::service::SearchService;
+use deepweb_common::ids::{DocId, FacetKeyId, TermId};
+use deepweb_common::{FxHashMap, FxHashSet, ThreadPool};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One sealed delta segment: a contiguous run of fresh documents starting at
+/// global doc id `base_doc`, with doc-local postings and the interned
+/// annotation layer already lifted into the generation's (= post-merge)
+/// id space.
+#[derive(Debug)]
+pub struct SealedSegment {
+    /// Global doc id of the segment's first document.
+    base_doc: u32,
+    /// Doc-local (ids `0..num_docs`), term-local postings — the exact build
+    /// shard a merge absorbs.
+    postings: Postings,
+    /// The raw documents, retained so a merge can replay the canonical
+    /// store/facet bookkeeping.
+    docs: Vec<BatchDoc>,
+    /// Per doc, per annotation: value tokens as *segment-local* term ids —
+    /// what [`SearchIndex::absorb_built`] remaps at merge time.
+    ann_local: Vec<Vec<Vec<TermId>>>,
+    /// Per doc: the interned annotations in generation-global ids — what the
+    /// query-time annotation pass reads. Identical to what the merged index
+    /// will store for these docs (id replay, see module docs).
+    ann_global: Vec<Vec<AnnotationIds>>,
+    /// Generation-global term id → segment-local id, for query-time posting
+    /// lookups.
+    inv: FxHashMap<TermId, TermId>,
+}
+
+impl SealedSegment {
+    /// Documents in this segment.
+    pub fn num_docs(&self) -> usize {
+        self.postings.num_docs()
+    }
+
+    /// The global doc-id range this segment owns.
+    pub fn doc_range(&self) -> std::ops::Range<u32> {
+        self.base_doc..self.base_doc + self.postings.num_docs() as u32
+    }
+
+    /// The raw documents, in segment-local (= global, offset by
+    /// [`SealedSegment::doc_range`]) order.
+    pub fn docs(&self) -> &[BatchDoc] {
+        &self.docs
+    }
+}
+
+/// The cumulative delta a generation's segments lay over the base index:
+/// novel terms and facet keys (with ids that replay the merge's interning
+/// order), facet-vocabulary additions, the fresh URL set, and exact global
+/// totals for BM25 statistics.
+#[derive(Clone, Debug, Default)]
+struct Overlay {
+    /// Terms absent from the base dictionary → their generation id
+    /// (`base.num_terms() + insertion order` — the id the merge will assign).
+    terms: FxHashMap<String, TermId>,
+    /// Facet keys absent from the base → their generation id (same replay).
+    facet_keys: FxHashMap<String, FacetKeyId>,
+    /// Facet-vocabulary *additions* from segment annotations; probed as a
+    /// union with the base's vocabulary.
+    facet_values: FxHashMap<FacetKeyId, FxHashSet<TermId>>,
+    /// URLs of every segment doc (the base's `by_url` covers the rest).
+    urls: FxHashSet<String>,
+    /// Total documents across base + segments.
+    num_docs: usize,
+    /// Total tokens across base + segments (integer numerator of the merged
+    /// average doc length).
+    total_len: u64,
+}
+
+/// One immutable snapshot of the freshness tier: a base index plus sealed
+/// segments and their overlay. Everything a query reads lives here, so a
+/// reader holding the `Arc` is isolated from concurrent applies and merges.
+#[derive(Debug)]
+pub struct Generation {
+    base: Arc<SearchIndex>,
+    segments: Vec<Arc<SealedSegment>>,
+    overlay: Overlay,
+}
+
+impl Generation {
+    fn from_base(base: Arc<SearchIndex>) -> Self {
+        let overlay = Overlay {
+            num_docs: base.len(),
+            total_len: base.postings().total_doc_len(),
+            ..Overlay::default()
+        };
+        Generation {
+            base,
+            segments: Vec::new(),
+            overlay,
+        }
+    }
+
+    /// The sealed base index under this generation.
+    pub fn base(&self) -> &SearchIndex {
+        &self.base
+    }
+
+    /// Sealed segments, in doc-range order.
+    pub fn segments(&self) -> &[Arc<SealedSegment>] {
+        &self.segments
+    }
+
+    /// Total documents (base + segments).
+    pub fn num_docs(&self) -> usize {
+        self.overlay.num_docs
+    }
+
+    /// Documents waiting in segments (not yet folded into the base).
+    pub fn pending_docs(&self) -> usize {
+        self.overlay.num_docs - self.base.len()
+    }
+
+    /// True if `url` is indexed in the base or any segment.
+    pub fn contains_url(&self, url: &deepweb_common::Url) -> bool {
+        self.base.contains_url(url) || self.overlay.urls.contains(&url.to_string())
+    }
+
+    /// Resolve a term against the base dictionary extended by the overlay.
+    fn term_id(&self, term: &str) -> Option<TermId> {
+        self.base
+            .postings()
+            .term_id(term)
+            .or_else(|| self.overlay.terms.get(term).copied())
+    }
+
+    /// Generation-wide document frequency: base df (for base-dictionary ids)
+    /// plus each segment's — the same integer the merged list's length would
+    /// be.
+    fn df(&self, id: TermId) -> usize {
+        let mut df = if id.as_usize() < self.base.postings().num_terms() {
+            self.base.postings().df_id(id)
+        } else {
+            0
+        };
+        for seg in &self.segments {
+            if let Some(&local) = seg.inv.get(&id) {
+                df += seg.postings.df_id(local);
+            }
+        }
+        df
+    }
+
+    /// Facet-vocabulary probe over the base ∪ overlay union — the merged
+    /// index's vocabulary, by construction.
+    fn facet_has(&self, key: FacetKeyId, qid: TermId) -> bool {
+        self.base
+            .facet_values()
+            .get(&key)
+            .is_some_and(|vals| vals.contains(&qid))
+            || self
+                .overlay
+                .facet_values
+                .get(&key)
+                .is_some_and(|vals| vals.contains(&qid))
+    }
+
+    /// A doc's interned annotations, wherever the doc lives.
+    fn annotation_ids_of(&self, doc: DocId) -> &[AnnotationIds] {
+        if doc.as_usize() < self.base.len() {
+            return &self.base.docs().get(doc).annotation_ids;
+        }
+        let si = self
+            .segments
+            .partition_point(|s| s.base_doc <= doc.0)
+            .saturating_sub(1);
+        let seg = &self.segments[si];
+        &seg.ann_global[(doc.0 - seg.base_doc) as usize]
+    }
+
+    /// Accumulate one resolved term's contributions over global docs
+    /// `[lo, hi)`: the base's sub-list first, then each overlapping
+    /// segment's, in segment order — ascending global doc id, i.e. exactly
+    /// the merged posting list restricted to the range.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_id_range(
+        &self,
+        id: TermId,
+        idf: f64,
+        opts: SearchOptions,
+        avg_len: f64,
+        lo: u32,
+        hi: u32,
+        scratch: &mut QueryScratch,
+    ) {
+        let (k1, b) = (opts.bm25.k1, opts.bm25.b);
+        if id.as_usize() < self.base.postings().num_terms() {
+            let list = self.base.postings().postings_id(id);
+            let start = list.partition_point(|p| p.doc.0 < lo);
+            let end = start + list[start..].partition_point(|p| p.doc.0 < hi);
+            for p in &list[start..end] {
+                let dl = f64::from(self.base.postings().doc_len(p.doc));
+                scratch.add(
+                    p.doc,
+                    bm25_contribution(idf, f64::from(p.tf), dl, avg_len, k1, b),
+                );
+            }
+        }
+        for seg in &self.segments {
+            let seg_lo = seg.base_doc;
+            let seg_hi = seg.base_doc + seg.postings.num_docs() as u32;
+            if seg_hi <= lo || seg_lo >= hi {
+                continue;
+            }
+            let Some(&local) = seg.inv.get(&id) else {
+                continue;
+            };
+            let (llo, lhi) = (lo.max(seg_lo) - seg_lo, hi.min(seg_hi) - seg_lo);
+            let list = seg.postings.postings_id(local);
+            let start = list.partition_point(|p| p.doc.0 < llo);
+            let end = start + list[start..].partition_point(|p| p.doc.0 < lhi);
+            for p in &list[start..end] {
+                let dl = f64::from(seg.postings.doc_len(p.doc));
+                scratch.add(
+                    DocId(seg_lo + p.doc.0),
+                    bm25_contribution(idf, f64::from(p.tf), dl, avg_len, k1, b),
+                );
+            }
+        }
+    }
+
+    /// The segmented exhaustive kernel over global docs `[lo, hi)`,
+    /// assuming `analyze` + `resolve_with` already ran for this query.
+    /// Shared by the sequential path (full range) and the partitioned tier.
+    fn scored_range(
+        &self,
+        k: usize,
+        opts: SearchOptions,
+        avg_len: f64,
+        lo: u32,
+        hi: u32,
+        scratch: &mut QueryScratch,
+    ) -> Vec<Hit> {
+        scratch.prepare(self.overlay.num_docs);
+        // The signature is the resolved ids minus unknown terms, in the
+        // distinct-term order — skipping the `None`s exactly like the
+        // sequential kernel does. Moved out so the loop can borrow the
+        // scratch mutably; restored below.
+        let sig = std::mem::take(&mut scratch.sig);
+        for &id in &sig {
+            let idf = bm25_idf(self.overlay.num_docs as f64, self.df(id) as f64);
+            self.accumulate_id_range(id, idf, opts, avg_len, lo, hi, scratch);
+        }
+        if opts.use_annotations {
+            adjust_touched(scratch, |doc| {
+                annotation_boost_of(self.annotation_ids_of(doc), &sig, |key, qid| {
+                    self.facet_has(key, qid)
+                })
+            });
+        }
+        scratch.sig = sig;
+        top_k_hits(scratch, k)
+    }
+
+    /// Top-`k` hits over this generation, caller-provided scratch.
+    ///
+    /// With no pending segments this delegates to the plain kernel over the
+    /// base (pruning structures and all). With segments it scores
+    /// exhaustively — per-segment pruning invalidation — which is
+    /// byte-identical by the mode-equality contract.
+    pub fn search_with_scratch(
+        &self,
+        query: &str,
+        k: usize,
+        opts: SearchOptions,
+        scratch: &mut QueryScratch,
+    ) -> Vec<Hit> {
+        if self.segments.is_empty() {
+            return crate::searcher::search_with_scratch(&self.base, query, k, opts, scratch);
+        }
+        scratch.analyze(query);
+        if scratch.terms().is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let avg_len = (self.overlay.total_len as f64 / self.overlay.num_docs as f64).max(1.0);
+        scratch.resolve_with(|t| self.term_id(t));
+        self.scored_range(k, opts, avg_len, 0, self.overlay.num_docs as u32, scratch)
+    }
+
+    /// Top-`k` hits over this generation (per-thread scratch).
+    pub fn search(&self, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
+        with_thread_scratch(|s| self.search_with_scratch(query, k, opts, s))
+    }
+
+    /// The cluster-style read: score `parts` contiguous doc-range partitions
+    /// of the generation independently (each partition's top-k is exact —
+    /// every doc's score is whole inside its owning range) and merge under
+    /// the strict [`hit_order`] total order. Byte-identical to
+    /// [`Generation::search`] for any `parts`.
+    pub fn search_partitioned(
+        &self,
+        query: &str,
+        k: usize,
+        opts: SearchOptions,
+        parts: usize,
+    ) -> Vec<Hit> {
+        if self.segments.is_empty() {
+            // Serve through the sealed base's own partition kernel (which may
+            // use pruning); equality with the sequential oracle is its
+            // existing contract.
+            return with_thread_scratch(|scratch| {
+                scratch.analyze(query);
+                if scratch.terms().is_empty() || k == 0 {
+                    return Vec::new();
+                }
+                scratch.resolve(self.base.postings());
+                let sig = std::mem::take(&mut scratch.sig);
+                let mut merged: Vec<Hit> = Vec::new();
+                for part in crate::partition::IndexPartition::layout(&self.base, parts) {
+                    merged.extend(part.search_sig(&self.base, &sig, k, opts, scratch));
+                }
+                scratch.sig = sig;
+                merged.sort_by(hit_order);
+                merged.truncate(k);
+                merged
+            });
+        }
+        with_thread_scratch(|scratch| {
+            scratch.analyze(query);
+            if scratch.terms().is_empty() || k == 0 {
+                return Vec::new();
+            }
+            let avg_len = (self.overlay.total_len as f64 / self.overlay.num_docs as f64).max(1.0);
+            scratch.resolve_with(|t| self.term_id(t));
+            let mut merged: Vec<Hit> = Vec::new();
+            for (lo, hi) in partition_ranges(self.overlay.num_docs, parts) {
+                merged.extend(self.scored_range(k, opts, avg_len, lo, hi, scratch));
+            }
+            merged.sort_by(hit_order);
+            merged.truncate(k);
+            merged
+        })
+    }
+}
+
+/// The concurrently-served freshness tier: an atomically swappable current
+/// [`Generation`] plus a single-writer lock serialising [`apply`] and
+/// [`merge`]. Readers never block writers and writers never block readers —
+/// both sides only contend on the brief pointer read/swap.
+///
+/// [`apply`]: SegmentedIndex::apply
+/// [`merge`]: SegmentedIndex::merge
+#[derive(Debug)]
+pub struct SegmentedIndex {
+    current: RwLock<Arc<Generation>>,
+    writer: Mutex<()>,
+}
+
+impl SegmentedIndex {
+    /// Wrap a built base index as generation zero (no segments).
+    pub fn new(base: SearchIndex) -> Self {
+        SegmentedIndex {
+            current: RwLock::new(Arc::new(Generation::from_base(Arc::new(base)))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The current generation. The returned snapshot is immutable: queries
+    /// against it are unaffected by concurrent applies or merges.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().expect("generation lock poisoned"))
+    }
+
+    fn publish(&self, gen: Generation) {
+        *self.current.write().expect("generation lock poisoned") = Arc::new(gen);
+    }
+
+    /// Seal `batch` into one new delta segment and publish the next
+    /// generation. URLs already indexed (base, earlier segments, or earlier
+    /// in the batch — first occurrence wins, like [`SearchIndex::add_batch`])
+    /// are skipped. Returns the number of fresh documents indexed.
+    pub fn apply(&self, batch: Vec<BatchDoc>) -> usize {
+        let _writer = self.writer.lock().expect("segment writer poisoned");
+        let gen = self.snapshot();
+        let mut overlay = gen.overlay.clone();
+        let mut fresh: Vec<BatchDoc> = Vec::new();
+        for doc in batch {
+            let key = doc.url.to_string();
+            if gen.base.contains_url(&doc.url) || overlay.urls.contains(&key) {
+                continue;
+            }
+            overlay.urls.insert(key);
+            fresh.push(doc);
+        }
+        if fresh.is_empty() {
+            return 0;
+        }
+        let added = fresh.len();
+        let (postings, ann_local) = build_shard(&fresh);
+        // Seal: walk the segment's dictionary in local-id (first-appearance)
+        // order, resolving each term to its generation id — the exact walk
+        // `Postings::absorb` performs at merge time, so overlay ids replay
+        // the merge's id assignment.
+        let base_terms = gen.base.postings().num_terms();
+        let mut remap: Vec<TermId> = Vec::with_capacity(postings.num_terms());
+        let mut inv = FxHashMap::default();
+        for (local, term) in postings.dict().iter() {
+            let id = match gen.base.postings().term_id(term) {
+                Some(id) => id,
+                None => {
+                    let next = TermId((base_terms + overlay.terms.len()) as u32);
+                    *overlay.terms.entry(term.to_string()).or_insert(next)
+                }
+            };
+            remap.push(id);
+            inv.insert(id, local);
+        }
+        // Lift the annotation layer into generation ids, replaying
+        // `record_annotation`'s per-doc, per-annotation interning order for
+        // facet keys and vocabulary additions.
+        let base_keys = gen.base.num_facet_keys();
+        let mut ann_global: Vec<Vec<AnnotationIds>> = Vec::with_capacity(fresh.len());
+        for (doc, anns) in fresh.iter().zip(&ann_local) {
+            let mut out = Vec::with_capacity(anns.len());
+            for (ann, local_ids) in doc.annotations.iter().zip(anns) {
+                let terms: Vec<TermId> = local_ids.iter().map(|&l| remap[l.as_usize()]).collect();
+                let key = match gen.base.facet_key_id(&ann.key) {
+                    Some(key) => key,
+                    None => {
+                        let next = FacetKeyId((base_keys + overlay.facet_keys.len()) as u32);
+                        *overlay.facet_keys.entry(ann.key.clone()).or_insert(next)
+                    }
+                };
+                overlay
+                    .facet_values
+                    .entry(key)
+                    .or_default()
+                    .extend(terms.iter().copied());
+                out.push(AnnotationIds { key, terms });
+            }
+            ann_global.push(out);
+        }
+        let segment = SealedSegment {
+            base_doc: overlay.num_docs as u32,
+            docs: fresh,
+            ann_local,
+            ann_global,
+            inv,
+            postings,
+        };
+        overlay.num_docs += segment.num_docs();
+        overlay.total_len += segment.postings.total_doc_len();
+        let mut segments = gen.segments.clone();
+        segments.push(Arc::new(segment));
+        self.publish(Generation {
+            base: Arc::clone(&gen.base),
+            segments,
+            overlay,
+        });
+        added
+    }
+
+    /// Fold every pending segment into a fresh base — the deterministic
+    /// background merge. The fold is computed entirely off the read lock
+    /// (readers keep serving the old generation from their snapshots) and
+    /// published with one pointer swap; pruning structures are rebuilt on
+    /// the merged base so [`BlockMax`](crate::searcher::PruningMode::BlockMax)
+    /// re-engages.
+    ///
+    /// Returns the number of documents folded out of segments (0 = nothing
+    /// to merge).
+    pub fn merge(&self) -> usize {
+        let _writer = self.writer.lock().expect("segment writer poisoned");
+        let gen = self.snapshot();
+        if gen.segments.is_empty() {
+            return 0;
+        }
+        let folded = gen.pending_docs();
+        let mut merged = (*gen.base).clone();
+        for seg in &gen.segments {
+            merged.absorb_built(
+                seg.postings.clone(),
+                seg.docs.clone(),
+                seg.ann_local.clone(),
+                true,
+            );
+        }
+        merged.enable_pruning();
+        self.publish(Generation::from_base(Arc::new(merged)));
+        folded
+    }
+
+    /// Total documents in the current generation.
+    pub fn num_docs(&self) -> usize {
+        self.snapshot().num_docs()
+    }
+
+    /// Segments pending merge in the current generation.
+    pub fn num_segments(&self) -> usize {
+        self.snapshot().segments.len()
+    }
+
+    /// Top-`k` hits against the current generation.
+    pub fn search(&self, query: &str, k: usize, opts: SearchOptions) -> Vec<Hit> {
+        self.snapshot().search(query, k, opts)
+    }
+
+    /// The broker-style batched read: one snapshot for the whole batch, one
+    /// scratch per worker. Byte-identical to serving each query through
+    /// [`SegmentedIndex::search`] against that snapshot.
+    pub fn search_batch(
+        &self,
+        pool: &ThreadPool,
+        queries: &[String],
+        k: usize,
+        opts: SearchOptions,
+    ) -> Vec<Vec<Hit>> {
+        let gen = self.snapshot();
+        pool.map_indices_init(queries.len(), QueryScratch::new, |scratch, qi| {
+            gen.search_with_scratch(&queries[qi], k, opts, scratch)
+        })
+    }
+
+    /// The cluster-style partitioned read against the current generation
+    /// (see [`Generation::search_partitioned`]).
+    pub fn search_partitioned(
+        &self,
+        query: &str,
+        k: usize,
+        opts: SearchOptions,
+        parts: usize,
+    ) -> Vec<Hit> {
+        self.snapshot().search_partitioned(query, k, opts, parts)
+    }
+
+    /// This tier as a [`SearchService`] with fixed serving options.
+    pub fn searcher(&self, opts: SearchOptions) -> SegmentedSearcher<'_> {
+        SegmentedSearcher { index: self, opts }
+    }
+}
+
+/// [`SegmentedIndex`] behind the unified serving API: fixed options, every
+/// query served against the then-current generation.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentedSearcher<'a> {
+    index: &'a SegmentedIndex,
+    opts: SearchOptions,
+}
+
+impl SegmentedSearcher<'_> {
+    /// The options every query is served with.
+    pub fn options(&self) -> SearchOptions {
+        self.opts
+    }
+}
+
+impl SearchService for SegmentedSearcher<'_> {
+    fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        self.index.search(query, k, self.opts)
+    }
+
+    fn search_batch(&self, queries: &[String], k: usize) -> Vec<Vec<Hit>> {
+        // One snapshot for the whole batch (a mid-batch apply/merge must not
+        // split the batch across generations), served sequentially.
+        let gen = self.index.snapshot();
+        with_thread_scratch(|scratch| {
+            queries
+                .iter()
+                .map(|q| gen.search_with_scratch(q, k, self.opts, scratch))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docstore::{Annotation, DocKind};
+    use crate::searcher::search;
+    use crate::searcher::PruningMode;
+    use deepweb_common::ids::SiteId;
+    use deepweb_common::Url;
+
+    fn doc(host: &str, path: &str, title: &str, text: &str, anns: &[(&str, &str)]) -> BatchDoc {
+        BatchDoc {
+            url: Url::new(host, path),
+            title: title.into(),
+            text: text.into(),
+            kind: DocKind::Surfaced,
+            site: Some(SiteId(0)),
+            annotations: anns
+                .iter()
+                .map(|(k, v)| Annotation {
+                    key: (*k).into(),
+                    value: (*v).into(),
+                })
+                .collect(),
+        }
+    }
+
+    fn corpus() -> (Vec<BatchDoc>, Vec<BatchDoc>) {
+        let base = vec![
+            doc(
+                "a.sim",
+                "/1",
+                "honda civics",
+                "1993 honda civic better mileage than the ford focus",
+                &[("make", "honda"), ("model", "civic")],
+            ),
+            doc(
+                "a.sim",
+                "/2",
+                "ford focus listings",
+                "used ford focus 1993 low price",
+                &[("make", "ford"), ("model", "focus")],
+            ),
+            doc("b.sim", "/3", "cooking blog", "recipes and stories", &[]),
+        ];
+        let delta = vec![
+            doc(
+                "c.sim",
+                "/1",
+                "tesla model three",
+                "new tesla sedan listing with great mileage",
+                &[("make", "tesla")],
+            ),
+            doc(
+                "a.sim",
+                "/4",
+                "honda accord",
+                "used honda accord 1997 listing",
+                &[("make", "honda"), ("model", "accord")],
+            ),
+            // Duplicate of a base URL: must be skipped.
+            doc("a.sim", "/1", "dupe", "dupe", &[]),
+        ];
+        (base, delta)
+    }
+
+    fn build_base(docs: &[BatchDoc]) -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        idx.add_batch(&ThreadPool::new(2), docs.to_vec());
+        idx.enable_pruning();
+        idx
+    }
+
+    fn rebuild(base: &[BatchDoc], delta: &[BatchDoc]) -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        let mut all = base.to_vec();
+        all.extend(delta.iter().cloned());
+        idx.add_batch(&ThreadPool::new(2), all);
+        idx.enable_pruning();
+        idx
+    }
+
+    const QUERIES: &[&str] = &[
+        "honda",
+        "used ford focus 1993",
+        "tesla mileage",
+        "accord listing",
+        "recipes",
+        "zzz-unknown",
+        "",
+    ];
+
+    fn all_opts() -> Vec<SearchOptions> {
+        vec![
+            SearchOptions::default(),
+            SearchOptions {
+                use_annotations: true,
+                ..Default::default()
+            },
+            SearchOptions {
+                use_annotations: true,
+                pruning: PruningMode::BlockMax,
+                ..Default::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn segmented_matches_rebuild_before_and_after_merge() {
+        let (base, delta) = corpus();
+        let seg = SegmentedIndex::new(build_base(&base));
+        assert_eq!(seg.apply(delta.clone()), 2, "one duplicate URL skipped");
+        let full = rebuild(&base, &delta);
+        for opts in all_opts() {
+            for q in QUERIES {
+                for k in [1, 3, 10] {
+                    let want = search(&full, q, k, opts);
+                    assert_eq!(seg.search(q, k, opts), want, "pre-merge q={q:?}");
+                    for parts in [1, 2, 5] {
+                        assert_eq!(
+                            seg.search_partitioned(q, k, opts, parts),
+                            want,
+                            "pre-merge partitioned q={q:?} parts={parts}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(seg.num_segments(), 1);
+        assert_eq!(seg.merge(), 2);
+        assert_eq!(seg.num_segments(), 0);
+        for opts in all_opts() {
+            for q in QUERIES {
+                let want = search(&full, q, 10, opts);
+                assert_eq!(seg.search(q, 10, opts), want, "post-merge q={q:?}");
+                for parts in [1, 3] {
+                    assert_eq!(
+                        seg.search_partitioned(q, 10, opts, parts),
+                        want,
+                        "post-merge partitioned q={q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_base_is_byte_identical_to_rebuild() {
+        let (base, delta) = corpus();
+        let seg = SegmentedIndex::new(build_base(&base));
+        seg.apply(delta.clone());
+        // Two applies stack two segments; merge folds both in order.
+        seg.apply(vec![doc(
+            "d.sim",
+            "/x",
+            "library catalog",
+            "rare books and maps",
+            &[("subject", "maps")],
+        )]);
+        assert_eq!(seg.num_segments(), 2);
+        seg.merge();
+        let mut all = delta.clone();
+        all.push(doc(
+            "d.sim",
+            "/x",
+            "library catalog",
+            "rare books and maps",
+            &[("subject", "maps")],
+        ));
+        let full = rebuild(&base, &all);
+        let gen = seg.snapshot();
+        // Structural identity, not just ranking identity: same stats, same
+        // facet layer, same per-doc interned annotations.
+        assert_eq!(gen.base().stats(), full.stats());
+        assert_eq!(gen.base().facet_values(), full.facet_values());
+        for (a, b) in gen.base().docs().iter().zip(full.docs().iter()) {
+            assert_eq!(a.annotation_ids, b.annotation_ids, "doc {}", a.id);
+            assert_eq!(a.url, b.url);
+        }
+    }
+
+    #[test]
+    fn batched_reads_match_sequential() {
+        let (base, delta) = corpus();
+        let seg = SegmentedIndex::new(build_base(&base));
+        seg.apply(delta);
+        let queries: Vec<String> = QUERIES.iter().map(|s| s.to_string()).collect();
+        let opts = SearchOptions {
+            use_annotations: true,
+            ..Default::default()
+        };
+        let pool = ThreadPool::new(3);
+        let batched = seg.search_batch(&pool, &queries, 5, opts);
+        let svc = seg.searcher(opts);
+        let via_service = SearchService::search_batch(&svc, &queries, 5);
+        for (qi, q) in queries.iter().enumerate() {
+            let want = seg.search(q, 5, opts);
+            assert_eq!(batched[qi], want, "pooled batch q={q:?}");
+            assert_eq!(via_service[qi], want, "service batch q={q:?}");
+            assert_eq!(SearchService::search(&svc, q, 5), want);
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_spans_apply_and_merge() {
+        let (base, delta) = corpus();
+        let seg = SegmentedIndex::new(build_base(&base));
+        let before = seg.snapshot();
+        let opts = SearchOptions::default();
+        let q = "honda";
+        let old_hits = before.search(q, 10, opts);
+        seg.apply(delta);
+        // The old snapshot still serves the old corpus.
+        assert_eq!(before.search(q, 10, opts), old_hits);
+        let pending = seg.snapshot();
+        let pending_hits = pending.search(q, 10, opts);
+        seg.merge();
+        // The pending snapshot keeps serving base+segments after the merge
+        // swapped the current generation, and agrees with the merged result.
+        assert_eq!(pending.search(q, 10, opts), pending_hits);
+        assert_eq!(seg.search(q, 10, opts), pending_hits);
+        assert_ne!(old_hits, pending_hits, "delta must change this query");
+    }
+
+    #[test]
+    fn empty_and_noop_paths() {
+        let (base, _) = corpus();
+        let seg = SegmentedIndex::new(build_base(&base));
+        assert_eq!(seg.merge(), 0, "nothing pending");
+        assert_eq!(seg.apply(Vec::new()), 0);
+        assert_eq!(
+            seg.apply(vec![doc("a.sim", "/1", "dupe", "dupe", &[])]),
+            0,
+            "all-duplicate batch publishes nothing"
+        );
+        assert_eq!(seg.num_segments(), 0);
+        let gen = seg.snapshot();
+        assert_eq!(gen.pending_docs(), 0);
+        assert!(gen.contains_url(&Url::new("a.sim", "/1")));
+        assert!(!gen.contains_url(&Url::new("a.sim", "/nope")));
+    }
+}

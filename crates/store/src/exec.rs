@@ -53,6 +53,12 @@ impl IndexedTable {
         &self.table
     }
 
+    /// Take the table back out, dropping the indexes. Used when a site's
+    /// backing data grows: append rows to the bare table, then re-`build`.
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+
     /// All record ids matching `conj`, ascending.
     ///
     /// Strategy: pick the most selective indexable conjunct as the access

@@ -18,6 +18,7 @@ pub mod indexability;
 pub mod keywords;
 pub mod pipeline;
 pub mod probe;
+pub mod resurface;
 pub mod template;
 pub mod typed;
 pub mod urlgen;
@@ -30,6 +31,7 @@ pub use pipeline::{
     crawl_and_surface, DocOrigin, ProducedDoc, SiteReport, SurfacerConfig, SurfacingOutcome,
 };
 pub use probe::{Assignment, ProbeOutcome, Prober};
+pub use resurface::{resurface_host, ReprobeScheduler};
 pub use template::{search_templates, Slot, Template, TemplateConfig, TemplateEval};
 pub use typed::{classify_typed, TypeClass, TypedValueLibrary, TypedVerdict};
 pub use urlgen::{generate_urls, GeneratedUrl};

@@ -12,7 +12,7 @@ use crate::surface;
 use crate::vocab;
 use deepweb_common::ids::SiteId;
 use deepweb_common::{derive_rng, derive_rng_n, Zipf};
-use deepweb_store::{IndexedTable, ValueType};
+use deepweb_store::{IndexedTable, Table, ValueType};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -402,6 +402,72 @@ pub fn generate(config: &WebConfig) -> World {
     }
 }
 
+/// Grow one site's backend by `extra` records, deterministically.
+///
+/// Fresh rows come from the site's own domain generator (same schema) on a
+/// new RNG stream derived from `seed`, the site index and the current record
+/// count — so repeated growth steps never replay rows, and the same
+/// `(seed, site, size)` state always grows identically. Rows are appended to
+/// the backing table, secondary indexes are rebuilt, and ground truth is
+/// updated. Site home pages advertise their record count, so a re-prober
+/// observes growth as a content-hash delta on `/` without crawling the whole
+/// site.
+///
+/// Returns the site's new record count.
+pub fn grow_site(world: &mut World, site_idx: usize, extra: usize, seed: u64) -> usize {
+    let current = world
+        .server
+        .site(SiteId(site_idx as u32))
+        .table
+        .table()
+        .len();
+    if extra == 0 {
+        return current;
+    }
+    let zips = vocab::us_zipcodes(seed, 300);
+    let cities = vocab::us_cities();
+    let site = world.server.site_mut(site_idx);
+    let language = site.language.clone();
+    let lexicon = site.lexicon.clone();
+    let mut rng = derive_rng_n(
+        seed,
+        "genweb-grow",
+        ((site_idx as u64) << 32) | current as u64,
+    );
+    let mut ctx = GenCtx {
+        rng: &mut rng,
+        lang: &language,
+        lexicon: &lexicon,
+        zips: &zips,
+        cities: &cities,
+        n_records: extra,
+    };
+    // The generator also produces a form spec; the site keeps its existing
+    // one (forms don't change when content grows), only the rows are taken.
+    let (fresh, _form) = match site.domain {
+        DomainKind::UsedCars => datagen::used_cars(&mut ctx),
+        DomainKind::RealEstate => datagen::real_estate(&mut ctx),
+        DomainKind::Jobs => datagen::jobs(&mut ctx),
+        DomainKind::Restaurants => datagen::restaurants(&mut ctx),
+        DomainKind::StoreLocator => datagen::store_locator(&mut ctx),
+        DomainKind::Government => datagen::government(&mut ctx),
+        DomainKind::Library => datagen::library(&mut ctx),
+        DomainKind::MediaSearch => datagen::media_search(&mut ctx),
+        DomainKind::Faculty => datagen::faculty(&mut ctx, false),
+    };
+    let placeholder = IndexedTable::build(Table::new(site.table.table().schema().clone()));
+    let mut table = std::mem::replace(&mut site.table, placeholder).into_table();
+    for (_, row) in fresh.iter() {
+        table
+            .insert(row.to_vec())
+            .expect("grown rows match the site schema");
+    }
+    site.table = IndexedTable::build(table);
+    let grown = site.table.table().len();
+    world.truth.sites[site_idx].records = grown;
+    grown
+}
+
 /// Convenience: Zipf popularity over the generated sites (rank = SiteId
 /// order), used by workload generators.
 pub fn site_popularity(num_sites: usize, s: f64) -> Zipf {
@@ -562,6 +628,66 @@ mod tests {
         });
         assert!(w.truth.languages().len() > 5);
         assert!(w.truth.languages().contains(&"en".to_string()));
+    }
+
+    #[test]
+    fn grow_site_appends_rows_and_changes_home_page() {
+        let mut w = small_world();
+        let host = w.truth.sites[0].host.clone();
+        let before = w.truth.sites[0].records;
+        let home_before = w.server.fetch(&Url::new(host.clone(), "/")).unwrap().html;
+        let grown = grow_site(&mut w, 0, 7, 42);
+        assert_eq!(grown, before + 7);
+        assert_eq!(w.truth.sites[0].records, grown);
+        let site = w.server.site_by_host(&host).unwrap();
+        assert_eq!(site.table.table().len(), grown);
+        // Existing rows are untouched (append-only growth)...
+        let fresh = generate(&WebConfig {
+            num_sites: 25,
+            ..WebConfig::default()
+        });
+        let orig = fresh.server.site_by_host(&host).unwrap();
+        for i in 0..before {
+            let id = deepweb_common::ids::RecordId(i as u32);
+            assert_eq!(site.table.table().row(id), orig.table.table().row(id));
+        }
+        // ...and the home page observably changed.
+        let home_after = w.server.fetch(&Url::new(host.clone(), "/")).unwrap().html;
+        assert_ne!(home_before, home_after);
+        // New rows serve as detail pages and still match the schema.
+        let r = w
+            .server
+            .fetch(&Url::parse(&format!("http://{}/item?id={}", host, grown - 1)).unwrap());
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn grow_site_is_deterministic_and_stream_splits() {
+        let grow_twice = |a: usize, b: usize| {
+            let mut w = small_world();
+            grow_site(&mut w, 1, a, 7);
+            grow_site(&mut w, 1, b, 7);
+            let site = &w.server.sites()[1];
+            (0..site.table.table().len())
+                .map(|i| {
+                    format!(
+                        "{:?}",
+                        site.table
+                            .table()
+                            .row(deepweb_common::ids::RecordId(i as u32))
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        // Same growth schedule ⇒ byte-identical tables.
+        assert_eq!(grow_twice(4, 3), grow_twice(4, 3));
+        // The stream is keyed by current size: 4+3 and 7+0 diverge (different
+        // split points draw different rows), but both are deterministic.
+        assert_eq!(grow_twice(7, 0).len(), grow_twice(4, 3).len());
+        // Zero growth is a no-op.
+        let mut w = small_world();
+        let before = w.truth.sites[2].records;
+        assert_eq!(grow_site(&mut w, 2, 0, 7), before);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod surface;
 pub mod vocab;
 
 pub use fetch::{Fetcher, Response};
-pub use genweb::{generate, GroundTruth, InputTruth, SiteTruth, WebConfig, World};
+pub use genweb::{generate, grow_site, GroundTruth, InputTruth, SiteTruth, WebConfig, World};
 pub use server::{SurfacePage, WebServer};
 pub use site::{
     Binding, CompiledQuery, DependentOptions, DomainKind, FormSpec, InputSpec, RenderStyle, Site,

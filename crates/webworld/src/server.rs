@@ -64,6 +64,11 @@ impl WebServer {
         &self.sites[id.as_usize()]
     }
 
+    /// Mutable site access for content growth ([`crate::genweb::grow_site`]).
+    pub(crate) fn site_mut(&mut self, idx: usize) -> &mut Site {
+        &mut self.sites[idx]
+    }
+
     /// Site serving `host`, if any.
     pub fn site_by_host(&self, host: &str) -> Option<&Site> {
         self.host_to_site.get(host).map(|&i| &self.sites[i])

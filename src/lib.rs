@@ -32,4 +32,4 @@ pub use deepweb_tables as tables;
 pub use deepweb_vertical as vertical;
 pub use deepweb_webworld as webworld;
 
-pub use deepweb_core::{quick_config, DeepWebSystem, SystemConfig};
+pub use deepweb_core::{quick_config, DeepWebSystem, RefreshOutcome, SystemConfig};
