@@ -1,0 +1,143 @@
+//! E18 bench: the hostile-web robustness tier (DESIGN.md §16) — what fault
+//! injection and form hardening cost the offline surfacing pipeline.
+//!
+//! Four configurations of the same crawl+surface run: a clean web, the same
+//! web behind a 10% and a 30% deterministic transient-fault schedule
+//! (absorbed by the retry/backoff fetch policy), and a fully hostile corpus
+//! (broken markup, junk widgets) with no faults.
+//!
+//! Before anything is clocked, the tier's two contracts are asserted:
+//! faulty runs produce **byte-identical docs** to the clean run (failure
+//! prefixes fit inside the retry budget, so retries make the chaos
+//! invisible), and the hostile run surfaces **exactly the honest URL set**
+//! with zero junk URLs — so the timings can never come from surfacing
+//! different content.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepweb_common::Url;
+use deepweb_core::{quick_config, TextTable};
+use deepweb_surfacer::{crawl_and_surface, SurfacerConfig, SurfacingOutcome};
+use deepweb_webworld::{generate, FaultConfig, FaultyFetcher, Fetcher, WebConfig, World};
+use std::hint::black_box;
+
+const SITES: usize = 8;
+const FAULT_SEED: u64 = 18;
+
+fn world_with(hostile_fraction: f64) -> World {
+    generate(&WebConfig {
+        num_sites: SITES,
+        post_fraction: 0.0,
+        hostile_fraction,
+        ..WebConfig::default()
+    })
+}
+
+fn surf_cfg() -> SurfacerConfig {
+    quick_config(SITES).surfacer
+}
+
+fn run(fetcher: &dyn Fetcher, cfg: &SurfacerConfig) -> SurfacingOutcome {
+    crawl_and_surface(fetcher, &[Url::new("dir.sim", "/")], cfg)
+}
+
+/// Everything the downstream index would see.
+fn doc_bytes(outcome: &SurfacingOutcome) -> String {
+    let docs: Vec<_> = outcome
+        .docs
+        .iter()
+        .map(|d| (d.url.to_string(), &d.title, &d.text, &d.annotations))
+        .collect();
+    format!("{docs:?}")
+}
+
+fn sorted_urls(outcome: &SurfacingOutcome) -> Vec<String> {
+    let mut urls: Vec<String> = outcome.docs.iter().map(|d| d.url.to_string()).collect();
+    urls.sort();
+    urls
+}
+
+fn bench(c: &mut Criterion) {
+    let honest = world_with(0.0);
+    let hostile = world_with(1.0);
+    let cfg = surf_cfg();
+
+    // Contract checks first: clean == faulty docs, hostile == honest URLs.
+    let clean_out = run(&&honest.server, &cfg);
+    let want = doc_bytes(&clean_out);
+    for rate in [0.1, 0.3] {
+        let faulty = FaultyFetcher::new(&honest.server, FaultConfig::transient(FAULT_SEED, rate));
+        let out = run(&faulty, &cfg);
+        assert_eq!(
+            doc_bytes(&out),
+            want,
+            "rate {rate}: retries must absorb every injected fault"
+        );
+        let stats = faulty.stats();
+        assert!(
+            stats.transient_500s + stats.timeouts + stats.truncated > 0,
+            "rate {rate}: schedule injected nothing"
+        );
+    }
+    let hostile_out = run(&&hostile.server, &cfg);
+    assert_eq!(
+        sorted_urls(&hostile_out),
+        sorted_urls(&clean_out),
+        "hostile corpus must surface exactly the honest URL set"
+    );
+    for url in sorted_urls(&hostile_out) {
+        for junk in ["csrf_token=", "password=", "upload=", "promo="] {
+            assert!(!url.contains(junk), "junk URL surfaced: {url}");
+        }
+    }
+    let report = hostile_out.robustness();
+    assert!(report.junk_suppressed >= hostile_out.reports.len());
+
+    let fault30 = FaultyFetcher::new(&honest.server, FaultConfig::transient(FAULT_SEED, 0.3));
+    let s30 = {
+        let _ = run(&fault30, &cfg);
+        fault30.stats()
+    };
+    let mut t = TextTable::new(
+        "E18: robustness tier shape (docs identical clean vs faulty; hostile \
+         == honest URL set)",
+        &[
+            "docs",
+            "faults@30% (500/408/502)",
+            "junk widgets suppressed",
+            "threats flagged",
+        ],
+    );
+    t.row(&[
+        clean_out.docs.len().to_string(),
+        format!("{}/{}/{}", s30.transient_500s, s30.timeouts, s30.truncated),
+        report.junk_suppressed.to_string(),
+        report.threats_flagged.to_string(),
+    ]);
+    println!("{}", t.render());
+
+    c.bench_function("e18_robustness_clean", |b| {
+        b.iter(|| black_box(run(&&honest.server, &cfg)).docs.len())
+    });
+    c.bench_function("e18_robustness_fault10", |b| {
+        b.iter(|| {
+            let f = FaultyFetcher::new(&honest.server, FaultConfig::transient(FAULT_SEED, 0.1));
+            black_box(run(&f, &cfg)).docs.len()
+        })
+    });
+    c.bench_function("e18_robustness_fault30", |b| {
+        b.iter(|| {
+            let f = FaultyFetcher::new(&honest.server, FaultConfig::transient(FAULT_SEED, 0.3));
+            black_box(run(&f, &cfg)).docs.len()
+        })
+    });
+    c.bench_function("e18_robustness_hostile", |b| {
+        b.iter(|| black_box(run(&&hostile.server, &cfg)).docs.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -55,6 +55,10 @@ const DEFAULT_GATED_IDS: &[&str] = &[
     "e17_freshness_query_pending",
     "e17_freshness_query_merged",
     "e17_freshness_query_during_merge",
+    "e18_robustness_clean",
+    "e18_robustness_fault10",
+    "e18_robustness_fault30",
+    "e18_robustness_hostile",
 ];
 
 /// One parsed bench line.

@@ -8,10 +8,12 @@ use deepweb_index::{
     QueryBroker, SearchIndex, SearchOptions, SearchRequest, SearchService, SegmentedIndex,
 };
 use deepweb_surfacer::{
-    crawl_and_surface, resurface_host, DocOrigin, ProducedDoc, ReprobeScheduler, SurfacerConfig,
-    SurfacingOutcome,
+    crawl_and_surface, fetch_with_policy, resurface_host, DocOrigin, ProducedDoc, ReprobeScheduler,
+    RobustnessReport, SurfacerConfig, SurfacingOutcome,
 };
-use deepweb_webworld::{generate, Fetcher, WebConfig, World};
+use deepweb_webworld::{
+    generate, FaultConfig, FaultStats, FaultyFetcher, Fetcher, WebConfig, World,
+};
 
 /// Configuration of a full system build.
 #[derive(Clone, Debug, Default)]
@@ -27,6 +29,11 @@ pub struct SystemConfig {
     /// skips provably-losing doc regions via the block-max index built at
     /// the end of [`DeepWebSystem::build`].
     pub pruning: PruningMode,
+    /// Optional fault injection: when set, every build/refresh fetch goes
+    /// through a [`FaultyFetcher`] with this schedule. The retry policy in
+    /// [`SurfacerConfig::fetch_policy`] absorbs transient faults; the build
+    /// never aborts on a failing host (see [`DeepWebSystem::robustness`]).
+    pub faults: Option<FaultConfig>,
 }
 
 /// A quick, test-sized configuration (small web, tight probe budgets).
@@ -61,6 +68,7 @@ pub fn quick_config(num_sites: usize) -> SystemConfig {
         },
         use_annotations: false,
         pruning: PruningMode::Exhaustive,
+        faults: None,
     }
 }
 
@@ -75,6 +83,12 @@ pub struct DeepWebSystem {
     /// Total requests the offline phase issued (crawl + analysis +
     /// surfacing) — the paper's "light load" accounting.
     pub offline_requests: u64,
+    /// Per-host robustness outcomes of the build (who surfaced, who
+    /// degraded, who was skipped, and how much retry/backoff it cost).
+    pub robustness: RobustnessReport,
+    /// Fault counters accumulated by the injected [`FaultyFetcher`] across
+    /// build and refresh rounds; `None` when no fault schedule is configured.
+    pub fault_stats: Option<FaultStats>,
     /// Scoring options used at serve time.
     pub options: SearchOptions,
     /// The build configuration, retained so incremental re-surfacing probes
@@ -106,14 +120,29 @@ pub struct RefreshOutcome {
     /// is append-only: these keep their original content until the next full
     /// rebuild (DESIGN.md §15).
     pub stale_docs: usize,
+    /// Sites whose fingerprint probe still failed after the retry policy ran
+    /// out. They stay schedulable: the next round probes them again.
+    pub failed: usize,
 }
 
 impl DeepWebSystem {
     /// Build: generate → crawl+surface → index.
+    ///
+    /// With [`SystemConfig::faults`] set, the whole offline phase runs
+    /// through a [`FaultyFetcher`]; hosts that keep failing degrade or get
+    /// skipped (recorded in [`DeepWebSystem::robustness`]) but the build
+    /// itself always completes.
     pub fn build(cfg: &SystemConfig) -> Self {
         let world = generate(&cfg.web);
         world.server.reset_counts();
-        let outcome = crawl_and_surface(&world.server, &[Url::new("dir.sim", "/")], &cfg.surfacer);
+        let faulty = cfg.faults.map(|fc| FaultyFetcher::new(&world.server, fc));
+        let fetcher: &dyn Fetcher = match &faulty {
+            Some(f) => f,
+            None => &world.server,
+        };
+        let outcome = crawl_and_surface(fetcher, &[Url::new("dir.sim", "/")], &cfg.surfacer);
+        let fault_stats = faulty.as_ref().map(|f| f.stats());
+        drop(faulty);
         let offline_requests = world.server.total_requests();
         world.server.reset_counts();
         // Index build rides the same worker knob as the pipeline: batch the
@@ -147,8 +176,10 @@ impl DeepWebSystem {
         DeepWebSystem {
             world,
             index,
+            robustness: outcome.robustness(),
             outcome,
             offline_requests,
+            fault_stats,
             options,
             config: cfg.clone(),
             fresh: None,
@@ -257,6 +288,18 @@ impl DeepWebSystem {
             .iter()
             .map(|s| s.host.clone())
             .collect();
+        // Refresh rounds run under the same fault schedule (and retry
+        // policy) as the build: transient faults are absorbed, persistent
+        // ones count as `failed` and the site stays on the schedule.
+        let faulty = self
+            .config
+            .faults
+            .map(|fc| FaultyFetcher::new(&self.world.server, fc));
+        let fetcher: &dyn Fetcher = match &faulty {
+            Some(f) => f,
+            None => &self.world.server,
+        };
+        let policy = self.config.surfacer.fetch_policy;
         let state = self.fresh.as_mut().expect("just initialised");
         // Sites can join the world after init (content growth never removes
         // sites); give them a fingerprint slot so they re-probe cleanly.
@@ -264,7 +307,10 @@ impl DeepWebSystem {
         let mut out = RefreshOutcome::default();
         for idx in state.scheduler.next_batch(hosts.len(), batch) {
             out.probed += 1;
-            let Ok(resp) = self.world.server.fetch(&Url::new(hosts[idx].clone(), "/")) else {
+            let (resp, _attempt) =
+                fetch_with_policy(fetcher, &Url::new(hosts[idx].clone(), "/"), &policy);
+            let Ok(resp) = resp else {
+                out.failed += 1;
                 continue;
             };
             let fingerprint = content_hash(&resp.html);
@@ -273,7 +319,7 @@ impl DeepWebSystem {
             }
             state.fingerprints[idx] = fingerprint;
             out.changed += 1;
-            let delta = resurface_host(&self.world.server, &hosts[idx], &self.config.surfacer);
+            let delta = resurface_host(fetcher, &hosts[idx], &self.config.surfacer);
             let snapshot = state.segmented.snapshot();
             let mut fresh_docs = Vec::new();
             for doc in &delta.docs {
@@ -284,6 +330,13 @@ impl DeepWebSystem {
                 }
             }
             out.new_docs += state.segmented.apply(fresh_docs);
+        }
+        if let Some(f) = &faulty {
+            let s = f.stats();
+            match &mut self.fault_stats {
+                Some(total) => total.merge(s),
+                None => self.fault_stats = Some(s),
+            }
         }
         out
     }
@@ -458,6 +511,58 @@ mod tests {
         let again = sys.refresh(n);
         assert_eq!(again.changed, 0);
         assert_eq!(again.new_docs, 0);
+    }
+
+    #[test]
+    fn faulty_build_completes_and_reports_degradation() {
+        let mut cfg = quick_config(6);
+        cfg.faults = Some(deepweb_webworld::FaultConfig::transient(17, 0.3));
+        let sys = DeepWebSystem::build(&cfg);
+        assert!(sys.index.len() > 10, "faulty build must still index");
+        let stats = sys.fault_stats.expect("fault schedule was configured");
+        assert!(stats.fetches > 0);
+        assert!(
+            stats.transient_500s + stats.timeouts + stats.truncated > 0,
+            "a 30% schedule over a whole build must inject something: {stats:?}"
+        );
+        // The report accounts for every analysed host, and the injected
+        // faults show up as retries somewhere.
+        assert_eq!(sys.robustness.hosts.len(), sys.outcome.reports.len());
+        assert!(sys.robustness.total_retries() > 0);
+        // Clean builds carry an all-clean report.
+        let clean = DeepWebSystem::build(&quick_config(6));
+        assert!(clean.fault_stats.is_none());
+        assert_eq!(
+            clean
+                .robustness
+                .count(deepweb_surfacer::HostStatus::Degraded),
+            0
+        );
+        assert_eq!(clean.robustness.total_retries(), 0);
+    }
+
+    #[test]
+    fn refresh_counts_probes_that_exhaust_retries() {
+        let mut cfg = quick_config(4);
+        // No retry budget + every URL faulty once: fingerprint probes of
+        // fault-marked home pages fail for good this round.
+        cfg.surfacer.fetch_policy = deepweb_surfacer::FetchPolicy::none();
+        cfg.faults = Some(deepweb_webworld::FaultConfig {
+            seed: 5,
+            transient_rate: 1.0,
+            max_faults_per_url: 1,
+            ..Default::default()
+        });
+        let mut sys = DeepWebSystem::build(&cfg);
+        let n = sys.world.server.sites().len();
+        sys.fresh_index();
+        let out = sys.refresh(n);
+        assert_eq!(out.probed, n);
+        assert_eq!(out.failed, n, "every first probe fails with no retries");
+        // The failed sites stay on the schedule: the next round's probes are
+        // fresh fetch sequences, and the fetcher's failure prefix is spent.
+        let again = sys.refresh(n);
+        assert_eq!(again.failed, n, "new wrapper, new failure prefixes");
     }
 
     #[test]

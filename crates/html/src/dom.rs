@@ -39,6 +39,14 @@ impl Node {
         }
     }
 
+    /// All attributes in document order (empty slice for text nodes).
+    pub fn attrs(&self) -> &[(String, String)] {
+        match self {
+            Node::Element { attrs, .. } => attrs,
+            Node::Text(_) => &[],
+        }
+    }
+
     /// Tag name (`None` for text nodes).
     pub fn tag(&self) -> Option<&str> {
         match self {

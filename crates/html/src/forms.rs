@@ -36,6 +36,13 @@ pub enum WidgetKind {
         /// Value submitted when checked.
         value: String,
     },
+    /// `<input type="password">` — never a surfacing input, but classified
+    /// explicitly so hardening can flag password-shaped fields.
+    Password,
+    /// `<input type="file">` — upload widget, never surfaceable.
+    FileUpload,
+    /// `<input type="email">` — free text with an address shape.
+    Email,
 }
 
 /// One named input of a form.
@@ -48,6 +55,10 @@ pub struct ExtractedInput {
     /// Human label: nearest preceding visible text, lowercased (often the
     /// strongest signal for typed-input recognition).
     pub label: String,
+    /// Raw attributes of the widget element in document order. Hardening
+    /// inspects these for client-side-only validation (`pattern`,
+    /// `maxlength`), event handlers (`on*`), and `autocomplete` misuse.
+    pub attrs: Vec<(String, String)>,
 }
 
 /// A form as extracted from a page.
@@ -57,8 +68,12 @@ pub struct ExtractedForm {
     pub action: String,
     /// HTTP method (defaults to GET like browsers do).
     pub method: Method,
-    /// Inputs in document order (submit buttons excluded).
+    /// Inputs in document order (submit buttons excluded). Duplicate names
+    /// keep the first occurrence only, so each name maps to exactly one
+    /// submission param.
     pub inputs: Vec<ExtractedInput>,
+    /// Raw attributes of the `<form>` tag itself (action analysis, `on*`).
+    pub attrs: Vec<(String, String)>,
 }
 
 impl ExtractedForm {
@@ -102,10 +117,15 @@ fn extract_one(form: &Node) -> ExtractedForm {
     // widget — that text is its label.
     let mut last_text = String::new();
     collect_inputs(form, &mut last_text, &mut inputs);
+    // Duplicate names would submit duplicate params; keep the first
+    // occurrence deterministically (document order).
+    let mut seen = std::collections::HashSet::new();
+    inputs.retain(|i| seen.insert(i.name.clone()));
     ExtractedForm {
         action,
         method,
         inputs,
+        attrs: form.attrs().to_vec(),
     }
 }
 
@@ -133,6 +153,9 @@ fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedIn
                         "checkbox" => Some(WidgetKind::Checkbox {
                             value: node.attr("value").unwrap_or("on").to_string(),
                         }),
+                        "password" => Some(WidgetKind::Password),
+                        "file" => Some(WidgetKind::FileUpload),
+                        "email" => Some(WidgetKind::Email),
                         // submit / button / radio etc. are not surfacing inputs
                         _ => None,
                     };
@@ -141,6 +164,7 @@ fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedIn
                             name,
                             kind,
                             label: last_text.clone(),
+                            attrs: node.attrs().to_vec(),
                         });
                     }
                 }
@@ -160,6 +184,7 @@ fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedIn
                             name,
                             kind: WidgetKind::SelectMenu { options },
                             label: last_text.clone(),
+                            attrs: node.attrs().to_vec(),
                         });
                     }
                     return; // don't descend into options as labels
@@ -171,6 +196,7 @@ fn collect_inputs(node: &Node, last_text: &mut String, out: &mut Vec<ExtractedIn
                             name,
                             kind: WidgetKind::TextBox,
                             label: last_text.clone(),
+                            attrs: node.attrs().to_vec(),
                         });
                     }
                 }
@@ -265,6 +291,62 @@ mod tests {
         let f = &extract_forms(&doc)[0];
         assert!(matches!(f.input("c").unwrap().kind, WidgetKind::TextBox));
         assert_eq!(f.input("c").unwrap().label, "comments");
+    }
+
+    #[test]
+    fn duplicate_names_keep_first() {
+        let doc = Document::parse(
+            r#"<form action="/s">
+              <input type="text" name="q" maxlength="10">
+              <input type="hidden" name="q" value="shadow">
+              <input type="text" name="other">
+              <input type="text" name="other">
+            </form>"#,
+        );
+        let f = &extract_forms(&doc)[0];
+        let names: Vec<_> = f.inputs.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["q", "other"]);
+        // First occurrence wins: q stays a text box, not the shadowing hidden.
+        assert!(matches!(f.input("q").unwrap().kind, WidgetKind::TextBox));
+    }
+
+    #[test]
+    fn password_file_email_classified() {
+        let doc = Document::parse(
+            r#"<form action="/s">
+              <input type="password" name="pw">
+              <input type="file" name="upload">
+              <input type="email" name="contact">
+              <input type="radio" name="r" value="1">
+            </form>"#,
+        );
+        let f = &extract_forms(&doc)[0];
+        assert!(matches!(f.input("pw").unwrap().kind, WidgetKind::Password));
+        assert!(matches!(
+            f.input("upload").unwrap().kind,
+            WidgetKind::FileUpload
+        ));
+        assert!(matches!(
+            f.input("contact").unwrap().kind,
+            WidgetKind::Email
+        ));
+        // Radio still falls through unclassified.
+        assert!(f.input("r").is_none());
+    }
+
+    #[test]
+    fn raw_attrs_preserved_for_hardening() {
+        let doc = Document::parse(
+            r#"<form action="/s" onsubmit="hijack()">
+              <input type="text" name="q" pattern="[0-9]+" maxlength="4" onchange="x()">
+            </form>"#,
+        );
+        let f = &extract_forms(&doc)[0];
+        let q = f.input("q").unwrap();
+        assert!(q.attrs.iter().any(|(k, v)| k == "pattern" && v == "[0-9]+"));
+        assert!(q.attrs.iter().any(|(k, v)| k == "maxlength" && v == "4"));
+        assert!(q.attrs.iter().any(|(k, _)| k == "onchange"));
+        assert!(f.attrs.iter().any(|(k, _)| k == "onsubmit"));
     }
 
     #[test]

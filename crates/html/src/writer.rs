@@ -133,6 +133,7 @@ pub struct FormBuilder {
     action: String,
     method: &'static str,
     body: String,
+    extra_attrs: String,
 }
 
 impl FormBuilder {
@@ -142,6 +143,7 @@ impl FormBuilder {
             action: action.to_string(),
             method: "get",
             body: String::new(),
+            extra_attrs: String::new(),
         }
     }
 
@@ -151,7 +153,19 @@ impl FormBuilder {
             action: action.to_string(),
             method: "post",
             body: String::new(),
+            extra_attrs: String::new(),
         }
+    }
+
+    /// Add an attribute to the `<form>` tag itself (e.g. `onsubmit`).
+    pub fn form_attr(mut self, key: &str, value: &str) -> Self {
+        let _ = write!(
+            self.extra_attrs,
+            " {}=\"{}\"",
+            escape_attr(key),
+            escape_attr(value)
+        );
+        self
     }
 
     /// Add a labelled text box.
@@ -162,6 +176,24 @@ impl FormBuilder {
             escape_text(label),
             escape_attr(name)
         );
+        self
+    }
+
+    /// Add an arbitrary labelled `<input>` with explicit type and extra
+    /// attributes — the hostile renderer uses this for password-shaped
+    /// fields, client-side-only validation, and event handlers.
+    pub fn input_with(mut self, label: &str, ty: &str, name: &str, attrs: &[(&str, &str)]) -> Self {
+        let _ = write!(
+            self.body,
+            "{} <input type=\"{}\" name=\"{}\"",
+            escape_text(label),
+            escape_attr(ty),
+            escape_attr(name)
+        );
+        for (k, v) in attrs {
+            let _ = write!(self.body, " {}=\"{}\"", escape_attr(k), escape_attr(v));
+        }
+        self.body.push_str("> ");
         self
     }
 
@@ -199,9 +231,10 @@ impl FormBuilder {
     /// Finish the form.
     pub fn build(self) -> String {
         format!(
-            "<form action=\"{}\" method=\"{}\">{}<input type=\"submit\" value=\"Search\"></form>",
+            "<form action=\"{}\" method=\"{}\"{}>{}<input type=\"submit\" value=\"Search\"></form>",
             escape_attr(&self.action),
             self.method,
+            self.extra_attrs,
             self.body
         )
     }
@@ -246,6 +279,30 @@ mod tests {
         assert!(matches!(&f.input("make").unwrap().kind,
             WidgetKind::SelectMenu { options } if options.len() == 2));
         assert_eq!(f.input("min_price").unwrap().label, "min price:");
+    }
+
+    #[test]
+    fn input_with_and_form_attr_roundtrip() {
+        let form = FormBuilder::get("http://evil.sim/results")
+            .form_attr("onsubmit", "steal()")
+            .input_with("Pin:", "text", "password", &[("maxlength", "4")])
+            .input_with(
+                "",
+                "hidden",
+                "csrf_token",
+                &[("value", "AbCd_1234567890abcdef")],
+            )
+            .build();
+        let doc = Document::parse(&form);
+        let f = &extract_forms(&doc)[0];
+        assert!(f.attrs.iter().any(|(k, _)| k == "onsubmit"));
+        let pw = f.input("password").unwrap();
+        assert!(matches!(pw.kind, WidgetKind::TextBox));
+        assert!(pw.attrs.iter().any(|(k, v)| k == "maxlength" && v == "4"));
+        assert!(matches!(
+            &f.input("csrf_token").unwrap().kind,
+            WidgetKind::Hidden { value } if value == "AbCd_1234567890abcdef"
+        ));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Retry/backoff fetch policy for a hostile web.
+//!
+//! Real deep-web hosts time out, throw transient 500s, and rate-limit; the
+//! surfacer has to distinguish "try again" from "give up" or it either loses
+//! coverage to one flaky response or loops forever on a dead endpoint. This
+//! layer classifies failures off the preserved HTTP status and retries only
+//! transient ones, under a bounded, fully deterministic budget.
+//!
+//! Determinism contract: the retry loop consumes no randomness and no wall
+//! clock. Backoff is *simulated* — the policy charges a doubling per-retry
+//! cost against a budget and records the total as a counter, so two runs
+//! with the same fetcher behavior make byte-identical decisions.
+
+use deepweb_common::Url;
+use deepweb_common::{Error, Result};
+use deepweb_webworld::{Fetcher, Response};
+
+/// Whether a failed fetch is worth retrying.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorClass {
+    /// Server-side or timeout-shaped: a retry may succeed (408, 429, 5xx).
+    Transient,
+    /// Client-side or structural: retrying cannot help (404, 405, bad URL).
+    Permanent,
+}
+
+/// Classify an HTTP status code.
+///
+/// 408 (request timeout — also how the fault injector encodes simulated
+/// socket timeouts), 429, and the retryable 5xx family are transient;
+/// everything else (including 404/405 from the simulated servers) is
+/// permanent.
+pub fn classify_status(status: u16) -> ErrorClass {
+    match status {
+        408 | 429 | 500 | 502 | 503 | 504 => ErrorClass::Transient,
+        _ => ErrorClass::Permanent,
+    }
+}
+
+/// Classify any fetch error. Non-HTTP errors (bad URL, config) are permanent.
+pub fn classify_error(err: &Error) -> ErrorClass {
+    match err {
+        Error::Http { status, .. } => classify_status(*status),
+        _ => ErrorClass::Permanent,
+    }
+}
+
+/// HTTP status carried by an error, if any (0 for non-HTTP errors).
+pub fn error_status(err: &Error) -> u16 {
+    match err {
+        Error::Http { status, .. } => *status,
+        _ => 0,
+    }
+}
+
+/// Bounded deterministic retry policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchPolicy {
+    /// Maximum retries after the first attempt (0 = single attempt).
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry, in milliseconds; doubles on
+    /// each subsequent retry.
+    pub backoff_base_ms: u64,
+    /// Total simulated backoff a single URL may consume; once spent, the
+    /// remaining retries are forfeited even if transient errors continue.
+    pub backoff_budget_ms: u64,
+}
+
+impl Default for FetchPolicy {
+    fn default() -> Self {
+        FetchPolicy {
+            max_retries: 3,
+            backoff_base_ms: 100,
+            backoff_budget_ms: 2_000,
+        }
+    }
+}
+
+impl FetchPolicy {
+    /// A policy that never retries (the pre-robustness behavior).
+    pub fn none() -> Self {
+        FetchPolicy {
+            max_retries: 0,
+            backoff_base_ms: 0,
+            backoff_budget_ms: 0,
+        }
+    }
+}
+
+/// Accounting for one policy-driven fetch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FetchAttempt {
+    /// Retries actually performed (not counting the first attempt).
+    pub retries: u32,
+    /// Transient failures observed (each either retried or budget-forfeited).
+    pub transient_failures: u32,
+    /// Permanent failures observed (always exactly 0 or 1).
+    pub permanent_failures: u32,
+    /// Total simulated backoff charged, in milliseconds.
+    pub backoff_ms: u64,
+    /// Final HTTP status: 200-class on success, the last error status on
+    /// failure, 0 for non-HTTP errors.
+    pub status: u16,
+}
+
+/// Fetch `url` under `policy`: retry transient failures with doubling
+/// simulated backoff until success, a permanent failure, or budget
+/// exhaustion. Returns the final result plus per-fetch accounting.
+pub fn fetch_with_policy(
+    fetcher: &dyn Fetcher,
+    url: &Url,
+    policy: &FetchPolicy,
+) -> (Result<Response>, FetchAttempt) {
+    let mut stats = FetchAttempt::default();
+    let mut backoff = policy.backoff_base_ms;
+    loop {
+        match fetcher.fetch(url) {
+            Ok(resp) => {
+                stats.status = resp.status;
+                return (Ok(resp), stats);
+            }
+            Err(err) => {
+                stats.status = error_status(&err);
+                match classify_error(&err) {
+                    ErrorClass::Permanent => {
+                        stats.permanent_failures += 1;
+                        return (Err(err), stats);
+                    }
+                    ErrorClass::Transient => {
+                        stats.transient_failures += 1;
+                        let over_budget = stats.backoff_ms + backoff > policy.backoff_budget_ms;
+                        if stats.retries >= policy.max_retries || over_budget {
+                            return (Err(err), stats);
+                        }
+                        stats.retries += 1;
+                        stats.backoff_ms += backoff;
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepweb_webworld::http_error;
+    use std::cell::Cell;
+    use std::sync::Mutex;
+
+    /// Fails the first `fail_first` fetches with `status`, then succeeds.
+    struct Flaky {
+        fail_first: u32,
+        status: u16,
+        calls: Mutex<Cell<u32>>,
+    }
+
+    impl Flaky {
+        fn new(fail_first: u32, status: u16) -> Self {
+            Flaky {
+                fail_first,
+                status,
+                calls: Mutex::new(Cell::new(0)),
+            }
+        }
+        fn calls(&self) -> u32 {
+            self.calls.lock().unwrap().get()
+        }
+    }
+
+    impl Fetcher for Flaky {
+        fn fetch(&self, url: &Url) -> Result<Response> {
+            let c = self.calls.lock().unwrap();
+            let n = c.get();
+            c.set(n + 1);
+            if n < self.fail_first {
+                Err(http_error(self.status, url))
+            } else {
+                Ok(Response {
+                    status: 200,
+                    html: "<html><body>ok</body></html>".into(),
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn status_classification() {
+        for s in [408, 429, 500, 502, 503, 504] {
+            assert_eq!(classify_status(s), ErrorClass::Transient, "status {s}");
+        }
+        for s in [400, 401, 403, 404, 405, 410, 501] {
+            assert_eq!(classify_status(s), ErrorClass::Permanent, "status {s}");
+        }
+        assert_eq!(
+            classify_error(&Error::BadUrl("x".into())),
+            ErrorClass::Permanent
+        );
+    }
+
+    #[test]
+    fn transient_failures_retried_to_success() {
+        let f = Flaky::new(2, 500);
+        let url = Url::new("a.sim", "/");
+        let (res, stats) = fetch_with_policy(&f, &url, &FetchPolicy::default());
+        assert!(res.is_ok());
+        assert_eq!(f.calls(), 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.transient_failures, 2);
+        assert_eq!(stats.permanent_failures, 0);
+        assert_eq!(stats.status, 200);
+        // Doubling backoff: 100 + 200.
+        assert_eq!(stats.backoff_ms, 300);
+    }
+
+    #[test]
+    fn permanent_failures_never_retried() {
+        let f = Flaky::new(10, 404);
+        let url = Url::new("a.sim", "/");
+        let (res, stats) = fetch_with_policy(&f, &url, &FetchPolicy::default());
+        assert!(res.is_err());
+        assert_eq!(f.calls(), 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.permanent_failures, 1);
+        assert_eq!(stats.status, 404);
+    }
+
+    #[test]
+    fn retry_budget_bounds_transient_loops() {
+        let f = Flaky::new(100, 503);
+        let url = Url::new("a.sim", "/");
+        let policy = FetchPolicy::default();
+        let (res, stats) = fetch_with_policy(&f, &url, &policy);
+        assert!(res.is_err());
+        assert_eq!(f.calls(), policy.max_retries + 1);
+        assert_eq!(stats.retries, policy.max_retries);
+        assert_eq!(stats.status, 503);
+    }
+
+    #[test]
+    fn backoff_budget_forfeits_remaining_retries() {
+        let f = Flaky::new(100, 500);
+        let url = Url::new("a.sim", "/");
+        let policy = FetchPolicy {
+            max_retries: 10,
+            backoff_base_ms: 400,
+            backoff_budget_ms: 1_000,
+        };
+        let (res, stats) = fetch_with_policy(&f, &url, &policy);
+        assert!(res.is_err());
+        // 400 then 800 would exceed 1000, so exactly one retry happens.
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.backoff_ms, 400);
+        assert!(stats.backoff_ms <= policy.backoff_budget_ms);
+    }
+
+    #[test]
+    fn timeout_408_treated_as_transient() {
+        let f = Flaky::new(1, 408);
+        let url = Url::new("a.sim", "/");
+        let (res, stats) = fetch_with_policy(&f, &url, &FetchPolicy::default());
+        assert!(res.is_ok());
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn none_policy_reproduces_single_attempt() {
+        let f = Flaky::new(1, 500);
+        let url = Url::new("a.sim", "/");
+        let (res, stats) = fetch_with_policy(&f, &url, &FetchPolicy::none());
+        assert!(res.is_err());
+        assert_eq!(f.calls(), 1);
+        assert_eq!(stats.retries, 0);
+    }
+}

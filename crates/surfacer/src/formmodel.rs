@@ -7,6 +7,9 @@
 //! emulator is a parser for the declarative `dependentOptions` blob sites
 //! embed).
 
+use crate::hardening::{
+    has_client_validation, is_event_handler, is_password_name, is_token_like, ThreatKind,
+};
 use deepweb_common::Url;
 use deepweb_html::{extract_forms, Document, Method, WidgetKind};
 
@@ -30,6 +33,11 @@ pub struct CrawledInput {
     pub label: String,
     /// Widget kind as extracted.
     pub kind: WidgetKind,
+    /// Hardening verdict: `Some` when the audit flagged this widget. A
+    /// suppressing threat (token, password, file) removes the widget from
+    /// probe surface; advisory threats (event handler, client-side
+    /// validation) only annotate.
+    pub threat: Option<ThreatKind>,
 }
 
 impl CrawledInput {
@@ -67,6 +75,9 @@ pub struct CrawledForm {
     pub inputs: Vec<CrawledInput>,
     /// JS-dependent select pair, if the emulator found one.
     pub dependents: Option<DependentMap>,
+    /// Every threat the hardening audit flagged on this form:
+    /// `(input name, threat)`, with form-level threats under `"<form>"`.
+    pub threats: Vec<(String, ThreatKind)>,
 }
 
 impl CrawledForm {
@@ -76,9 +87,14 @@ impl CrawledForm {
     }
 
     /// Hidden `(name, value)` pairs that must ride along on every submission.
+    ///
+    /// Token-flagged hidden inputs are suppressed: a CSRF/session token in
+    /// every generated URL would fork the URL space per crawl and flood the
+    /// index with junk.
     pub fn hidden_params(&self) -> Vec<(String, String)> {
         self.inputs
             .iter()
+            .filter(|i| i.threat != Some(ThreatKind::HiddenToken))
             .filter_map(|i| match &i.kind {
                 WidgetKind::Hidden { value } => Some((i.name.clone(), value.clone())),
                 _ => None,
@@ -86,13 +102,66 @@ impl CrawledForm {
             .collect()
     }
 
-    /// Names of fillable (non-hidden) inputs.
+    /// Fillable (probe-able) inputs: non-hidden widgets minus anything the
+    /// audit classified as hostile — credential and upload fields, inline
+    /// event handlers, and client-side-only validated inputs. Probing a
+    /// suppressed widget could only produce junk URLs (the server ignores or
+    /// rejects the parameter), and every probe it eats comes out of the
+    /// budget honest inputs need. [`ThreatKind::AutocompleteMisuse`] stays
+    /// advisory: it marks a data-handling smell, not a junk parameter.
     pub fn fillable_inputs(&self) -> Vec<&CrawledInput> {
         self.inputs
             .iter()
             .filter(|i| !matches!(i.kind, WidgetKind::Hidden { .. }))
+            .filter(|i| !Self::suppressing(i))
             .collect()
     }
+
+    fn suppressing(i: &CrawledInput) -> bool {
+        matches!(i.kind, WidgetKind::Password | WidgetKind::FileUpload)
+            || matches!(
+                i.threat,
+                Some(
+                    ThreatKind::HiddenToken
+                        | ThreatKind::PasswordField
+                        | ThreatKind::FileInput
+                        | ThreatKind::EventHandler
+                        | ThreatKind::ClientOnlyValidation
+                )
+            )
+    }
+
+    /// Number of widgets the audit removed from probe surface. Feeds
+    /// junk-URL suppression stats.
+    pub fn suppressed_inputs(&self) -> usize {
+        self.inputs.iter().filter(|i| Self::suppressing(i)).count()
+    }
+}
+
+/// Classify one extracted input against the hostile-widget taxonomy.
+fn audit_input(i: &deepweb_html::ExtractedInput) -> Option<ThreatKind> {
+    match &i.kind {
+        WidgetKind::Hidden { value } if is_token_like(value) => {
+            return Some(ThreatKind::HiddenToken)
+        }
+        WidgetKind::Password => return Some(ThreatKind::PasswordField),
+        WidgetKind::FileUpload => return Some(ThreatKind::FileInput),
+        WidgetKind::TextBox if is_password_name(&i.name) => return Some(ThreatKind::PasswordField),
+        _ => {}
+    }
+    if i.attrs
+        .iter()
+        .any(|(k, v)| k == "autocomplete" && v == "on" && is_password_name(&i.name))
+    {
+        return Some(ThreatKind::AutocompleteMisuse);
+    }
+    if i.attrs.iter().any(|(k, _)| is_event_handler(k)) {
+        return Some(ThreatKind::EventHandler);
+    }
+    if has_client_validation(&i.attrs) {
+        return Some(ThreatKind::ClientOnlyValidation);
+    }
+    None
 }
 
 /// Extract every form on a page, resolving actions against `page_url`.
@@ -112,21 +181,39 @@ pub fn analyze_page(page_url: &Url, html: &str) -> Vec<CrawledForm> {
             } else {
                 Url::new(page_url.host.clone(), action_path)
             };
+            let mut threats: Vec<(String, ThreatKind)> = Vec::new();
+            // Form-level audit: absolute actions downgrade scheme/host trust,
+            // inline handlers can rewrite the submission.
+            if f.action.starts_with("http://") {
+                threats.push(("<form>".to_string(), ThreatKind::SchemeDowngrade));
+            }
+            if f.attrs.iter().any(|(k, _)| is_event_handler(k)) {
+                threats.push(("<form>".to_string(), ThreatKind::EventHandler));
+            }
+            let inputs: Vec<CrawledInput> = f
+                .inputs
+                .iter()
+                .map(|i| {
+                    let threat = audit_input(i);
+                    if let Some(t) = threat {
+                        threats.push((i.name.clone(), t));
+                    }
+                    CrawledInput {
+                        name: i.name.clone(),
+                        label: i.label.clone(),
+                        kind: i.kind.clone(),
+                        threat,
+                    }
+                })
+                .collect();
             CrawledForm {
                 host: page_url.host.clone(),
                 source_url: page_url.clone(),
                 action_url,
                 post: f.method == Method::Post,
-                inputs: f
-                    .inputs
-                    .into_iter()
-                    .map(|i| CrawledInput {
-                        name: i.name,
-                        label: i.label,
-                        kind: i.kind,
-                    })
-                    .collect(),
+                inputs,
                 dependents: dependents.clone(),
+                threats,
             }
         })
         .collect()
@@ -256,5 +343,89 @@ mod tests {
         let url = Url::new("x.sim", "/search");
         let forms = analyze_page(&url, r#"<form><input type=text name=q></form>"#);
         assert_eq!(forms[0].action_url, Url::new("x.sim", "/search"));
+    }
+
+    const HOSTILE_PAGE: &str = r#"
+      <form action="http://evil.sim/results" method="get" onsubmit="steal()">
+        <input type="hidden" name="csrf_token" value="AbCdEf0123456789_-xyz9">
+        <input type="hidden" name="lang" value="en">
+        Search: <input type="text" name="q">
+        Pin: <input type="text" name="password" maxlength="4">
+        Resume: <input type="file" name="upload">
+        Promo: <input type="text" name="promo" pattern="[a-z]+" onchange="x()">
+        Contact: <input type="email" name="token_contact" autocomplete="on">
+      </form>"#;
+
+    #[test]
+    fn token_hidden_inputs_suppressed_from_params() {
+        let url = Url::new("evil.sim", "/search");
+        let f = &analyze_page(&url, HOSTILE_PAGE)[0];
+        // The honest hidden survives; the token does not.
+        assert_eq!(
+            f.hidden_params(),
+            vec![("lang".to_string(), "en".to_string())]
+        );
+        assert_eq!(
+            f.input("csrf_token").unwrap().threat,
+            Some(ThreatKind::HiddenToken)
+        );
+    }
+
+    #[test]
+    fn hostile_widgets_not_fillable() {
+        let url = Url::new("evil.sim", "/search");
+        let f = &analyze_page(&url, HOSTILE_PAGE)[0];
+        let fillable: Vec<_> = f.fillable_inputs().iter().map(|i| i.name.clone()).collect();
+        // The honest search box and the advisory-only contact field survive;
+        // credential, upload and scripted/client-validated widgets do not.
+        assert_eq!(fillable, vec!["q", "token_contact"]);
+        assert_eq!(
+            f.input("password").unwrap().threat,
+            Some(ThreatKind::PasswordField)
+        );
+        assert_eq!(
+            f.input("upload").unwrap().threat,
+            Some(ThreatKind::FileInput)
+        );
+        // Event handler outranks client validation in the audit order.
+        assert_eq!(
+            f.input("promo").unwrap().threat,
+            Some(ThreatKind::EventHandler)
+        );
+        assert_eq!(f.suppressed_inputs(), 4);
+    }
+
+    #[test]
+    fn advisory_threats_annotate_without_suppressing() {
+        let url = Url::new("evil.sim", "/search");
+        let f = &analyze_page(&url, HOSTILE_PAGE)[0];
+        // Autocomplete misuse is a data-handling smell, not a junk
+        // parameter: flagged, still probe-able.
+        assert_eq!(
+            f.input("token_contact").unwrap().threat,
+            Some(ThreatKind::AutocompleteMisuse)
+        );
+        assert!(f
+            .fillable_inputs()
+            .iter()
+            .any(|i| i.name == "token_contact"));
+        // Form-level flags recorded under "<form>".
+        assert!(f
+            .threats
+            .iter()
+            .any(|(n, t)| n == "<form>" && *t == ThreatKind::SchemeDowngrade));
+        assert!(f
+            .threats
+            .iter()
+            .any(|(n, t)| n == "<form>" && *t == ThreatKind::EventHandler));
+    }
+
+    #[test]
+    fn honest_forms_unaffected_by_audit() {
+        let url = Url::new("cars.sim", "/search");
+        let f = &analyze_page(&url, PAGE)[0];
+        assert!(f.threats.is_empty());
+        assert_eq!(f.suppressed_inputs(), 0);
+        assert!(f.inputs.iter().all(|i| i.threat.is_none()));
     }
 }

@@ -13,7 +13,9 @@
 #![warn(missing_docs)]
 
 pub mod correlate;
+pub mod fetchpolicy;
 pub mod formmodel;
+pub mod hardening;
 pub mod indexability;
 pub mod keywords;
 pub mod pipeline;
@@ -24,13 +26,18 @@ pub mod typed;
 pub mod urlgen;
 
 pub use correlate::{DatabaseSelection, RangePair};
+pub use fetchpolicy::{
+    classify_error, classify_status, fetch_with_policy, ErrorClass, FetchAttempt, FetchPolicy,
+};
 pub use formmodel::{analyze_page, CrawledForm, CrawledInput, DependentMap};
+pub use hardening::{is_password_name, is_token_like, ThreatKind};
 pub use indexability::{select_templates, IndexabilityConfig, SelectionOutcome};
 pub use keywords::{iterative_probing, KeywordConfig, KeywordSelection};
 pub use pipeline::{
-    crawl_and_surface, DocOrigin, ProducedDoc, SiteReport, SurfacerConfig, SurfacingOutcome,
+    crawl_and_surface, CrawlStats, DocOrigin, HostOutcome, HostStatus, ProducedDoc,
+    RobustnessReport, SiteReport, SurfacerConfig, SurfacingOutcome,
 };
-pub use probe::{Assignment, ProbeOutcome, Prober};
+pub use probe::{Assignment, ProbeOutcome, ProbeStats, Prober};
 pub use resurface::{resurface_host, ReprobeScheduler};
 pub use template::{search_templates, Slot, Template, TemplateConfig, TemplateEval};
 pub use typed::{classify_typed, TypeClass, TypedValueLibrary, TypedVerdict};

@@ -7,6 +7,7 @@
 //! same result set (e.g. both empty) collapse to one signature even though
 //! the pages echo different queries.
 
+use crate::fetchpolicy::{fetch_with_policy, FetchPolicy};
 use crate::formmodel::CrawledForm;
 use deepweb_common::text::tokenize;
 use deepweb_common::{fxhash64, FxHashSet, Url};
@@ -24,6 +25,12 @@ pub struct ProbeOutcome {
     pub url: Url,
     /// False when the server answered with an error status.
     pub ok: bool,
+    /// Final HTTP status: 200 on success, the last error status after
+    /// retries otherwise, 0 for non-HTTP failures. Callers can distinguish
+    /// a permanent 404/405 from an exhausted transient 500.
+    pub status: u16,
+    /// Retries the fetch policy spent on this outcome.
+    pub retries: u32,
     /// Content signature (submitted values stripped).
     pub signature: u64,
     /// Declared result count, when the page announces one ("N results").
@@ -47,24 +54,55 @@ impl ProbeOutcome {
     }
 }
 
+/// Robustness accounting accumulated across a prober's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProbeStats {
+    /// Retries spent across all fetches.
+    pub retries: u64,
+    /// Transient failures observed (retried or budget-forfeited).
+    pub transient_failures: u64,
+    /// Permanent failures observed.
+    pub permanent_failures: u64,
+    /// Total simulated backoff charged, in milliseconds.
+    pub backoff_ms: u64,
+}
+
 /// Wraps a fetcher with request accounting and response analysis.
 pub struct Prober<'a> {
     fetcher: &'a dyn Fetcher,
+    policy: FetchPolicy,
     requests: Cell<u64>,
+    stats: Cell<ProbeStats>,
 }
 
 impl<'a> Prober<'a> {
-    /// Create a prober over `fetcher`.
+    /// Create a prober over `fetcher` with the default retry policy.
+    ///
+    /// The default policy only changes behavior against hosts that fail
+    /// transiently; an honest server never triggers a retry.
     pub fn new(fetcher: &'a dyn Fetcher) -> Self {
+        Self::with_policy(fetcher, FetchPolicy::default())
+    }
+
+    /// Create a prober with an explicit fetch policy.
+    pub fn with_policy(fetcher: &'a dyn Fetcher, policy: FetchPolicy) -> Self {
         Prober {
             fetcher,
+            policy,
             requests: Cell::new(0),
+            stats: Cell::new(ProbeStats::default()),
         }
     }
 
     /// Requests issued so far (the per-site load the paper argues is light).
+    /// Retries count as additional requests.
     pub fn requests(&self) -> u64 {
         self.requests.get()
+    }
+
+    /// Accumulated retry/failure/backoff accounting.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats.get()
     }
 
     /// Build the GET URL a submission would produce (hidden inputs ride
@@ -99,12 +137,27 @@ impl<'a> Prober<'a> {
     }
 
     fn fetch_analyzed(&self, url: &Url, stripped_values: &[&str]) -> ProbeOutcome {
-        self.requests.set(self.requests.get() + 1);
-        match self.fetcher.fetch(url) {
-            Ok(resp) => analyze_response(url.clone(), resp.html, stripped_values),
+        let (result, attempt) = fetch_with_policy(self.fetcher, url, &self.policy);
+        self.requests
+            .set(self.requests.get() + 1 + u64::from(attempt.retries));
+        let mut s = self.stats.get();
+        s.retries += u64::from(attempt.retries);
+        s.transient_failures += u64::from(attempt.transient_failures);
+        s.permanent_failures += u64::from(attempt.permanent_failures);
+        s.backoff_ms += attempt.backoff_ms;
+        self.stats.set(s);
+        match result {
+            Ok(resp) => {
+                let mut out = analyze_response(url.clone(), resp.html, stripped_values);
+                out.status = resp.status;
+                out.retries = attempt.retries;
+                out
+            }
             Err(_) => ProbeOutcome {
                 url: url.clone(),
                 ok: false,
+                status: attempt.status,
+                retries: attempt.retries,
                 signature: 0,
                 result_count: None,
                 record_ids: Vec::new(),
@@ -171,6 +224,8 @@ pub fn analyze_response(url: Url, html: String, stripped_values: &[&str]) -> Pro
     ProbeOutcome {
         url,
         ok: true,
+        status: 200,
+        retries: 0,
         signature,
         result_count,
         record_ids,
@@ -292,6 +347,55 @@ mod tests {
         let out = p.fetch(&Url::new("nonexistent.sim", "/"));
         assert!(!out.ok);
         assert!(!out.has_results());
+    }
+
+    /// Always fails with a fixed status.
+    struct AlwaysErr(u16);
+    impl Fetcher for AlwaysErr {
+        fn fetch(&self, url: &Url) -> deepweb_common::Result<deepweb_webworld::Response> {
+            Err(deepweb_webworld::http_error(self.0, url))
+        }
+    }
+
+    #[test]
+    fn permanent_status_preserved_without_retries() {
+        for status in [404u16, 405, 403] {
+            let f = AlwaysErr(status);
+            let p = Prober::new(&f);
+            let out = p.fetch(&Url::new("x.sim", "/"));
+            assert!(!out.ok);
+            assert_eq!(out.status, status);
+            assert_eq!(out.retries, 0);
+            assert_eq!(p.requests(), 1, "permanent {status} must not be retried");
+            assert_eq!(p.stats().permanent_failures, 1);
+        }
+    }
+
+    #[test]
+    fn transient_status_preserved_after_retry_budget() {
+        for status in [408u16, 429, 500, 503] {
+            let f = AlwaysErr(status);
+            let p = Prober::new(&f);
+            let out = p.fetch(&Url::new("x.sim", "/"));
+            assert!(!out.ok);
+            assert_eq!(out.status, status);
+            let policy = crate::fetchpolicy::FetchPolicy::default();
+            assert_eq!(out.retries, policy.max_retries);
+            assert_eq!(p.requests(), u64::from(policy.max_retries) + 1);
+            assert!(p.stats().backoff_ms > 0);
+        }
+    }
+
+    #[test]
+    fn success_carries_200_and_zero_retries() {
+        let w = world();
+        let form = first_get_form(&w);
+        let p = Prober::new(&w.server);
+        let out = p.submit(&form, &[]);
+        assert!(out.ok);
+        assert_eq!(out.status, 200);
+        assert_eq!(out.retries, 0);
+        assert_eq!(p.stats(), ProbeStats::default());
     }
 
     #[test]

@@ -334,12 +334,14 @@ mod tests {
             name: "zip_code".into(),
             label: "enter zip:".into(),
             kind: deepweb_html::WidgetKind::TextBox,
+            threat: None,
         };
         assert_eq!(pattern_hints(&input)[0], TypeClass::Zip);
         let none = CrawledInput {
             name: "q".into(),
             label: "keywords:".into(),
             kind: deepweb_html::WidgetKind::TextBox,
+            threat: None,
         };
         assert!(pattern_hints(&none).is_empty());
     }

@@ -100,14 +100,17 @@ mod tests {
                     name: "a".into(),
                     label: String::new(),
                     kind: deepweb_html::WidgetKind::TextBox,
+                    threat: None,
                 },
                 crate::formmodel::CrawledInput {
                     name: "b".into(),
                     label: String::new(),
                     kind: deepweb_html::WidgetKind::TextBox,
+                    threat: None,
                 },
             ],
             dependents: None,
+            threats: Vec::new(),
         };
         let slots = vec![
             Slot::Single {

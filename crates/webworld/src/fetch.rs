@@ -28,6 +28,12 @@ pub trait Fetcher: Send + Sync {
     fn fetch(&self, url: &Url) -> Result<Response>;
 }
 
+impl<F: Fetcher + ?Sized> Fetcher for &F {
+    fn fetch(&self, url: &Url) -> Result<Response> {
+        (**self).fetch(url)
+    }
+}
+
 /// Helper for building an HTTP error.
 pub fn http_error(status: u16, url: &Url) -> Error {
     Error::Http {

@@ -43,6 +43,11 @@ pub struct WebConfig {
     pub domain_weights: Vec<(DomainKind, f64)>,
     /// Page sizes sites choose from.
     pub page_sizes: Vec<usize>,
+    /// Fraction of sites generated in hostile mode: broken markup plus junk
+    /// form widgets (hidden token, password-named text box, client-side-only
+    /// validation, inline handlers, absolute form action). Backends stay
+    /// honest, so hostile sites are still surfaceable minus the junk.
+    pub hostile_fraction: f64,
 }
 
 impl Default for WebConfig {
@@ -70,6 +75,7 @@ impl Default for WebConfig {
                 (DomainKind::Faculty, 0.8),
             ],
             page_sizes: vec![5, 10, 10, 20],
+            hostile_fraction: 0.0,
         }
     }
 }
@@ -118,6 +124,8 @@ pub struct SiteTruth {
     pub has_dependent: bool,
     /// Number of surface-reachable records via `/browse`.
     pub browse_links: usize,
+    /// True for hostile-mode sites (broken markup + junk widgets).
+    pub hostile: bool,
 }
 
 impl SiteTruth {
@@ -275,6 +283,23 @@ pub fn generate(config: &WebConfig) -> World {
     }
     post_flags.shuffle(&mut derive_rng(seed, "genweb-post"));
 
+    // Hostile status is stratified the same way: exactly
+    // round(num_sites * hostile_fraction) sites (at least one for any nonzero
+    // fraction) render broken markup and junk form widgets. Backends stay
+    // honest, so the flag changes presentation only, never ground truth.
+    assert!(
+        (0.0..=1.0).contains(&config.hostile_fraction),
+        "hostile_fraction must be in [0, 1], got {}",
+        config.hostile_fraction
+    );
+    let n_hostile = (((config.num_sites as f64) * config.hostile_fraction).round() as usize)
+        .max((config.hostile_fraction > 0.0 && config.num_sites > 0) as usize);
+    let mut hostile_flags = vec![false; config.num_sites];
+    for f in hostile_flags.iter_mut().take(n_hostile) {
+        *f = true;
+    }
+    hostile_flags.shuffle(&mut derive_rng(seed, "genweb-hostile"));
+
     for (i, &rank) in size_ranks.iter().enumerate() {
         let mut rng = derive_rng_n(seed, "genweb-site", i as u64);
         // Domain by weight.
@@ -360,6 +385,7 @@ pub fn generate(config: &WebConfig) -> World {
             page_size,
             style,
             browse_links,
+            hostile: hostile_flags[i],
         };
         let (input_truth, range_pairs) = truth_for(&site);
         truths.push(SiteTruth {
@@ -374,6 +400,7 @@ pub fn generate(config: &WebConfig) -> World {
             range_pairs,
             has_dependent: site.form.dependent.is_some(),
             browse_links,
+            hostile: site.hostile,
         });
         sites.push(site);
     }
@@ -537,6 +564,50 @@ mod tests {
             ..WebConfig::default()
         });
         assert!(w.truth.sites.iter().all(|t| t.post));
+    }
+
+    #[test]
+    fn hostile_fraction_is_stratified_and_default_off() {
+        // Default webs contain no hostile sites: existing experiments keep
+        // their honest corpus byte-for-byte.
+        let w = small_world();
+        assert!(w.truth.sites.iter().all(|t| !t.hostile));
+        for (n, frac) in [(6usize, 0.05f64), (20, 0.3), (40, 0.25)] {
+            let w = generate(&WebConfig {
+                num_sites: n,
+                hostile_fraction: frac,
+                ..WebConfig::default()
+            });
+            let hostile = w.truth.sites.iter().filter(|t| t.hostile).count();
+            let expect = (((n as f64) * frac).round() as usize).max(1);
+            assert_eq!(
+                hostile, expect,
+                "n={n} frac={frac}: got {hostile} hostile sites"
+            );
+            // Truth and server agree, and hostile search pages really are
+            // mangled (the unclosed analytics comment is unconditional).
+            for t in &w.truth.sites {
+                let site = w.server.site_by_host(&t.host).expect("site exists");
+                assert_eq!(site.hostile, t.hostile);
+                let page = w
+                    .server
+                    .fetch(&Url::new(t.host.clone(), "/search"))
+                    .expect("search page serves");
+                assert_eq!(
+                    page.html.contains("<!-- analytics beacon "),
+                    t.hostile,
+                    "{}: mangling must track the hostile flag",
+                    t.host
+                );
+            }
+        }
+        // Everything-hostile still generates and serves.
+        let w = generate(&WebConfig {
+            num_sites: 5,
+            hostile_fraction: 1.0,
+            ..WebConfig::default()
+        });
+        assert!(w.truth.sites.iter().all(|t| t.hostile));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod datagen;
+pub mod faults;
 pub mod fetch;
 pub mod genweb;
 pub mod render;
@@ -20,7 +21,8 @@ pub mod site;
 pub mod surface;
 pub mod vocab;
 
-pub use fetch::{Fetcher, Response};
+pub use faults::{FaultConfig, FaultKind, FaultStats, FaultyFetcher};
+pub use fetch::{http_error, Fetcher, Response};
 pub use genweb::{generate, grow_site, GroundTruth, InputTruth, SiteTruth, WebConfig, World};
 pub use server::{SurfacePage, WebServer};
 pub use site::{

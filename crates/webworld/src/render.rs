@@ -7,10 +7,54 @@
 
 use crate::site::{RenderStyle, Site};
 use deepweb_common::urlcodec::encode_component;
-use deepweb_common::RecordId;
+use deepweb_common::{fxhash64, RecordId};
 use deepweb_html::writer::{escape_text, PageBuilder};
 use deepweb_store::Page;
 use std::fmt::Write as _;
+
+/// Deterministically break a hostile site's markup without losing content.
+///
+/// Real hostile pages are broken, not absent: unclosed paragraphs, stray
+/// close tags, unbalanced inline formatting, truncated comments. Each mangle
+/// preserves every character of visible text and every `<a>`/`<form>`
+/// element — the recovery parser must still extract the same content — so
+/// the mangles only stress the parser, never the ground truth. Which mangles
+/// apply is a pure function of the host name.
+pub fn mangle_markup(html: &str, host: &str) -> String {
+    let bits = fxhash64(&host);
+    let mut out = html.to_string();
+    if bits & 1 != 0 {
+        // Drop the first paragraph close: everything after becomes children
+        // of the unclosed <p>.
+        if let Some(i) = out.find("</p>") {
+            out.replace_range(i..i + 4, "");
+        }
+    }
+    if bits & 2 != 0 {
+        // Stray close with no matching open, right after the heading.
+        if let Some(i) = out.find("</h1>") {
+            out.insert_str(i + 5, "</div></center>");
+        }
+    }
+    if bits & 4 != 0 {
+        // Unbalanced inline formatting left open at end of body.
+        if let Some(i) = out.rfind("</body>") {
+            out.insert_str(i, "<b><i>site by webmaster");
+        }
+    }
+    // Always: a comment the author never closed, truncating the tail.
+    out.push_str("<!-- analytics beacon ");
+    out
+}
+
+/// Apply hostile mangling when the site is hostile; identity otherwise.
+fn finish(site: &Site, html: String) -> String {
+    if site.hostile {
+        mangle_markup(&html, &site.host)
+    } else {
+        html
+    }
+}
 
 /// Render the site's home page: characteristic text (the seed-keyword
 /// source), links to the search page and optional browse page.
@@ -40,7 +84,7 @@ pub fn home_page(site: &Site) -> String {
         links.push(("/browse".to_string(), "browse listings".to_string()));
     }
     pb.link_list(&links);
-    pb.build()
+    finish(site, pb.build())
 }
 
 /// Render the about page.
@@ -54,7 +98,7 @@ pub fn about_page(site: &Site) -> String {
         site.language
     ));
     pb.link("/", "home");
-    pb.build()
+    finish(site, pb.build())
 }
 
 /// Render the search page (the form page the crawler analyses).
@@ -63,7 +107,7 @@ pub fn search_page(site: &Site) -> String {
     pb.h1(&format!("search {}", site.domain.name()));
     pb.raw(&site.render_form());
     pb.link("/", "home");
-    pb.build()
+    finish(site, pb.build())
 }
 
 /// Render the browse page: links to the first `browse_links` detail pages
@@ -275,6 +319,48 @@ mod tests {
         assert!(html.contains("usedcars"));
         let doc = Document::parse(&html);
         assert!(doc.text().contains("honda"));
+    }
+
+    #[test]
+    fn mangled_pages_keep_text_links_and_forms() {
+        let mut site = mini_site(RenderStyle::Table);
+        site.hostile = true;
+        // Every mangle pattern must survive the recovery parser with content
+        // intact; exercise all bit combinations via synthetic host names.
+        for host in [
+            "a.sim", "b.sim", "c.sim", "d.sim", "e.sim", "f7.sim", "g22.sim",
+        ] {
+            site.host = host.to_string();
+            let clean = {
+                let mut honest = site.clone();
+                honest.hostile = false;
+                search_page(&honest)
+            };
+            let hostile = search_page(&site);
+            assert_ne!(clean, hostile, "{host}: mangling must change the markup");
+            let doc = Document::parse(&hostile);
+            // The form and its honest inputs survive.
+            let forms = deepweb_html::extract_forms(&doc);
+            assert_eq!(forms.len(), 1, "{host}");
+            for name in ["make", "q", "lang"] {
+                assert!(forms[0].input(name).is_some(), "{host}: lost {name}");
+            }
+            // Visible text of the clean page survives in the mangled one.
+            let clean_text = Document::parse(&clean).text();
+            let hostile_text = doc.text();
+            for word in clean_text.split_whitespace().take(20) {
+                assert!(
+                    hostile_text.contains(word),
+                    "{host}: mangled page lost {word:?}"
+                );
+            }
+            // Home page keeps its links.
+            let home = Document::parse(&home_page(&site));
+            assert!(home
+                .find_all("a")
+                .iter()
+                .any(|a| a.attr("href") == Some("/search")));
+        }
     }
 
     #[test]

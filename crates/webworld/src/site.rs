@@ -191,6 +191,12 @@ pub struct Site {
     /// Whether the site exposes a `/browse` page linking to some records
     /// (making part of its content surface-reachable, paper §2).
     pub browse_links: usize,
+    /// Hostile mode: the site serves broken markup and decorates its form
+    /// with junk widgets (token hidden, password-named text box, client-side
+    /// validation, inline handlers, absolute action). The backend and the
+    /// honest inputs are unchanged, so ground truth still holds — a hardened
+    /// surfacer should index exactly the honest subset.
+    pub hostile: bool,
 }
 
 impl Site {
@@ -248,14 +254,54 @@ impl Site {
         CompiledQuery::Query(Conjunction::new(preds))
     }
 
+    /// The deterministic token-like value a hostile site plants in its
+    /// hidden CSRF input (derived from the host, so re-crawls see the same
+    /// token — the *value* is stable; the threat is that a naive surfacer
+    /// would propagate it into every generated URL).
+    pub fn hostile_token(&self) -> String {
+        let h = deepweb_common::fxhash64(&self.host);
+        format!("tok{h:016x}{:08x}", (h >> 32) as u32)
+    }
+
     /// Render the search form as HTML (plus the dependency `<script>` blob if
     /// the form has JS-dependent selects).
     pub fn render_form(&self) -> String {
-        let mut fb = if self.form.post {
-            FormBuilder::post(&self.form.action)
+        // Hostile forms post to an absolute URL (scheme-downgrade shape) and
+        // carry an inline submit handler. The action still resolves to this
+        // host, so the backend semantics are untouched.
+        let action = if self.hostile {
+            format!("http://{}{}", self.host, self.form.action)
         } else {
-            FormBuilder::get(&self.form.action)
+            self.form.action.clone()
         };
+        let mut fb = if self.form.post {
+            FormBuilder::post(&action)
+        } else {
+            FormBuilder::get(&action)
+        };
+        if self.hostile {
+            let token = self.hostile_token();
+            fb = fb
+                .form_attr("onsubmit", "return trackAndSubmit(this)")
+                .input_with("", "hidden", "csrf_token", &[("value", token.as_str())])
+                .input_with(
+                    "member pin:",
+                    "text",
+                    "password",
+                    &[("maxlength", "4"), ("autocomplete", "on")],
+                )
+                .input_with("resume:", "file", "upload", &[])
+                .input_with(
+                    "promo code:",
+                    "text",
+                    "promo",
+                    &[
+                        ("pattern", "[a-z0-9]+"),
+                        ("maxlength", "8"),
+                        ("onchange", "checkPromo(this)"),
+                    ],
+                );
+        }
         for input in &self.form.inputs {
             fb = match &input.binding {
                 Binding::KeywordSearch
@@ -414,6 +460,7 @@ pub mod tests_support {
             page_size: 10,
             style,
             browse_links: 0,
+            hostile: false,
         }
     }
 }
@@ -514,6 +561,49 @@ mod tests {
         let html = s.render_form();
         assert!(html.contains("dependentOptions"));
         assert!(html.contains("\"honda\":[\"civic\",\"accord\"]"));
+    }
+
+    #[test]
+    fn hostile_form_carries_junk_widgets_but_same_backend() {
+        let mut s = mini_site();
+        s.hostile = true;
+        let html = s.render_form();
+        let doc = deepweb_html::Document::parse(&html);
+        let f = &deepweb_html::extract_forms(&doc)[0];
+        // Absolute action + inline handler.
+        assert!(f.action.starts_with("http://usedcars-000.sim/"));
+        assert!(f.attrs.iter().any(|(k, _)| k == "onsubmit"));
+        // Junk widgets present in the markup...
+        let token = s.hostile_token();
+        assert!(token.len() >= 20);
+        assert!(matches!(
+            &f.input("csrf_token").unwrap().kind,
+            deepweb_html::WidgetKind::Hidden { value } if *value == token
+        ));
+        assert!(f.input("password").is_some());
+        assert!(matches!(
+            f.input("upload").unwrap().kind,
+            deepweb_html::WidgetKind::FileUpload
+        ));
+        // ...and every honest input still extracted.
+        for name in ["make", "min_price", "max_price", "zip", "q", "lang"] {
+            assert!(f.input(name).is_some(), "honest input {name} lost");
+        }
+        // The backend ignores the junk params entirely.
+        assert_eq!(
+            q(
+                &s,
+                &[
+                    ("csrf_token", "wrong"),
+                    ("password", "1234"),
+                    ("promo", "x")
+                ]
+            )
+            .len(),
+            3
+        );
+        // Rendering is deterministic.
+        assert_eq!(html, s.render_form());
     }
 
     #[test]
