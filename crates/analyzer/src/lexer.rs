@@ -1,0 +1,328 @@
+//! A lightweight Rust lexer: just enough token structure for rule matching.
+//!
+//! The rules in [`crate::rules`] match on *token* sequences, not raw text,
+//! so the lexer's one job is to never confuse code with non-code: `unwrap`
+//! inside a string literal or a comment must come out as a `Str`/`Comment`
+//! token, a `//` inside `"http://x"` must not open a comment, and `'a` in
+//! `Vec<'a>` must not swallow the rest of the file as an unterminated char
+//! literal. It handles line and nested block comments, raw/byte/raw-byte
+//! strings (`r#"..."#`, `b"..."`, `br##"..."##`), raw identifiers
+//! (`r#match`), char-vs-lifetime disambiguation, and numeric literals with
+//! exponents — leniently: malformed input (unterminated strings, stray
+//! bytes) is consumed as *some* token rather than an error, so lexing never
+//! fails and token texts always concatenate back to the input byte-for-byte
+//! (the round-trip property the adversarial tests pin down).
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines (any `char::is_whitespace` run).
+    Whitespace,
+    /// `// ...` (without the trailing newline). Includes doc comments.
+    LineComment,
+    /// `/* ... */`, nesting-aware; unterminated runs to end of input.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — no closing quote follows the name.
+    Lifetime,
+    /// A char or byte-char literal (`'x'`, `'\''`, `b'\n'`).
+    Char,
+    /// Any string literal form: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A numeric literal (`42`, `0x1F`, `1_000u64`, `2.5e-3`).
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One lexed token: classification plus the exact source slice and the
+/// 1-based line its first byte sits on.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text (tokens tile the input with no gaps or overlaps).
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Byte length of the identifier starting at `i`, or 0 if none starts there.
+fn ident_len(src: &str, i: usize) -> usize {
+    let mut chars = src[i..].char_indices();
+    match chars.next() {
+        Some((_, c)) if is_ident_start(c) => {}
+        _ => return 0,
+    }
+    for (off, c) in chars {
+        if !is_ident_continue(c) {
+            return off;
+        }
+    }
+    src.len() - i
+}
+
+/// Consume a quoted literal starting at the opening quote `b[i]` (`'` or
+/// `"`), honouring `\` escapes; returns the index just past the closing
+/// quote, or `len` if unterminated.
+fn quoted_end(b: &[u8], i: usize, quote: u8) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j = (j + 2).min(b.len()),
+            c if c == quote => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Consume a raw string starting at `i` where `b[i..]` is `#*"`; `hashes`
+/// were already counted. Returns the index just past the closing `"#*`.
+fn raw_string_end(b: &[u8], quote_pos: usize, hashes: usize) -> usize {
+    let mut j = quote_pos + 1;
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// Tokenize `src` completely. Never panics; the returned tokens tile the
+/// input (`tokens.iter().map(|t| t.text).collect::<String>() == src`).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let kind = match b[i] {
+            c if (c as char).is_ascii_whitespace() => {
+                while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = quoted_end(b, i, b'"');
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'\…'` and `'<one char>'` are
+                // chars; `'ident` with no closing quote is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i = quoted_end(b, i, b'\'');
+                    TokenKind::Char
+                } else {
+                    let name = ident_len(src, i + 1);
+                    if name > 0 && b.get(i + 1 + name) != Some(&b'\'') {
+                        i += 1 + name;
+                        TokenKind::Lifetime
+                    } else {
+                        i = quoted_end(b, i, b'\'');
+                        TokenKind::Char
+                    }
+                }
+            }
+            b'r' | b'b' => lex_r_or_b_prefixed(src, b, &mut i),
+            c if c.is_ascii_digit() => {
+                i += 1;
+                let mut seen_dot = false;
+                while i < b.len() {
+                    let c = b[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        i += 1;
+                    } else if c == b'.'
+                        && !seen_dot
+                        && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        i += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(b[i - 1], b'e' | b'E')
+                        && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        // Exponent sign inside `2.5e-3` / `1E+9`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Num
+            }
+            _ => {
+                let n = ident_len(src, i);
+                if n > 0 {
+                    i += n;
+                    TokenKind::Ident
+                } else {
+                    // One full char (multi-byte safe), classified as punct.
+                    let c = src[i..].chars().next().map_or(1, char::len_utf8);
+                    i += c;
+                    TokenKind::Punct
+                }
+            }
+        };
+        let text = &src[start..i];
+        out.push(Token { kind, text, line });
+        line += text.bytes().filter(|&c| c == b'\n').count() as u32;
+    }
+    out
+}
+
+/// Lex a token starting with `r` or `b`: raw strings, byte strings/chars,
+/// raw identifiers, or a plain identifier. Advances `*i` past the token.
+fn lex_r_or_b_prefixed(src: &str, b: &[u8], i: &mut usize) -> TokenKind {
+    let at = *i;
+    let (prefix_len, allow_raw) = match (b[at], b.get(at + 1)) {
+        (b'b', Some(&b'r')) => (2, true),
+        (b'b', Some(&b'\'')) => {
+            *i = quoted_end(b, at + 1, b'\'');
+            return TokenKind::Char;
+        }
+        (b'b', Some(&b'"')) => {
+            *i = quoted_end(b, at + 1, b'"');
+            return TokenKind::Str;
+        }
+        (b'r', _) => (1, true),
+        _ => (1, false),
+    };
+    if allow_raw {
+        let mut hashes = 0usize;
+        while b.get(at + prefix_len + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        match b.get(at + prefix_len + hashes) {
+            Some(&b'"') => {
+                *i = raw_string_end(b, at + prefix_len + hashes, hashes);
+                return TokenKind::Str;
+            }
+            // Raw identifier `r#match` (exactly one hash, ident follows).
+            Some(_) if prefix_len == 1 && hashes == 1 => {
+                let n = ident_len(src, at + 2);
+                if n > 0 {
+                    *i = at + 2 + n;
+                    return TokenKind::Ident;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Plain identifier starting with `r`/`b` (e.g. `replay`, `broker`).
+    let n = ident_len(src, at).max(1);
+    *i = at + n;
+    TokenKind::Ident
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_and_classifies_basics() {
+        let src = "fn main() { let x = 1.5e-3; }";
+        let joined: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src);
+        assert!(kinds(src).contains(&(TokenKind::Num, "1.5e-3")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Char, "'a'")));
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "no // comment /* here */ unwrap()";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment)));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        for (src, want) in [
+            ("r\"plain raw\"", "r\"plain raw\""),
+            ("r#\"has \"quotes\"\"#", "r#\"has \"quotes\"\"#"),
+            ("br##\"deep \"# still\"##", "br##\"deep \"# still\"##"),
+            ("b\"bytes\"", "b\"bytes\""),
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks, vec![(TokenKind::Str, want)], "src={src}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still outer */ x");
+        // One comment token spanning the whole nested run — `still outer`
+        // was not mistaken for code when the inner comment closed.
+        assert_eq!(
+            toks,
+            vec![
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still outer */"
+                ),
+                (TokenKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(kinds("r#match"), vec![(TokenKind::Ident, "r#match")]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Finding aggregation and the per-rule summary table `detlint` prints.
+
+use crate::rules::{Finding, RuleId, RULES};
+
+/// Outcome of scanning a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed or not, in deterministic path/line order.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+    /// Source lines scanned.
+    pub lines: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by a `detlint:allow` (the failing set).
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Count of `(fired, suppressed)` for one rule.
+    pub fn counts(&self, rule: RuleId) -> (usize, usize) {
+        let mut fired = 0;
+        let mut suppressed = 0;
+        for f in self.findings.iter().filter(|f| f.rule == rule) {
+            if f.suppressed {
+                suppressed += 1;
+            } else {
+                fired += 1;
+            }
+        }
+        (fired, suppressed)
+    }
+
+    /// Render the per-rule summary table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let header = format!(
+            "{:<4} {:<22} {:>9} {:>11}  {}\n",
+            "rule", "name", "findings", "suppressed", "guards against"
+        );
+        out.push_str(&header);
+        out.push_str(&"-".repeat(86));
+        out.push('\n');
+        for rule in RULES.iter().copied().chain([RuleId::Meta]) {
+            let (fired, suppressed) = self.counts(rule);
+            out.push_str(&format!(
+                "{:<4} {:<22} {:>9} {:>11}  {}\n",
+                rule.code(),
+                rule.name(),
+                fired,
+                suppressed,
+                rule.describe()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_split_fired_and_suppressed() {
+        let mk = |rule, suppressed| Finding {
+            rule,
+            path: "x.rs".into(),
+            line: 1,
+            snippet: String::new(),
+            suppressed,
+        };
+        let report = Report {
+            findings: vec![
+                mk(RuleId::WallClock, false),
+                mk(RuleId::WallClock, true),
+                mk(RuleId::WallClock, true),
+            ],
+            files: 1,
+            lines: 1,
+        };
+        assert_eq!(report.counts(RuleId::WallClock), (1, 2));
+        assert_eq!(report.unsuppressed().count(), 1);
+        let table = report.summary_table();
+        assert!(table.contains("wall-clock"));
+        assert!(table.contains("R5"));
+    }
+}

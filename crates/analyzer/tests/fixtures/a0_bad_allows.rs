@@ -1,0 +1,18 @@
+//! Known-bad fixture: A0 (allow-hygiene) must fire on each broken
+//! annotation — malformed (no justification), unknown rule, and unused.
+
+pub fn clock() -> std::time::Instant {
+    // A finding with a *malformed* allow stays unsuppressed: missing `:`.
+    // detlint:allow(wall-clock) forgot the colon and justification
+    std::time::Instant::now()
+}
+
+// detlint:allow(made-up-rule): no such rule in the catalogue
+pub fn fine() -> u32 {
+    7
+}
+
+// detlint:allow(wall-clock): nothing on the next line reads a clock
+pub fn also_fine() -> u32 {
+    8
+}

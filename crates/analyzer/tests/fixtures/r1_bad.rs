@@ -1,0 +1,18 @@
+//! Known-bad fixture: R1 (nondet-iteration) must fire on the std hash
+//! import in library code and stay silent inside the `#[cfg(test)]` module.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<String, u32> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely: this mention must NOT fire.
+    use std::collections::HashSet;
+
+    #[test]
+    fn scratch() {
+        assert!(HashSet::<u32>::new().is_empty());
+    }
+}

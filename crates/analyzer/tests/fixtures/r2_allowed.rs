@@ -1,0 +1,5 @@
+//! Allowed twin of `r2_bad.rs`: trailing-comment style suppression.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // detlint:allow(wall-clock): fixture twin — the timing is printed, never returned
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: R2 (wall-clock) must fire on both clock reads, and
+//! must NOT fire on the string mentioning one.
+
+pub fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    let mono = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _label = "Instant::now inside a string is not a clock read";
+    (mono, wall)
+}

@@ -1,0 +1,8 @@
+//! Allowed twin of `r3_bad.rs`: every panic path carries a justified allow.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // detlint:allow(panic-in-serving): fixture twin — caller guarantees a non-empty slice
+    let head = xs[0];
+    let parsed: u32 = "7".parse().unwrap(); // detlint:allow(panic-in-serving): fixture twin — literal always parses
+    head + parsed
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: R3 (panic-in-serving) must fire on `.unwrap()`,
+//! `.expect(`, `panic!` and literal slice indexing — four findings.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs[0];
+    let parsed: u32 = "7".parse().unwrap();
+    let picked = *xs.iter().next().expect("non-empty");
+    if head > 9 {
+        panic!("boom");
+    }
+    head + parsed + picked
+}

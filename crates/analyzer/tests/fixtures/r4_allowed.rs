@@ -1,0 +1,6 @@
+//! Allowed twin of `r4_bad.rs`.
+
+pub fn total(score_map: &FxHashMap<u32, f64>) -> f64 {
+    // detlint:allow(unordered-float-fold): fixture twin — the sum feeds a count comparison, not a score
+    score_map.values().sum::<f64>()
+}

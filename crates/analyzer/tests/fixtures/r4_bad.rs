@@ -1,0 +1,15 @@
+//! Known-bad fixture: R4 (unordered-float-fold) must fire on a float `sum`
+//! and a float-seeded `fold` over hash-ordered iteration — two findings.
+
+pub fn total(score_map: &FxHashMap<u32, f64>) -> f64 {
+    score_map.values().sum::<f64>()
+}
+
+pub fn folded(weight_map: &FxHashMap<u32, f64>) -> f64 {
+    weight_map.values().fold(0.0, |acc, w| acc + w)
+}
+
+pub fn ordered_is_fine(scores: &[f64]) -> f64 {
+    // Slice iteration has a fixed order: must NOT fire.
+    scores.iter().sum::<f64>()
+}

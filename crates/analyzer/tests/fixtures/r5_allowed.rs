@@ -1,0 +1,6 @@
+//! Allowed twin of `r5_bad.rs`.
+
+pub fn read_len(m: &std::sync::Mutex<Vec<u32>>) -> usize {
+    // detlint:allow(lock-hygiene): fixture twin — single-threaded tool, poisoning is unreachable
+    m.lock().unwrap().len()
+}

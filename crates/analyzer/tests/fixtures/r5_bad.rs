@@ -1,0 +1,12 @@
+//! Known-bad fixture: R5 (lock-hygiene) must fire on the poisoning
+//! `.lock().unwrap()` chain and on a write guard held across a pool
+//! dispatch — two findings.
+
+pub fn read_len(m: &std::sync::Mutex<Vec<u32>>) -> usize {
+    m.lock().unwrap().len()
+}
+
+pub fn publish(state: &RwLock<State>, pool: &ThreadPool, items: &[u32]) -> Vec<u32> {
+    let guard = state.write();
+    pool.map_init(|| (), |_, &i| i + guard.offset, items)
+}

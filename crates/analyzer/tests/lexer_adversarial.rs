@@ -1,0 +1,168 @@
+//! Adversarial token streams for the detlint lexer.
+//!
+//! The rule engine is only as trustworthy as the lexer's code/non-code
+//! boundary: a raw string that leaks, a nested comment that closes early, or
+//! a lifetime mistaken for an unterminated char literal would let rule
+//! matches fire on (or hide inside) text. Each case here pins the exact
+//! token classification; the property tests then hammer two global
+//! invariants over generated soup: lexing never panics, and the emitted
+//! tokens tile the input byte-for-byte (concatenating the token texts
+//! reproduces the source exactly).
+
+use analyzer::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Whitespace)
+        .map(|t| (t.kind, t.text.to_string()))
+        .collect()
+}
+
+/// Tokens that count as code for rule matching (not comment/string/ws).
+fn code_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.to_string())
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_hides_terminators() {
+    // `"#` inside the literal must not close `r##"…"##`.
+    let src = r####"let s = r##"end "# not yet "## ; unwrap()"####;
+    let toks = kinds(src);
+    assert!(toks.contains(&(TokenKind::Str, r###"r##"end "# not yet "##"###.to_string())));
+    // `unwrap` after the literal IS code again.
+    assert!(code_idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let toks = kinds(r##"b"x" br#"y "quoted" y"# b'\n' r#try"##);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Str, "b\"x\"".to_string()),
+            (TokenKind::Str, "br#\"y \"quoted\" y\"#".to_string()),
+            (TokenKind::Char, "b'\\n'".to_string()),
+            (TokenKind::Ident, "r#try".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn nested_block_comment_hides_rule_bait() {
+    let src = "/* lvl1 /* lvl2 Instant::now() */ still comment .unwrap() */ fn f() {}";
+    assert!(code_idents(src)
+        .iter()
+        .all(|t| t != "unwrap" && t != "Instant"));
+    assert!(code_idents(src).contains(&"fn".to_string()));
+}
+
+#[test]
+fn lifetime_vs_char_adversarial_mix() {
+    let src = "fn f<'a, 'static>(x: &'a str) { let c = 'a'; let n = '\\''; }";
+    let toks = kinds(src);
+    assert!(toks.contains(&(TokenKind::Lifetime, "'a".to_string())));
+    assert!(toks.contains(&(TokenKind::Lifetime, "'static".to_string())));
+    assert!(toks.contains(&(TokenKind::Char, "'a'".to_string())));
+    assert!(toks.contains(&(TokenKind::Char, "'\\''".to_string())));
+}
+
+#[test]
+fn string_embedded_comment_markers_stay_strings() {
+    let src = r#"let url = "http://x.sim/a"; let re = "/* not a comment */"; // real comment"#;
+    let toks = kinds(src);
+    assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, _)| *k == TokenKind::LineComment)
+            .count(),
+        1
+    );
+    assert!(!toks.iter().any(|(k, _)| *k == TokenKind::BlockComment));
+}
+
+#[test]
+fn unterminated_forms_consume_to_eof_without_panic() {
+    for src in [
+        "let s = \"never closed",
+        "let s = r#\"never closed\"",
+        "/* never closed /* nested",
+        "let c = '\\",
+        "b\"",
+        "r###",
+    ] {
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(joined, src, "round-trip on {src:?}");
+    }
+}
+
+#[test]
+fn numbers_with_exponents_and_suffixes() {
+    let toks = kinds("1_000u64 0x1F 2.5e-3 1E+9 7f64 1..3");
+    let nums: Vec<&str> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Num)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(
+        nums,
+        vec!["1_000u64", "0x1F", "2.5e-3", "1E+9", "7f64", "1", "3"]
+    );
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let src = "a\n/* two\nlines */\nb \"x\ny\" c";
+    let lines: Vec<(String, u32)> = lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| (t.text.to_string(), t.line))
+        .collect();
+    assert_eq!(
+        lines,
+        vec![
+            ("a".to_string(), 1),
+            ("b".to_string(), 4),
+            ("c".to_string(), 5),
+        ]
+    );
+}
+
+proptest! {
+    /// Lexing arbitrary near-Rust soup never panics and always round-trips.
+    #[test]
+    fn soup_round_trips(src in "[a-zA-Z0-9_'\"/*#\\\\ \n.:;(){}\\[\\]<>!&=+-]{0,60}") {
+        let toks = lex(&src);
+        let joined: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(joined, src);
+    }
+
+    /// Quote-heavy streams (the hard case: raw strings, chars, lifetimes).
+    #[test]
+    fn quote_soup_round_trips(src in "['\"#rb\\\\a-z \n]{0,32}") {
+        let toks = lex(&src);
+        let joined: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(joined, src);
+        // Line numbers are monotonically non-decreasing.
+        let mut last = 1;
+        for t in &toks {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+    }
+
+    /// Re-lexing each token's text in isolation never panics either
+    /// (tokens are self-delimiting enough to survive re-analysis).
+    #[test]
+    fn tokens_relex_without_panic(src in "[ -~\n]{0,48}") {
+        for t in lex(&src) {
+            let _ = lex(t.text);
+        }
+    }
+}

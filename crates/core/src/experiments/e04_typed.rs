@@ -121,6 +121,7 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, TypedResult) {
             .map(|t| t.records)
             .unwrap_or(1);
         let url = Url::new(host, "/search");
+        // detlint:allow(panic-in-serving): every generated UsedCars site serves /search
         let html = w.server.fetch(&url).expect("search page").html;
         let form = analyze_page(&url, &html).remove(0);
         let prober = Prober::new(&w.server);

@@ -37,8 +37,10 @@ pub fn run(scale: Scale) -> (Vec<TextTable>, (PolicyOutcome, PolicyOutcome)) {
         domain_weights: vec![(DomainKind::UsedCars, 1.0)],
         ..WebConfig::default()
     });
+    // detlint:allow(panic-in-serving): driver precondition — the world was just generated with one site
     let t = &w.truth.sites[0];
     let url = Url::new(t.host.clone(), "/search");
+    // detlint:allow(panic-in-serving): every generated UsedCars site serves /search
     let html = w.server.fetch(&url).expect("search page").html;
     let form = analyze_page(&url, &html).remove(0);
     let prober = Prober::new(&w.server);

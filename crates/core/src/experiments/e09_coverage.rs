@@ -108,7 +108,7 @@ mod tests {
         // Median relative error should be bounded (estimates from select
         // sampling see only first pages; we accept generous error).
         let mut errs: Vec<f64> = estimated.iter().filter_map(|p| p.rel_error).collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(f64::total_cmp);
         let median = errs[errs.len() / 2];
         assert!(median < 2.0, "median relative error {median}");
     }

@@ -252,20 +252,14 @@ impl DeepWebSystem {
     /// docs, before, during and after a [`SegmentedIndex::merge`]
     /// (DESIGN.md §15).
     pub fn fresh_index(&mut self) -> &SegmentedIndex {
-        self.ensure_fresh();
-        &self.fresh.as_ref().expect("just initialised").segmented
+        &self.ensure_fresh().segmented
     }
 
     /// Compact the freshness tier: fold all delta segments into the base
     /// (background-mergeable — readers keep serving the old generation until
     /// the one-pointer publish). Returns the number of docs folded in.
     pub fn merge_fresh(&mut self) -> usize {
-        self.ensure_fresh();
-        self.fresh
-            .as_ref()
-            .expect("just initialised")
-            .segmented
-            .merge()
+        self.ensure_fresh().segmented.merge()
     }
 
     /// One incremental re-surfacing round (the freshness loop, §3.2's
@@ -300,11 +294,13 @@ impl DeepWebSystem {
             None => &self.world.server,
         };
         let policy = self.config.surfacer.fetch_policy;
-        let state = self.fresh.as_mut().expect("just initialised");
+        let mut out = RefreshOutcome::default();
+        let Some(state) = self.fresh.as_mut() else {
+            return out; // ensure_fresh populated the tier above
+        };
         // Sites can join the world after init (content growth never removes
         // sites); give them a fingerprint slot so they re-probe cleanly.
         state.fingerprints.resize(hosts.len(), 0);
-        let mut out = RefreshOutcome::default();
         for idx in state.scheduler.next_batch(hosts.len(), batch) {
             out.probed += 1;
             let (resp, _attempt) =
@@ -341,28 +337,28 @@ impl DeepWebSystem {
         out
     }
 
-    fn ensure_fresh(&mut self) {
-        if self.fresh.is_some() {
-            return;
-        }
-        let fingerprints = self
-            .world
-            .server
-            .sites()
-            .iter()
-            .map(|s| {
-                self.world
-                    .server
-                    .fetch(&Url::new(s.host.clone(), "/"))
-                    .map(|r| content_hash(&r.html))
-                    .unwrap_or(0)
-            })
-            .collect();
-        self.fresh = Some(FreshState {
-            segmented: SegmentedIndex::new(self.index.clone()),
-            scheduler: ReprobeScheduler::new(),
-            fingerprints,
-        });
+    fn ensure_fresh(&mut self) -> &mut FreshState {
+        let world = &self.world;
+        let index = &self.index;
+        self.fresh.get_or_insert_with(|| {
+            let fingerprints = world
+                .server
+                .sites()
+                .iter()
+                .map(|s| {
+                    world
+                        .server
+                        .fetch(&Url::new(s.host.clone(), "/"))
+                        .map(|r| content_hash(&r.html))
+                        .unwrap_or(0)
+                })
+                .collect();
+            FreshState {
+                segmented: SegmentedIndex::new(index.clone()),
+                scheduler: ReprobeScheduler::new(),
+                fingerprints,
+            }
+        })
     }
 }
 

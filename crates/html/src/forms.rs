@@ -118,9 +118,18 @@ fn extract_one(form: &Node) -> ExtractedForm {
     let mut last_text = String::new();
     collect_inputs(form, &mut last_text, &mut inputs);
     // Duplicate names would submit duplicate params; keep the first
-    // occurrence deterministically (document order).
-    let mut seen = std::collections::HashSet::new();
-    inputs.retain(|i| seen.insert(i.name.clone()));
+    // occurrence deterministically (document order). Forms are small, so a
+    // linear scan beats a hash set here and keeps this crate free of
+    // hash-ordered containers.
+    let mut seen: Vec<String> = Vec::new();
+    inputs.retain(|i| {
+        if seen.contains(&i.name) {
+            false
+        } else {
+            seen.push(i.name.clone());
+            true
+        }
+    });
     ExtractedForm {
         action,
         method,

@@ -209,7 +209,10 @@ impl<'a> QueryBroker<'a> {
             }
         }
         let t0 = if scratch.heap.len() == k {
-            floor_threshold(scratch.heap.peek().expect("full heap").0)
+            scratch
+                .heap
+                .peek()
+                .map_or(f64::NEG_INFINITY, |e| floor_threshold(e.0))
         } else {
             f64::NEG_INFINITY
         };
@@ -310,6 +313,20 @@ mod tests {
             );
         }
         idx
+    }
+
+    #[test]
+    fn k_zero_batch_returns_empty_hit_lists() {
+        // Regression: the bootstrap threshold once `expect`ed a non-empty
+        // heap when it held exactly k entries, which is vacuously true at
+        // k = 0.
+        let idx = build(4);
+        let queries = vec!["honda civic".to_string(), String::new()];
+        let broker = QueryBroker::new(&idx, ThreadPool::new(2), SearchOptions::default());
+        assert_eq!(
+            broker.search_batch(&queries, 0),
+            vec![Vec::<Hit>::new(), Vec::new()]
+        );
     }
 
     #[test]

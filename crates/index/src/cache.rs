@@ -26,8 +26,8 @@ use crate::searcher::Hit;
 use deepweb_common::fxhash::fxhash64;
 use deepweb_common::ids::TermId;
 use deepweb_common::FxHashMap;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Result-cache sizing.
 #[derive(Clone, Copy, Debug)]
@@ -145,7 +145,7 @@ impl ResultCache {
     /// a byte-identical copy of the stored hits. A stored signature with a
     /// different `k` is a miss (the next insert overwrites it).
     pub fn get(&self, sig: &[TermId], k: usize) -> Option<Vec<Hit>> {
-        let mut shard = self.shard_of(sig).lock().expect("cache shard poisoned");
+        let mut shard = self.shard_of(sig).lock();
         let shard = &mut *shard;
         if let Some(entry) = shard.map.get_mut(sig) {
             if entry.k == k {
@@ -167,7 +167,7 @@ impl ResultCache {
         if self.per_shard_cap == 0 {
             return;
         }
-        let mut shard = self.shard_of(&sig).lock().expect("cache shard poisoned");
+        let mut shard = self.shard_of(&sig).lock();
         let shard = &mut *shard;
         if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&sig) {
             if let Some(lru) = shard
@@ -188,10 +188,7 @@ impl ResultCache {
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.

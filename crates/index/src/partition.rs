@@ -23,9 +23,9 @@ use crate::searcher::{
     accumulate_term_range, apply_annotations_sig, top_k_hits, Hit, QueryScratch, SearchOptions,
 };
 use deepweb_common::ids::TermId;
+use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Contiguous doc-id ranges covering `num_docs` documents in `parts` slices,
 /// sized as evenly as possible (first `num_docs % parts` slices get the
@@ -110,17 +110,9 @@ impl IndexPartition {
     /// Run `f` against a scratch from this partition's pool (allocating one
     /// only when every pooled scratch is in use by a concurrent query).
     pub(crate) fn with_pooled_scratch<R>(&self, f: impl FnOnce(&mut QueryScratch) -> R) -> R {
-        let mut scratch = self
-            .scratch
-            .lock()
-            .expect("partition scratch pool poisoned")
-            .pop()
-            .unwrap_or_default();
+        let mut scratch = self.scratch.lock().pop().unwrap_or_default();
         let out = f(&mut scratch);
-        self.scratch
-            .lock()
-            .expect("partition scratch pool poisoned")
-            .push(scratch);
+        self.scratch.lock().push(scratch);
         out
     }
 

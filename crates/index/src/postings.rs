@@ -605,8 +605,11 @@ impl BlockPostings {
             let list = postings.postings_id(id);
             let idf = postings.idf_id(id);
             for chunk in list.chunks(block_size) {
-                let first_doc = chunk[0].doc.0;
-                let last_doc = chunk[chunk.len() - 1].doc.0;
+                let (Some(first), Some(last)) = (chunk.first(), chunk.last()) else {
+                    continue; // chunks() never yields an empty slice
+                };
+                let first_doc = first.doc.0;
+                let last_doc = last.doc.0;
                 let mut max_delta_m1 = 0u64;
                 let mut max_tf = 0u32;
                 let mut min_dl = u32::MAX;

@@ -381,7 +381,7 @@ pub(crate) fn pruned_topk_range(
     while !order.is_empty() {
         order.sort_unstable_by_key(|&ci| cursors[ci].cur_doc);
         let threshold = if scratch.heap.len() == k {
-            scratch.heap.peek().expect("non-empty full heap").0
+            scratch.heap.peek().map_or(f64::NEG_INFINITY, |e| e.0)
         } else {
             f64::NEG_INFINITY
         };
@@ -400,6 +400,7 @@ pub(crate) fn pruned_topk_range(
             break;
         };
         let d_p = cursors[order[p]].cur_doc;
+        // detlint:allow(panic-in-serving): `order` is non-empty (loop guard) so index 0 exists
         if cursors[order[0]].cur_doc < d_p {
             // Docs below the pivot doc live only in the lagging prefix,
             // whose bound sum cannot reach the threshold: skip them all.
@@ -533,6 +534,21 @@ mod tests {
         "zzz-unknown common",
         "",
     ];
+
+    #[test]
+    fn k_zero_returns_empty_without_panic() {
+        // Regression: the block-max threshold once `expect`ed a non-empty
+        // heap whenever it was "full" — which an empty heap trivially is at
+        // k = 0, so any matching query panicked instead of returning nothing.
+        let idx = build(50);
+        let pruned = SearchOptions {
+            pruning: PruningMode::BlockMax,
+            ..Default::default()
+        };
+        for q in QUERIES {
+            assert!(search(&idx, q, 0, pruned).is_empty(), "q={q:?}");
+        }
+    }
 
     #[test]
     fn pruned_equals_exhaustive_sequential() {

@@ -55,7 +55,8 @@ use crate::searcher::{
 use crate::service::SearchService;
 use deepweb_common::ids::{DocId, FacetKeyId, TermId};
 use deepweb_common::{FxHashMap, FxHashSet, ThreadPool};
-use std::sync::{Arc, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
 
 /// One sealed delta segment: a contiguous run of fresh documents starting at
 /// global doc id `base_doc`, with doc-local postings and the interned
@@ -415,11 +416,11 @@ impl SegmentedIndex {
     /// The current generation. The returned snapshot is immutable: queries
     /// against it are unaffected by concurrent applies or merges.
     pub fn snapshot(&self) -> Arc<Generation> {
-        Arc::clone(&self.current.read().expect("generation lock poisoned"))
+        Arc::clone(&self.current.read())
     }
 
     fn publish(&self, gen: Generation) {
-        *self.current.write().expect("generation lock poisoned") = Arc::new(gen);
+        *self.current.write() = Arc::new(gen);
     }
 
     /// Seal `batch` into one new delta segment and publish the next
@@ -427,7 +428,7 @@ impl SegmentedIndex {
     /// in the batch — first occurrence wins, like [`SearchIndex::add_batch`])
     /// are skipped. Returns the number of fresh documents indexed.
     pub fn apply(&self, batch: Vec<BatchDoc>) -> usize {
-        let _writer = self.writer.lock().expect("segment writer poisoned");
+        let _writer = self.writer.lock();
         let gen = self.snapshot();
         let mut overlay = gen.overlay.clone();
         let mut fresh: Vec<BatchDoc> = Vec::new();
@@ -517,7 +518,7 @@ impl SegmentedIndex {
     /// Returns the number of documents folded out of segments (0 = nothing
     /// to merge).
     pub fn merge(&self) -> usize {
-        let _writer = self.writer.lock().expect("segment writer poisoned");
+        let _writer = self.writer.lock();
         let gen = self.snapshot();
         if gen.segments.is_empty() {
             return 0;

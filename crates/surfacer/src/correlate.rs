@@ -131,16 +131,16 @@ pub fn aligned_range_assignments(
         return out;
     }
     for w in values.windows(2) {
+        let [lo, hi] = w else { continue };
         out.push(vec![
-            (pair.min_input.clone(), w[0].clone()),
-            (pair.max_input.clone(), w[1].clone()),
+            (pair.min_input.clone(), lo.clone()),
+            (pair.max_input.clone(), hi.clone()),
         ]);
     }
     // Open tail bucket: everything above the last value.
-    out.push(vec![(
-        pair.min_input.clone(),
-        values[values.len() - 1].clone(),
-    )]);
+    if let Some(last) = values.last() {
+        out.push(vec![(pair.min_input.clone(), last.clone())]);
+    }
     out
 }
 
@@ -374,6 +374,20 @@ mod tests {
         let naive = naive_range_assignments(&pair, &values);
         assert_eq!(aligned.len(), 10);
         assert_eq!(naive.len(), 120); // the paper's 120
+    }
+
+    #[test]
+    fn aligned_single_value_is_tail_bucket_only() {
+        let pair = RangePair {
+            min_input: "min_price".into(),
+            max_input: "max_price".into(),
+            stem: "price".into(),
+        };
+        let aligned = aligned_range_assignments(&pair, &["5000".to_string()]);
+        assert_eq!(
+            aligned,
+            vec![vec![("min_price".to_string(), "5000".to_string())]]
+        );
     }
 
     #[test]

@@ -246,7 +246,9 @@ pub fn search_templates(
         // Extend informative templates by one higher-indexed slot (avoids
         // generating the same set twice).
         for t in &informative_here {
-            let max_slot = *t.slots.last().expect("non-empty template");
+            let Some(&max_slot) = t.slots.last() else {
+                continue; // templates always carry ≥ 1 slot
+            };
             for next in max_slot + 1..slots.len() {
                 let mut ext = t.slots.clone();
                 ext.push(next);

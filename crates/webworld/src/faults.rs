@@ -18,9 +18,8 @@
 //! delay in [`FaultStats`].
 
 use crate::fetch::{http_error, Fetcher, Response};
-use deepweb_common::{fxhash64, Result, Url};
+use deepweb_common::{fxhash64, FxHashMap, Result, Url};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 
 /// Which fault (if any) a URL is marked with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -142,7 +141,7 @@ impl FaultStats {
 pub struct FaultyFetcher<F> {
     inner: F,
     cfg: FaultConfig,
-    attempts: Mutex<HashMap<String, u32>>,
+    attempts: Mutex<FxHashMap<String, u32>>,
     stats: Mutex<FaultStats>,
 }
 
@@ -153,7 +152,7 @@ impl<F: Fetcher> FaultyFetcher<F> {
         FaultyFetcher {
             inner,
             cfg,
-            attempts: Mutex::new(HashMap::new()),
+            attempts: Mutex::new(FxHashMap::default()),
             stats: Mutex::new(FaultStats::default()),
         }
     }
